@@ -1,0 +1,313 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each driving the same experiment code as cmd/experiments at
+// the quick scale. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// The benchmarks report, via b.ReportMetric, the headline quantity of each
+// experiment (distances, ranks, tolerance bands) so a bench run doubles as
+// a compact reproduction record.
+package repro
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/enum"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchScale returns the reduced experiment scale used by every benchmark.
+func benchScale() experiments.Scale {
+	return experiments.QuickScale()
+}
+
+// BenchmarkTable2RenoFamily regenerates Table 2's Reno row: synthesized vs
+// fine-tuned handler distance. The reported metrics are the two distances;
+// the paper's shape is synth ~= fine-tuned for the Reno family.
+func BenchmarkTable2RenoFamily(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2([]string{"reno"}, benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Err != nil {
+			b.Fatal(rows[0].Err)
+		}
+		b.ReportMetric(rows[0].SynthDistance, "synth-dist")
+		b.ReportMetric(rows[0].FineDistance, "fine-dist")
+	}
+}
+
+// BenchmarkTable2VegasFamily regenerates Table 2's Vegas row: the
+// synthesized handler should use the vegas-diff conditional structure.
+func BenchmarkTable2VegasFamily(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2([]string{"vegas"}, benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Err != nil {
+			b.Fatal(rows[0].Err)
+		}
+		b.ReportMetric(rows[0].SynthDistance, "synth-dist")
+	}
+}
+
+// BenchmarkTable2BBR regenerates Table 2's BBR row (the §5.2 case study):
+// a closed-form pulse approximation without hidden state.
+func BenchmarkTable2BBR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2([]string{"bbr"}, benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Err != nil {
+			b.Fatal(rows[0].Err)
+		}
+		b.ReportMetric(rows[0].SynthDistance, "synth-dist")
+		b.ReportMetric(rows[0].FineDistance, "fine-dist")
+	}
+}
+
+// BenchmarkTable2Students regenerates the student-CCA section of Table 2
+// for one representative bespoke algorithm.
+func BenchmarkTable2Students(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2([]string{"student2"}, benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Err != nil {
+			b.Fatal(rows[0].Err)
+		}
+		b.ReportMetric(rows[0].SynthDistance, "synth-dist")
+	}
+}
+
+// BenchmarkTable3Classifier regenerates Table 3: classification of every
+// kernel and student CCA, reporting kernel accuracy (the paper gets 10/16
+// correct plus informative confusions).
+func BenchmarkTable3Classifier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(benchScale(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct := 0
+		for _, r := range rows {
+			if r.Correct {
+				correct++
+			}
+		}
+		b.ReportMetric(float64(correct), "correct-labels")
+		b.ReportMetric(float64(len(rows)), "ccas")
+	}
+}
+
+// BenchmarkTable4SearchAccuracy regenerates Table 4 for the Reno run: the
+// rank of the fine-tuned handler's bucket after refinement iteration 1.
+func BenchmarkTable4SearchAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4([]string{"reno"}, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		b.ReportMetric(float64(rows[0].Rank1), "rank-iter1")
+		b.ReportMetric(float64(rows[0].Total1), "buckets")
+	}
+}
+
+// BenchmarkFig3DistanceMetrics regenerates Figure 3: the constant-error
+// sweep across the four metrics on BBR traces, reporting how many sweep
+// cells each of DTW and Euclidean got right (DTW should win).
+func BenchmarkFig3DistanceMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range experiments.SummarizeFig3(points) {
+			switch s.Metric {
+			case "dtw":
+				b.ReportMetric(float64(s.CorrectN), "dtw-correct")
+			case "euclidean":
+				b.ReportMetric(float64(s.CorrectN), "euclidean-correct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4BBRPulse regenerates Figure 4: per-segment wins of the
+// synthesized vs fine-tuned BBR pulse handlers.
+func BenchmarkFig4BBRPulse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.SynthWins), "synth-wins")
+		b.ReportMetric(float64(r.FineWins), "fine-wins")
+	}
+}
+
+// BenchmarkFig5HTCP regenerates Figure 5: how close the plain Reno-variant
+// handler gets to the fine-tuned HTCP handler.
+func BenchmarkFig5HTCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RenoDistance, "reno-dist")
+		b.ReportMetric(r.FineDistance, "fine-dist")
+	}
+}
+
+// BenchmarkFig6DSLImpact regenerates Figure 6: student CCA #1 under the
+// three DSL inputs; the reported metric is the best (lowest) distance and
+// which variant achieved it, encoded as its index.
+func BenchmarkFig6DSLImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(benchScale(), []string{"student1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		best, bestIdx := math.Inf(1), -1
+		for j, r := range rows {
+			if r.Err == nil && r.Distance < best {
+				best, bestIdx = r.Distance, j
+			}
+		}
+		b.ReportMetric(best, "best-dist")
+		b.ReportMetric(float64(bestIdx), "best-dsl-index")
+	}
+}
+
+// BenchmarkSearchEfficiencyReno regenerates §6.1's accounting: size of the
+// viable Reno-DSL space and the fraction the refinement loop explored.
+func BenchmarkSearchEfficiencyReno(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Efficiency(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.SpaceSketches), "space-sketches")
+		b.ReportMetric(100*r.FractionExplored, "space-explored-%")
+	}
+}
+
+// --- Component micro-benchmarks -----------------------------------------
+
+// BenchmarkSimulator30s measures raw simulator throughput: one 30-second
+// Reno flow at 10 Mbit/s.
+func BenchmarkSimulator30s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			CCA: "reno", Bandwidth: 10e6 / 8, RTT: 40 * time.Millisecond, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceAnalysis measures pcap-record analysis of a 30s capture.
+func BenchmarkTraceAnalysis(b *testing.B) {
+	res, err := sim.Run(sim.Config{CCA: "reno", Bandwidth: 10e6 / 8, RTT: 40 * time.Millisecond, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.AnalyzeRecords(res.Records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDTWDistance measures one banded DTW computation on the standard
+// resampled grid.
+func BenchmarkDTWDistance(b *testing.B) {
+	mk := func(phase float64) dist.Series {
+		s := dist.Series{Times: make([]float64, 500), Values: make([]float64, 500)}
+		for i := range s.Times {
+			t := float64(i) / 50
+			s.Times[i] = t
+			s.Values[i] = 10 + 5*math.Mod(t+phase, 2.0)
+		}
+		return s
+	}
+	a, c := mk(0), mk(0.5)
+	m := dist.DTW{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Distance(a, c)
+	}
+}
+
+// BenchmarkEnumerateRenoSpace measures exhaustive enumeration of the
+// depth-3 Reno-DSL sketch space (§6.1's 1,617-analog).
+func BenchmarkEnumerateRenoSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		enum.New(dsl.Reno()).Count()
+	}
+}
+
+// BenchmarkAblationDesignChoices runs the DESIGN.md ablation matrix on
+// Reno traces: search metric, bucket pruning, segment selection and
+// constant-pool variants under an equal budget.
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchScale()
+		s.MaxHandlers = 3000
+		rows, err := experiments.Ablation("reno", s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Err == nil && r.Variant == "baseline (DTW, buckets, diverse)" {
+				b.ReportMetric(r.Distance, "baseline-dist")
+			}
+		}
+	}
+}
+
+// BenchmarkLossResponseSynthesis exercises the §3 generalization claim:
+// synthesizing the on-loss window update from observed loss reactions.
+func BenchmarkLossResponseSynthesis(b *testing.B) {
+	res, err := sim.Run(sim.Config{
+		CCA: "reno", Bandwidth: 10e6 / 8, RTT: 40 * time.Millisecond,
+		Duration: 30 * time.Second, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.AnalyzeRecords(res.Records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := core.ExtractLossEvents(tr)
+	if len(events) == 0 {
+		b.Fatal("no loss events")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := core.SynthesizeLossResponse(events, core.Options{
+			DSL: dsl.Reno(), MaxHandlers: 20000, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(out.Error, "rel-error")
+	}
+}

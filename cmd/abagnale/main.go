@@ -1,0 +1,111 @@
+// Command abagnale runs the synthesis pipeline on collected pcap traces:
+// it reverse-engineers a succinct cwnd-on-ACK handler expression whose
+// simulated behavior matches the traces (the end-to-end flow of Figure 1).
+//
+// Usage:
+//
+//	abagnale -dsl vegas traces/*.pcap
+//	abagnale -dsl reno -budget 50000 -metric dtw -seed 1 traces/reno-*.pcap
+//
+// Without -dsl the tool requires -hint-cca to look up the family mapping,
+// or defaults to the vegas DSL (the broadest).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		dslName = flag.String("dsl", "", "sub-DSL to search (reno|cubic|delay|vegas)")
+		hintCCA = flag.String("hint-cca", "", "pick the sub-DSL from this CCA's family")
+		metric  = flag.String("metric", "dtw", "distance metric (dtw|euclidean|manhattan|frechet)")
+		budget  = flag.Int("budget", 120000, "max concrete handlers to score")
+		minSeg  = flag.Int("min-segment", 16, "minimum ACK samples per trace segment")
+		seed    = flag.Int64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "print per-iteration search progress")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "abagnale: no pcap files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dslName, *hintCCA, *metric, *budget, *minSeg, *seed, *verbose, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "abagnale:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, verbose bool, files []string) error {
+	if dslName == "" {
+		if hintCCA != "" {
+			dslName = expr.DSLHint(hintCCA)
+		} else {
+			dslName = "vegas"
+		}
+	}
+	d, err := dsl.Named(dslName)
+	if err != nil {
+		return err
+	}
+	m, err := dist.ByName(metricName)
+	if err != nil {
+		return err
+	}
+
+	var segs []*trace.Segment
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.AnalyzeBytes(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		ss := tr.Split(minSeg)
+		fmt.Printf("%s: %d ACK samples, %d losses, %d segments\n",
+			f, len(tr.Samples), len(tr.Losses), len(ss))
+		segs = append(segs, ss...)
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("no usable trace segments (try lowering -min-segment)")
+	}
+
+	start := time.Now()
+	res, err := core.Synthesize(segs, core.Options{
+		DSL:         d,
+		Metric:      m,
+		MaxHandlers: budget,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsynthesized handler (%s-DSL, %s distance, %v):\n  cwnd <- %s\n",
+		dslName, metricName, time.Since(start).Round(time.Millisecond), dsl.Simplify(res.Handler))
+	fmt.Printf("summed distance over %d segments: %.2f\n", len(segs), res.Distance)
+	fmt.Printf("search: %d handlers from %d sketches across %d buckets, %d iterations\n",
+		res.Stats.HandlersScored, res.Stats.SketchesScored,
+		res.Stats.SpaceBuckets, len(res.Stats.Iterations))
+	if res.Stats.BudgetExhausted {
+		fmt.Println("note: handler budget exhausted; result is best-so-far (paper's timeout behavior)")
+	}
+	if verbose {
+		for _, it := range res.Stats.Iterations {
+			fmt.Printf("  iteration %d: N=%d over %d segments, %d handlers, kept %d/%d buckets\n",
+				it.Index, it.SamplesPerBucket, it.Segments, it.HandlersScored, it.Kept, len(it.Ranking))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command classify labels a pcap trace with the nearest known congestion
+// control algorithm (the Gordon/CCAnalyzer step of §3.3) and prints the
+// sub-DSL Abagnale would search for it.
+//
+// The reference library is built in-process by simulating the kernel CCAs
+// over the testbed grid, so the tool needs the scenario parameters the
+// trace was collected under (-rtt, -bw) to compare like with like.
+//
+// Usage:
+//
+//	classify -rtt 40ms -bw 10 trace.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		rtt    = flag.Duration("rtt", 40*time.Millisecond, "trace scenario base RTT")
+		bwMbps = flag.Float64("bw", 10, "trace scenario bottleneck bandwidth, Mbit/s")
+		margin = flag.Float64("margin", 2.5, "Unknown-threshold margin over intra-CCA distance")
+		seed   = flag.Int64("seed", 1, "reference library seed")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "classify: no pcap files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*rtt, *bwMbps*1e6/8, *margin, *seed, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rtt time.Duration, bwBps, margin float64, seed int64, files []string) error {
+	scale := experiments.FullScale()
+	scale.Seed = seed
+	scale.RTTs = []time.Duration{rtt}
+	scale.Bandwidths = []float64{bwBps}
+	fmt.Println("building reference library (kernel CCAs)...")
+	cls, err := experiments.BuildClassifier(scale)
+	if err != nil {
+		return err
+	}
+	cls.Calibrate(margin)
+	key := classify.ConfigKey(int(rtt/time.Millisecond), bwBps)
+
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.AnalyzeBytes(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		res, err := cls.Classify(key, tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s", f, res.Label)
+		if res.Unknown && len(res.Nearest) > 0 {
+			fmt.Printf(" (closest: %s, %s)", res.Nearest[0].Label, res.Nearest[1].Label)
+		}
+		fmt.Printf("  [suggested DSL: %s]\n", res.HintDSL())
+	}
+	return nil
+}

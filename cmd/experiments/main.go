@@ -1,0 +1,162 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures from scratch: it simulates the testbed, analyzes the captures,
+// and runs the synthesis/classification pipelines.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed 1] <experiment> [args]
+//
+// Experiments:
+//
+//	table2 [cca ...]    synthesized vs fine-tuned handlers (Table 2)
+//	table3              classifier outputs (Table 3)
+//	table4 [cca ...]    fine-tuned bucket ranks per iteration (Table 4)
+//	fig3                distance-metric error tolerance (Figure 3)
+//	fig4                BBR pulse case study (Figure 4)
+//	fig5                HTCP inflection case study (Figure 5)
+//	fig6                DSL-input impact on student CCAs (Figure 6)
+//	search-efficiency   §6.1 Reno search accounting
+//	ablation [cca]      design-choice ablations (metric, buckets, segments, pool)
+//	artifacts [dir]     write plot-ready CSVs for figures 3-5 (default: artifacts/)
+//	all                 everything above (except ablation and artifacts)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced trace volume and search budget")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	scale := experiments.FullScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	scale.Seed = *seed
+
+	name := flag.Arg(0)
+	args := flag.Args()[1:]
+	if err := run(name, args, scale); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, args []string, scale experiments.Scale) error {
+	start := time.Now()
+	defer func() { fmt.Printf("\n[%s completed in %v]\n", name, time.Since(start).Round(time.Second)) }()
+	switch name {
+	case "table2":
+		ccas := args
+		if len(ccas) == 0 {
+			ccas = experiments.Table2CCAs()
+		}
+		// Stream rows as they complete: each CCA is a separate synthesis
+		// run that can take minutes at full scale.
+		var rows []experiments.Table2Row
+		for _, cca := range ccas {
+			rs, err := experiments.Table2([]string{cca}, scale, nil)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, rs...)
+			fmt.Print(experiments.FormatTable2(rs[len(rs)-1:]))
+		}
+		fmt.Println("\nfull table:")
+		fmt.Print(experiments.FormatTable2(rows))
+	case "table3":
+		rows, err := experiments.Table3(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable3(rows))
+	case "table4":
+		var ccas []string
+		if len(args) > 0 {
+			ccas = args
+		}
+		rows, err := experiments.Table4(ccas, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable4(rows))
+	case "fig3":
+		points, err := experiments.Fig3(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig3(experiments.SummarizeFig3(points)))
+	case "fig4":
+		r, err := experiments.Fig4(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig4(r))
+	case "fig5":
+		r, err := experiments.Fig5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig5(r))
+	case "fig6":
+		var students []string
+		if len(args) > 0 {
+			students = args
+		}
+		rows, err := experiments.Fig6(scale, students)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig6(rows))
+	case "search-efficiency":
+		r, err := experiments.Efficiency(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatEfficiency(r))
+	case "ablation":
+		cca := "reno"
+		if len(args) > 0 {
+			cca = args[0]
+		}
+		rows, err := experiments.Ablation(cca, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblation(cca, rows))
+	case "artifacts":
+		dir := "artifacts"
+		if len(args) > 0 {
+			dir = args[0]
+		}
+		if err := experiments.WriteFigureArtifacts(dir, scale); err != nil {
+			return err
+		}
+		fmt.Printf("wrote figure CSVs to %s/\n", dir)
+	case "all":
+		for _, sub := range []string{
+			"table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6",
+			"search-efficiency",
+		} {
+			fmt.Printf("\n===== %s =====\n", sub)
+			if err := run(sub, nil, scale); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

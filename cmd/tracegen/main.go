@@ -1,0 +1,77 @@
+// Command tracegen simulates a congestion control algorithm across the
+// testbed grid and writes one pcap capture per scenario — the trace
+// collection step of the pipeline (§3.2).
+//
+// Usage:
+//
+//	tracegen -cca cubic -out traces/ [-duration 30s] [-jitter 1ms]
+//	         [-loss 0.0005] [-seed 1] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		ccaName  = flag.String("cca", "reno", "congestion control algorithm to trace")
+		outDir   = flag.String("out", "traces", "output directory for pcap files")
+		duration = flag.Duration("duration", 30*time.Second, "flow duration per scenario")
+		jitter   = flag.Duration("jitter", time.Millisecond, "uniform propagation jitter (measurement noise)")
+		loss     = flag.Float64("loss", 0.0005, "random loss rate (measurement noise)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		list     = flag.Bool("list", false, "list available CCAs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(cca.Names(), "\n"))
+		return
+	}
+
+	scale := experiments.FullScale()
+	scale.Duration = *duration
+	scale.Jitter = *jitter
+	scale.LossRate = *loss
+	scale.Seed = *seed
+
+	if err := run(*ccaName, *outDir, scale); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ccaName, outDir string, scale experiments.Scale) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for i, cfg := range scale.Grid(ccaName) {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		raw, err := res.WritePcap()
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s-rtt%dms-bw%.0fkbps-%02d.pcap",
+			ccaName, cfg.RTT/time.Millisecond, cfg.Bandwidth*8/1000, i)
+		path := filepath.Join(outDir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d packets, %.2f Mbit/s achieved, %d drops, %d fast-rexmit\n",
+			path, len(res.Records),
+			res.Stats.Throughput*8/1e6, res.Stats.Drops, res.Stats.FastRetransmits)
+	}
+	return nil
+}

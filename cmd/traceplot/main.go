@@ -1,0 +1,95 @@
+// Command traceplot renders a capture's congestion-window trajectory as an
+// ASCII chart, optionally overlaying the replayed trajectories of handler
+// expressions — a terminal rendition of the paper's figure style (observed
+// trace vs synthesized vs fine-tuned handler).
+//
+// Usage:
+//
+//	traceplot trace.pcap
+//	traceplot -handler 'cwnd + 0.7*reno-inc' -handler 'cwnd + reno-inc' \
+//	          -segment 2 trace.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dsl"
+	"repro/internal/plot"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// handlerList collects repeated -handler flags.
+type handlerList []string
+
+func (h *handlerList) String() string { return strings.Join(*h, "; ") }
+
+func (h *handlerList) Set(v string) error {
+	*h = append(*h, v)
+	return nil
+}
+
+func main() {
+	var handlers handlerList
+	var (
+		segment = flag.Int("segment", -1, "plot one between-loss segment (default: whole trace)")
+		minSeg  = flag.Int("min-segment", 16, "minimum ACK samples per segment")
+		width   = flag.Int("width", 72, "chart width")
+		height  = flag.Int("height", 18, "chart height")
+	)
+	flag.Var(&handlers, "handler", "DSL expression to replay over the trace (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "traceplot: exactly one pcap file expected")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), handlers, *segment, *minSeg, *width, *height); err != nil {
+		fmt.Fprintln(os.Stderr, "traceplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, handlers []string, segment, minSeg, width, height int) error {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.AnalyzeBytes(raw)
+	if err != nil {
+		return err
+	}
+
+	var seg *trace.Segment
+	title := fmt.Sprintf("%s (%d samples, %d losses)", file, len(tr.Samples), len(tr.Losses))
+	if segment >= 0 {
+		segs := tr.Split(minSeg)
+		if segment >= len(segs) {
+			return fmt.Errorf("segment %d out of range (trace has %d)", segment, len(segs))
+		}
+		seg = segs[segment]
+		title = fmt.Sprintf("%s segment %d/%d", file, segment, len(segs))
+	} else {
+		seg = &trace.Segment{Samples: tr.Samples, MSS: tr.MSS}
+	}
+
+	c := plot.New(title)
+	c.Width, c.Height = width, height
+	c.Add("observed", seg.Series())
+	for _, src := range handlers {
+		h, err := dsl.Parse(src)
+		if err != nil {
+			return fmt.Errorf("handler %q: %w", src, err)
+		}
+		s, err := replay.Synthesize(h, seg)
+		if err != nil {
+			return fmt.Errorf("handler %q diverged on this trace", src)
+		}
+		c.Add(src, s)
+	}
+	fmt.Print(c.Render())
+	return nil
+}

@@ -1,0 +1,89 @@
+// Distance-metrics demo: why Abagnale scores candidates with Dynamic Time
+// Warping (§4.3, Figure 3).
+//
+// Four metrics score the true BBR handler and three wrong-family handlers
+// against real BBR traces, first with exact constants and then with every
+// constant perturbed 2x — the situation the search is in before constants
+// are fine-tuned. DTW keeps ranking the true family first across the
+// widest error band.
+//
+// Run with:
+//
+//	go run ./examples/distance-metrics
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	// Collect BBR traces: the periodic PROBE_BW pulses make temporal
+	// alignment matter, which separates the metrics.
+	var segs []*trace.Segment
+	for i, rtt := range []time.Duration{40 * time.Millisecond, 80 * time.Millisecond} {
+		res, err := sim.Run(sim.Config{
+			CCA:       "bbr",
+			Bandwidth: 10e6 / 8,
+			RTT:       rtt,
+			Duration:  15 * time.Second,
+			Jitter:    time.Millisecond,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.AnalyzeRecords(res.Records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, seg := range tr.Split(16) {
+			// Score only steady-state segments: BBR's startup and
+			// PROBE_RTT transients are driven by hidden state no
+			// closed-form handler can track (§5.2 of the paper).
+			if seg.Samples[0].Time > 5*time.Second {
+				segs = append(segs, seg)
+			}
+		}
+	}
+	fmt.Printf("BBR steady-state trace segments: %d\n", len(segs))
+
+	handlers := experiments.Fig3Handlers()
+	for _, errFactor := range []float64{1.0, 2.0, 4.0} {
+		fmt.Printf("\n=== constant error %.0fx ===\n", errFactor)
+		for _, m := range dist.Metrics() {
+			type scored struct {
+				name string
+				d    float64
+			}
+			var results []scored
+			for name, h := range handlers {
+				hh := experiments.ScaleConstants(h, errFactor)
+				results = append(results, scored{name, replay.TotalDistance(hh, segs, m)})
+			}
+			sort.Slice(results, func(i, j int) bool { return results[i].d < results[j].d })
+			verdict := "WRONG"
+			if results[0].name == "bbr" {
+				verdict = "correct"
+			}
+			fmt.Printf("%-10s ranks %-6s first (%s):", m.Name(), results[0].name, verdict)
+			for _, r := range results {
+				fmt.Printf("  %s=%.1f", r.name, r.d)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\nAt exact constants every metric ranks the true CCA first; as error grows")
+	fmt.Println("they all eventually flip. The finer sweep in cmd/experiments fig3 shows")
+	fmt.Println("DTW keeps the correct ranking over the widest error band — the paper's")
+	fmt.Println("Figure 3 finding, and why Abagnale can rank sketches before constants")
+	fmt.Println("are tuned.")
+}

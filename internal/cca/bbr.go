@@ -1,0 +1,203 @@
+package cca
+
+import (
+	"math"
+	"time"
+)
+
+func init() {
+	Register("bbr", func() Algorithm { return &BBR{} })
+}
+
+// BBR is a simplified, window-driven model of BBRv1 [Cardwell et al., ACM
+// Queue '16]: it estimates the bottleneck bandwidth (windowed max of the
+// delivery rate) and the round-trip propagation time (windowed min RTT) and
+// sets cwnd to a gain multiple of the estimated BDP. The PROBE_BW gain cycle
+// produces the periodic pulses the paper's §5.2 studies; because this model
+// is ACK-clocked rather than paced, the cycle gains are applied directly to
+// the window: 2.6×BDP during the probe phase, a drain phase below cruise,
+// and 2.05×BDP cruise otherwise (the "CWND gain" the fine-tuned handler in
+// Table 2 captures).
+type BBR struct {
+	mode bbrMode
+
+	// btlbw filter: windowed max of delivery-rate samples.
+	bwSamples []bwSample
+	// rtprop filter: windowed min of RTT samples.
+	rtSamples []rtSample
+
+	fullBWCount int
+	fullBW      float64
+	nextBWCheck time.Duration
+
+	cycleIndex int
+	cycleStamp time.Duration
+
+	probeRTTDone time.Duration
+	lastRTProbe  time.Duration
+}
+
+type bbrMode int
+
+const (
+	bbrStartup bbrMode = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+type bwSample struct {
+	t  time.Duration
+	bw float64
+}
+
+type rtSample struct {
+	t   time.Duration
+	rtt time.Duration
+}
+
+// BBR parameters.
+const (
+	bbrHighGain     = 2.885 // 2/ln(2), startup gain
+	bbrCruiseGain   = 2.05  // steady cwnd gain over BDP
+	bbrProbeGain    = 2.6   // pulse-up gain (1 of 8 phases)
+	bbrDrainGain    = 1.55  // pulse-down gain (1 of 8 phases)
+	bbrCycleLen     = 8
+	bbrBWWindowRTTs = 10
+	bbrRTWindow     = 10 * time.Second
+	bbrProbeRTTTime = 200 * time.Millisecond
+)
+
+// Name implements Algorithm.
+func (*BBR) Name() string { return "bbr" }
+
+// Reset implements Algorithm.
+func (b *BBR) Reset(s *State) {
+	*b = BBR{mode: bbrStartup}
+	// BBR ignores ssthresh; park it out of the way so the connection
+	// never believes it is in slow start on BBR's behalf.
+	s.Ssthresh = math.Inf(1)
+}
+
+// updateFilters feeds the windowed max-bandwidth and min-RTT estimators.
+func (b *BBR) updateFilters(s *State) {
+	if s.AckRate > 0 {
+		b.bwSamples = append(b.bwSamples, bwSample{t: s.Now, bw: s.AckRate})
+	}
+	if s.LastRTT > 0 {
+		b.rtSamples = append(b.rtSamples, rtSample{t: s.Now, rtt: s.LastRTT})
+	}
+	bwHorizon := time.Duration(float64(bbrBWWindowRTTs) * float64(b.rtprop()))
+	if bwHorizon <= 0 {
+		bwHorizon = time.Second
+	}
+	for len(b.bwSamples) > 1 && s.Now-b.bwSamples[0].t > bwHorizon {
+		b.bwSamples = b.bwSamples[1:]
+	}
+	for len(b.rtSamples) > 1 && s.Now-b.rtSamples[0].t > bbrRTWindow {
+		b.rtSamples = b.rtSamples[1:]
+	}
+}
+
+// btlbw returns the current bottleneck-bandwidth estimate in bytes/sec.
+func (b *BBR) btlbw() float64 {
+	var mx float64
+	for _, smp := range b.bwSamples {
+		if smp.bw > mx {
+			mx = smp.bw
+		}
+	}
+	return mx
+}
+
+// rtprop returns the current propagation-delay estimate.
+func (b *BBR) rtprop() time.Duration {
+	var mn time.Duration
+	for _, smp := range b.rtSamples {
+		if mn == 0 || smp.rtt < mn {
+			mn = smp.rtt
+		}
+	}
+	return mn
+}
+
+// bdp returns the estimated bandwidth-delay product in bytes.
+func (b *BBR) bdp() float64 {
+	return b.btlbw() * b.rtprop().Seconds()
+}
+
+// OnAck implements Algorithm.
+func (b *BBR) OnAck(s *State, acked float64) {
+	b.updateFilters(s)
+	bdp := b.bdp()
+	if bdp <= 0 {
+		SlowStart(s, acked)
+		return
+	}
+	switch b.mode {
+	case bbrStartup:
+		s.Cwnd += acked // exponential growth while probing for bandwidth
+		// Evaluate the bandwidth-plateau exit once per RTT: three
+		// consecutive rounds without 25% growth means the pipe is full.
+		if s.Now >= b.nextBWCheck {
+			b.nextBWCheck = s.Now + b.rtprop()
+			bw := b.btlbw()
+			if bw > b.fullBW*1.25 {
+				b.fullBW = bw
+				b.fullBWCount = 0
+			} else {
+				b.fullBWCount++
+				if b.fullBWCount >= 3 {
+					b.mode = bbrDrain
+				}
+			}
+		}
+	case bbrDrain:
+		target := bbrCruiseGain * bdp
+		if s.InFlight <= target || s.Cwnd <= target {
+			b.mode = bbrProbeBW
+			b.cycleIndex = 0
+			b.cycleStamp = s.Now
+		}
+		s.Cwnd = math.Max(target, 4*s.MSS)
+	case bbrProbeBW:
+		if s.Now-b.cycleStamp > b.rtprop() {
+			b.cycleStamp = s.Now
+			b.cycleIndex = (b.cycleIndex + 1) % bbrCycleLen
+		}
+		gain := bbrCruiseGain
+		switch b.cycleIndex {
+		case 0:
+			gain = bbrProbeGain
+		case 1:
+			gain = bbrDrainGain
+		}
+		s.Cwnd = math.Max(gain*bdp, 4*s.MSS)
+		// Enter PROBE_RTT if the rtprop estimate has gone stale.
+		if b.lastRTProbe == 0 {
+			b.lastRTProbe = s.Now
+		}
+		if s.Now-b.lastRTProbe > bbrRTWindow {
+			b.mode = bbrProbeRTT
+			b.probeRTTDone = s.Now + bbrProbeRTTTime
+		}
+	case bbrProbeRTT:
+		s.Cwnd = 4 * s.MSS
+		if s.Now >= b.probeRTTDone {
+			b.lastRTProbe = s.Now
+			b.mode = bbrProbeBW
+			b.cycleStamp = s.Now
+		}
+	}
+	s.InSlowStart = false
+}
+
+// OnLoss implements Algorithm.
+func (b *BBR) OnLoss(s *State, timeout bool) {
+	// BBRv1 does not react to individual losses with a multiplicative
+	// decrease; on timeout it conservatively restarts.
+	if timeout {
+		s.Cwnd = 4 * s.MSS
+	}
+	s.Ssthresh = math.Inf(1)
+}

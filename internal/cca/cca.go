@@ -1,0 +1,161 @@
+// Package cca implements the congestion control algorithms whose traces the
+// Abagnale pipeline reverse-engineers: the 16 CCAs distributed with the Linux
+// kernel plus 7 bespoke "student" CCAs standing in for the paper's
+// graduate-networking-class dataset.
+//
+// Each algorithm manipulates a State owned by the simulated connection.
+// Only window dynamics are modeled — the congestion-avoidance increase on
+// ACK and the window/threshold reaction to loss — mirroring the paper's
+// scope (the cwnd-on-ACK handler). Slow start, fast recovery bookkeeping,
+// retransmission and RTT measurement live in the connection (internal/sim).
+package cca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// State is the congestion control state shared between the connection and
+// the algorithm. The connection refreshes the measurement fields before each
+// callback; the algorithm owns Cwnd and Ssthresh.
+type State struct {
+	// Cwnd is the congestion window in bytes.
+	Cwnd float64
+	// Ssthresh is the slow start threshold in bytes.
+	Ssthresh float64
+	// MSS is the maximum segment size in bytes.
+	MSS float64
+
+	// Now is the connection-relative current time.
+	Now time.Duration
+	// LastRTT is the most recent RTT sample.
+	LastRTT time.Duration
+	// SRTT is the smoothed RTT estimate.
+	SRTT time.Duration
+	// MinRTT and MaxRTT are the extreme RTT samples seen so far.
+	MinRTT time.Duration
+	MaxRTT time.Duration
+	// AckRate is the recent delivery rate estimate in bytes/second.
+	AckRate float64
+	// InFlight is the number of un-ACKed bytes outstanding.
+	InFlight float64
+	// LastLoss is the time of the most recent loss event (zero before any
+	// loss).
+	LastLoss time.Duration
+	// LossCount counts loss events so far.
+	LossCount int
+	// InSlowStart reports whether the connection considers itself in slow
+	// start (Cwnd < Ssthresh).
+	InSlowStart bool
+}
+
+// TimeSinceLoss returns the elapsed time since the last loss event, or the
+// connection age if no loss has occurred.
+func (s *State) TimeSinceLoss() time.Duration {
+	return s.Now - s.LastLoss
+}
+
+// CwndPkts returns the window in MSS units.
+func (s *State) CwndPkts() float64 { return s.Cwnd / s.MSS }
+
+// SetCwndPkts sets the window from MSS units, clamped to at least 2 MSS.
+func (s *State) SetCwndPkts(pkts float64) {
+	if pkts < 2 {
+		pkts = 2
+	}
+	s.Cwnd = pkts * s.MSS
+}
+
+// Algorithm is a pluggable congestion control algorithm.
+type Algorithm interface {
+	// Name returns the algorithm's canonical (lower-case) name.
+	Name() string
+	// Reset initializes algorithm-private state at connection start.
+	Reset(s *State)
+	// OnAck is invoked for every ACK that newly acknowledges acked bytes,
+	// during both slow start and congestion avoidance. Implementations
+	// typically call SlowStart when s.InSlowStart and otherwise run their
+	// congestion-avoidance increase.
+	OnAck(s *State, acked float64)
+	// OnLoss is invoked once per loss event (triple-dup-ACK when
+	// timeout=false, retransmission timeout when timeout=true). It must
+	// update Ssthresh and Cwnd.
+	OnLoss(s *State, timeout bool)
+}
+
+// SlowStart performs the standard exponential increase: one MSS of window
+// per MSS acknowledged, never growing past Ssthresh by more than acked.
+func SlowStart(s *State, acked float64) {
+	s.Cwnd += acked
+	if s.Cwnd > s.Ssthresh {
+		s.Cwnd = s.Ssthresh + acked
+	}
+}
+
+// RenoIncrease performs Reno's congestion-avoidance increase: cwnd grows by
+// one MSS per RTT, i.e. mss*acked/cwnd per ACK.
+func RenoIncrease(s *State, acked float64) {
+	s.Cwnd += s.MSS * acked / s.Cwnd
+}
+
+// MultiplicativeDecrease applies the classic loss reaction: ssthresh =
+// beta*cwnd (floored at 2 MSS); on timeout the window restarts at 2 MSS,
+// otherwise it deflates to ssthresh (fast recovery).
+func MultiplicativeDecrease(s *State, beta float64, timeout bool) {
+	s.Ssthresh = math.Max(beta*s.Cwnd, 2*s.MSS)
+	if timeout {
+		s.Cwnd = 2 * s.MSS
+	} else {
+		s.Cwnd = s.Ssthresh
+	}
+}
+
+// factories maps registered algorithm names to constructors.
+var factories = map[string]func() Algorithm{}
+
+// Register makes a constructor available to New. It panics on duplicate
+// names (a programming error).
+func Register(name string, f func() Algorithm) {
+	if _, dup := factories[name]; dup {
+		panic("cca: duplicate registration of " + name)
+	}
+	factories[name] = f
+}
+
+// New constructs a fresh instance of the named algorithm.
+func New(name string) (Algorithm, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("cca: unknown algorithm %q", name)
+	}
+	return f(), nil
+}
+
+// Names returns all registered algorithm names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(factories))
+	for n := range factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KernelNames returns the names of the 16 Linux-kernel CCAs, in the order
+// the paper lists them.
+func KernelNames() []string {
+	return []string{
+		"bbr", "cubic", "vegas", "reno", "bic", "cdg", "highspeed", "htcp",
+		"hybla", "illinois", "lp", "nv", "scalable", "veno", "westwood", "yeah",
+	}
+}
+
+// StudentNames returns the names of the 7 bespoke class-project CCAs.
+func StudentNames() []string {
+	return []string{
+		"student1", "student2", "student3", "student4", "student5",
+		"student6", "student7",
+	}
+}

@@ -1,0 +1,614 @@
+package cca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const mss = 1448.0
+
+// newState builds a congestion-avoidance state with sane measurements.
+func newState() *State {
+	return &State{
+		Cwnd:     20 * mss,
+		Ssthresh: 10 * mss, // below cwnd: congestion avoidance
+		MSS:      mss,
+		Now:      5 * time.Second,
+		LastRTT:  50 * time.Millisecond,
+		SRTT:     50 * time.Millisecond,
+		MinRTT:   40 * time.Millisecond,
+		MaxRTT:   80 * time.Millisecond,
+		AckRate:  1e6,
+		InFlight: 18 * mss,
+		LastLoss: 2 * time.Second,
+	}
+}
+
+func TestRegistryHasAllAlgorithms(t *testing.T) {
+	want := append(KernelNames(), StudentNames()...)
+	if len(want) != 23 {
+		t.Fatalf("expected 23 algorithm names, got %d", len(want))
+	}
+	for _, name := range want {
+		a, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if a.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, a.Name())
+		}
+	}
+	if len(Names()) != 23 {
+		t.Errorf("Names() has %d entries, want 23", len(Names()))
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("quantum-tcp"); err == nil {
+		t.Error("New accepted an unknown algorithm")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("reno", func() Algorithm { return &Reno{} })
+}
+
+func TestSlowStartDoublesPerRTT(t *testing.T) {
+	s := newState()
+	s.Cwnd = 4 * mss
+	s.Ssthresh = 100 * mss
+	s.InSlowStart = true
+	a, _ := New("reno")
+	a.Reset(s)
+	// One window's worth of ACKs should double the window.
+	for i := 0; i < 4; i++ {
+		a.OnAck(s, mss)
+	}
+	if got := s.Cwnd / mss; math.Abs(got-8) > 0.01 {
+		t.Errorf("after 1 RTT of slow start cwnd = %.2f pkts, want 8", got)
+	}
+}
+
+func TestRenoAdditiveIncrease(t *testing.T) {
+	s := newState()
+	a, _ := New("reno")
+	a.Reset(s)
+	start := s.Cwnd
+	// One full window of ACKs = one RTT => +1 MSS.
+	n := int(s.Cwnd / mss)
+	for i := 0; i < n; i++ {
+		a.OnAck(s, mss)
+	}
+	if got := (s.Cwnd - start) / mss; math.Abs(got-1) > 0.05 {
+		t.Errorf("Reno grew %.3f MSS per RTT, want 1", got)
+	}
+}
+
+func TestRenoHalvesOnLoss(t *testing.T) {
+	s := newState()
+	a, _ := New("reno")
+	a.Reset(s)
+	a.OnLoss(s, false)
+	if math.Abs(s.Cwnd-10*mss) > 1 {
+		t.Errorf("cwnd after loss = %.0f, want %.0f", s.Cwnd, 10*mss)
+	}
+	if s.Ssthresh != s.Cwnd {
+		t.Errorf("ssthresh = %.0f, want = cwnd", s.Ssthresh)
+	}
+}
+
+func TestTimeoutResetsWindow(t *testing.T) {
+	for _, name := range []string{"reno", "cubic", "westwood", "vegas", "htcp"} {
+		s := newState()
+		a, _ := New(name)
+		a.Reset(s)
+		a.OnLoss(s, true)
+		if s.Cwnd > 2*mss+1 {
+			t.Errorf("%s: cwnd after timeout = %.0f, want <= 2 MSS", name, s.Cwnd)
+		}
+	}
+}
+
+func TestScalableMatchesRenoAtSmallWindows(t *testing.T) {
+	s1, s2 := newState(), newState()
+	r, _ := New("reno")
+	sc, _ := New("scalable")
+	r.Reset(s1)
+	sc.Reset(s2)
+	r.OnAck(s1, mss)
+	sc.OnAck(s2, mss)
+	if math.Abs(s1.Cwnd-s2.Cwnd) > 0.001 {
+		t.Errorf("below 100 pkts Scalable (%.3f) != Reno (%.3f)", s2.Cwnd, s1.Cwnd)
+	}
+}
+
+func TestScalableProportionalAtLargeWindows(t *testing.T) {
+	s := newState()
+	s.Cwnd = 400 * mss
+	sc, _ := New("scalable")
+	sc.Reset(s)
+	before := s.Cwnd
+	sc.OnAck(s, mss)
+	// Growth divisor capped at 100 packets: increase = mss/100 per MSS acked.
+	want := mss / 100
+	if got := s.Cwnd - before; math.Abs(got-want) > 0.001 {
+		t.Errorf("scalable increase = %.3f, want %.3f", got, want)
+	}
+}
+
+func TestScalableGentleDecrease(t *testing.T) {
+	s := newState()
+	sc, _ := New("scalable")
+	sc.Reset(s)
+	sc.OnLoss(s, false)
+	if math.Abs(s.Cwnd-0.875*20*mss) > 1 {
+		t.Errorf("scalable post-loss cwnd = %.0f, want 7/8 of 20 MSS", s.Cwnd)
+	}
+}
+
+func TestWestwoodSetsBDPOnLoss(t *testing.T) {
+	s := newState()
+	w, _ := New("westwood")
+	w.Reset(s)
+	// Feed acks so the bandwidth filter converges to AckRate = 1e6 B/s.
+	for i := 0; i < 200; i++ {
+		w.OnAck(s, mss)
+	}
+	w.OnLoss(s, false)
+	bdp := 1e6 * s.MinRTT.Seconds()
+	if math.Abs(s.Ssthresh-bdp)/bdp > 0.05 {
+		t.Errorf("westwood ssthresh = %.0f, want ~BDP %.0f", s.Ssthresh, bdp)
+	}
+}
+
+func TestHyblaScalesWithRTT(t *testing.T) {
+	grow := func(rtt time.Duration) float64 {
+		s := newState()
+		s.SRTT, s.LastRTT = rtt, rtt
+		h, _ := New("hybla")
+		h.Reset(s)
+		before := s.Cwnd
+		h.OnAck(s, mss)
+		return s.Cwnd - before
+	}
+	fast := grow(25 * time.Millisecond)
+	slow := grow(100 * time.Millisecond)
+	if slow <= fast {
+		t.Errorf("hybla growth at 100ms (%.2f) not larger than at 25ms (%.2f)", slow, fast)
+	}
+	// rho=4 at 100ms: per-ack increase should be ~16x the reference.
+	if ratio := slow / fast; math.Abs(ratio-16) > 0.5 {
+		t.Errorf("hybla growth ratio = %.1f, want ~16", ratio)
+	}
+}
+
+func TestHTCPAlphaGrowsWithTimeSinceLoss(t *testing.T) {
+	if a := htcpAlpha(0.5); a != 1 {
+		t.Errorf("alpha(0.5s) = %v, want 1 (low-speed regime)", a)
+	}
+	a2, a5 := htcpAlpha(2), htcpAlpha(5)
+	if !(a2 > 1 && a5 > a2) {
+		t.Errorf("alpha not increasing: alpha(2)=%v alpha(5)=%v", a2, a5)
+	}
+	if want := 1 + 10*1 + 0.25*1; math.Abs(a2-want) > 1e-9 {
+		t.Errorf("alpha(2) = %v, want %v", a2, want)
+	}
+}
+
+func TestHTCPAdaptiveBeta(t *testing.T) {
+	s := newState()
+	s.MinRTT, s.MaxRTT = 40*time.Millisecond, 60*time.Millisecond
+	h, _ := New("htcp")
+	h.Reset(s)
+	h.OnLoss(s, false)
+	// beta = 40/60 = 0.667 within [0.5, 0.8]
+	if got := s.Cwnd / (20 * mss); math.Abs(got-2.0/3) > 0.01 {
+		t.Errorf("htcp beta = %.3f, want 0.667", got)
+	}
+}
+
+func TestVegasHoldsInBand(t *testing.T) {
+	s := newState()
+	v, _ := New("vegas")
+	v.Reset(s)
+	// backlog = cwnd_pkts*(rtt-min)/rtt = 20*(10/50) = 4 -> within [2,4]: hold
+	before := s.Cwnd
+	v.OnAck(s, mss)
+	if s.Cwnd != before {
+		t.Errorf("vegas changed cwnd inside band: %.1f -> %.1f", before, s.Cwnd)
+	}
+}
+
+func TestVegasIncreasesWhenQueueEmpty(t *testing.T) {
+	s := newState()
+	s.LastRTT = 41 * time.Millisecond // backlog ~0.5 pkt < alpha
+	v, _ := New("vegas")
+	v.Reset(s)
+	before := s.Cwnd
+	v.OnAck(s, mss)
+	if s.Cwnd != before+mss {
+		t.Errorf("vegas increase = %.1f, want +1 MSS", s.Cwnd-before)
+	}
+}
+
+func TestVegasDecreasesWhenQueueFull(t *testing.T) {
+	s := newState()
+	s.LastRTT = 80 * time.Millisecond // backlog = 20*40/80 = 10 > beta
+	v, _ := New("vegas")
+	v.Reset(s)
+	before := s.Cwnd
+	v.OnAck(s, mss)
+	if s.Cwnd != before-mss {
+		t.Errorf("vegas decrease = %.1f, want -1 MSS", s.Cwnd-before)
+	}
+}
+
+func TestVegasOncePerRTT(t *testing.T) {
+	s := newState()
+	s.LastRTT = 41 * time.Millisecond
+	v, _ := New("vegas")
+	v.Reset(s)
+	v.OnAck(s, mss)
+	after := s.Cwnd
+	v.OnAck(s, mss) // same instant: epoch not elapsed
+	if s.Cwnd != after {
+		t.Error("vegas updated twice within one RTT")
+	}
+}
+
+func TestVenoSlowsWhenCongested(t *testing.T) {
+	// Uncongested: full Reno rate.
+	s := newState()
+	s.LastRTT = 41 * time.Millisecond
+	v, _ := New("veno")
+	v.Reset(s)
+	before := s.Cwnd
+	v.OnAck(s, mss)
+	v.OnAck(s, mss)
+	uncongested := s.Cwnd - before
+
+	// Congested: half rate.
+	s2 := newState()
+	s2.LastRTT = 80 * time.Millisecond
+	v2, _ := New("veno")
+	v2.Reset(s2)
+	before2 := s2.Cwnd
+	v2.OnAck(s2, mss)
+	v2.OnAck(s2, mss)
+	congested := s2.Cwnd - before2
+	if congested >= uncongested {
+		t.Errorf("veno congested growth %.2f >= uncongested %.2f", congested, uncongested)
+	}
+}
+
+func TestVenoRandomLossGentle(t *testing.T) {
+	s := newState()
+	s.LastRTT = 41 * time.Millisecond // small backlog: random loss
+	v, _ := New("veno")
+	v.Reset(s)
+	v.OnLoss(s, false)
+	if math.Abs(s.Cwnd-0.8*20*mss) > 1 {
+		t.Errorf("veno random-loss cwnd = %.0f, want 0.8x", s.Cwnd)
+	}
+}
+
+func TestCubicConvergesToWmax(t *testing.T) {
+	s := newState()
+	c := &Cubic{}
+	c.Reset(s)
+	c.OnLoss(s, false) // wmax = 20 pkts, cwnd -> 14
+	// Run 4 simulated seconds of ACK clocking.
+	for now := s.Now; s.Now < now+4*time.Second; s.Now += 10 * time.Millisecond {
+		c.OnAck(s, mss)
+	}
+	// Should have recovered to (and passed) wmax.
+	if s.CwndPkts() < 20 {
+		t.Errorf("cubic cwnd = %.1f pkts after 4s, want >= wmax 20", s.CwndPkts())
+	}
+}
+
+func TestCubicDecrease(t *testing.T) {
+	s := newState()
+	c := &Cubic{}
+	c.Reset(s)
+	c.OnLoss(s, false)
+	if math.Abs(s.Cwnd-cubicBeta*20*mss) > 1 {
+		t.Errorf("cubic post-loss cwnd = %.0f, want 0.7x", s.Cwnd)
+	}
+}
+
+func TestBICBinarySearchFastThenSlow(t *testing.T) {
+	s := newState()
+	b := &BIC{}
+	b.Reset(s)
+	b.OnLoss(s, false) // wmax=20, cwnd=16
+	// First ACK: far from wmax -> big increment; as cwnd nears wmax the
+	// per-ack increment shrinks.
+	before := s.Cwnd
+	b.OnAck(s, mss)
+	firstInc := s.Cwnd - before
+	s.Cwnd = 19.9 * mss
+	before = s.Cwnd
+	b.OnAck(s, mss)
+	lateInc := s.Cwnd - before
+	if lateInc >= firstInc {
+		t.Errorf("BIC increment did not shrink near wmax: %.2f -> %.2f", firstInc, lateInc)
+	}
+}
+
+func TestHighSpeedResponseFunction(t *testing.T) {
+	if a := hsA(30); a != 1 {
+		t.Errorf("a(30) = %v, want 1 (Reno regime)", a)
+	}
+	if b := hsB(30); b != 0.5 {
+		t.Errorf("b(30) = %v, want 0.5", b)
+	}
+	// a grows with w, b falls with w.
+	if !(hsA(1000) > hsA(100)) {
+		t.Error("a(w) not increasing")
+	}
+	if !(hsB(1000) < hsB(100)) {
+		t.Error("b(w) not decreasing")
+	}
+	// At the calibration point w=83000, b = 0.1.
+	if b := hsB(hsHighWindow); math.Abs(b-0.1) > 1e-9 {
+		t.Errorf("b(83000) = %v, want 0.1", b)
+	}
+}
+
+func TestIllinoisAlphaBetaBounds(t *testing.T) {
+	s := newState()
+	il := &Illinois{}
+	il.Reset(s)
+	// No queueing delay -> max alpha, min beta.
+	il.da = 0
+	a, b := il.alphaBeta(s)
+	if a != illAlphaMax || b != illBetaMin {
+		t.Errorf("empty-queue alpha,beta = %v,%v", a, b)
+	}
+	// Saturated delay -> min alpha, max beta.
+	il.da = (s.MaxRTT - s.MinRTT).Seconds()
+	a, b = il.alphaBeta(s)
+	if a > illAlphaMin*1.05 || math.Abs(b-illBetaMax) > 1e-9 {
+		t.Errorf("full-queue alpha,beta = %v,%v", a, b)
+	}
+}
+
+func TestLPBacksOffOnDelay(t *testing.T) {
+	s := newState()
+	lp := &LP{}
+	lp.Reset(s)
+	s.LastRTT = 80 * time.Millisecond // persistent high delay
+	for i := 0; i < 50; i++ {
+		s.Now += time.Millisecond
+		lp.OnAck(s, mss)
+	}
+	if s.Cwnd >= 20*mss {
+		t.Errorf("LP never backed off under high delay: cwnd = %.1f pkts", s.CwndPkts())
+	}
+}
+
+func TestBBRConvergesToCruiseGain(t *testing.T) {
+	s := newState()
+	b := &BBR{}
+	b.Reset(s)
+	if !math.IsInf(s.Ssthresh, 1) {
+		t.Fatal("BBR did not park ssthresh")
+	}
+	// Feed steady samples: 1e6 B/s, 40ms floor.
+	for i := 0; i < 3000; i++ {
+		s.Now += 5 * time.Millisecond
+		s.LastRTT = 40 * time.Millisecond
+		s.AckRate = 1e6
+		s.InFlight = s.Cwnd * 0.9
+		b.OnAck(s, mss)
+	}
+	bdp := 1e6 * 0.040
+	gain := s.Cwnd / bdp
+	if gain < 1.5 || gain > 2.7 {
+		t.Errorf("BBR cwnd gain over BDP = %.2f, want within [1.55, 2.6] cycle", gain)
+	}
+}
+
+func TestBBRPulses(t *testing.T) {
+	s := newState()
+	b := &BBR{}
+	b.Reset(s)
+	seen := map[int]bool{}
+	var lo, hi float64 = math.Inf(1), 0
+	for i := 0; i < 4000; i++ {
+		s.Now += 5 * time.Millisecond
+		s.LastRTT = 40 * time.Millisecond
+		s.AckRate = 1e6
+		s.InFlight = s.Cwnd * 0.9
+		b.OnAck(s, mss)
+		if b.mode == bbrProbeBW {
+			seen[b.cycleIndex] = true
+			if s.Cwnd < lo {
+				lo = s.Cwnd
+			}
+			if s.Cwnd > hi {
+				hi = s.Cwnd
+			}
+		}
+	}
+	if len(seen) != bbrCycleLen {
+		t.Errorf("BBR visited %d cycle phases, want %d", len(seen), bbrCycleLen)
+	}
+	if hi/lo < 1.3 {
+		t.Errorf("BBR pulse ratio = %.2f, want >= 2.6/1.55", hi/lo)
+	}
+}
+
+func TestStudentFixedHoldsWindow(t *testing.T) {
+	for name, want := range map[string]float64{"student4": 4, "student5": 8} {
+		s := newState()
+		a, _ := New(name)
+		a.Reset(s)
+		a.OnAck(s, mss)
+		if s.CwndPkts() != want {
+			t.Errorf("%s cwnd = %.0f pkts, want %.0f", name, s.CwndPkts(), want)
+		}
+		a.OnLoss(s, true)
+		if s.CwndPkts() != want {
+			t.Errorf("%s post-loss cwnd = %.0f pkts, want %.0f", name, s.CwndPkts(), want)
+		}
+	}
+}
+
+func TestStudentResetCollapses(t *testing.T) {
+	s := newState()
+	s.LastRTT = 80 * time.Millisecond // backlog 10 >= 5
+	a, _ := New("student2")
+	a.Reset(s)
+	a.OnAck(s, mss)
+	if s.Cwnd != 2*mss {
+		t.Errorf("student2 did not reset: cwnd = %.1f pkts", s.CwndPkts())
+	}
+}
+
+func TestStudentRateTracksBDP(t *testing.T) {
+	s := newState()
+	a, _ := New("student3")
+	a.Reset(s)
+	a.OnAck(s, mss)
+	want := 0.8 * 1e6 * 0.040
+	if math.Abs(s.Cwnd-want) > 1 {
+		t.Errorf("student3 cwnd = %.0f, want %.0f", s.Cwnd, want)
+	}
+}
+
+func TestStudentAIADTriangle(t *testing.T) {
+	s := newState()
+	a, _ := New("student1")
+	a.Reset(s)
+	var dirChanges int
+	prevDelta := 0.0
+	for i := 0; i < 400; i++ {
+		s.Now += 15 * time.Millisecond
+		// Queue estimate follows the window (bigger window -> more queue).
+		queueFrac := (s.CwndPkts() - 10) / 20
+		s.LastRTT = s.MinRTT + time.Duration(math.Max(queueFrac, 0)*float64(60*time.Millisecond))
+		before := s.Cwnd
+		a.OnAck(s, mss)
+		delta := s.Cwnd - before
+		if delta != 0 && prevDelta != 0 && math.Signbit(delta) != math.Signbit(prevDelta) {
+			dirChanges++
+		}
+		if delta != 0 {
+			prevDelta = delta
+		}
+	}
+	if dirChanges < 3 {
+		t.Errorf("student1 direction changes = %d, want oscillation (>= 3)", dirChanges)
+	}
+}
+
+func TestCDGDeterministicWithSeed(t *testing.T) {
+	run := func() float64 {
+		s := newState()
+		c := NewCDG(7)
+		c.Reset(s)
+		for i := 0; i < 500; i++ {
+			s.Now += 10 * time.Millisecond
+			s.LastRTT = s.MinRTT + time.Duration(i%40)*time.Millisecond
+			c.OnAck(s, mss)
+		}
+		return s.Cwnd
+	}
+	if run() != run() {
+		t.Error("CDG with identical seeds diverged")
+	}
+}
+
+func TestCDGBacksOffOnRisingDelay(t *testing.T) {
+	s := newState()
+	c := NewCDG(42)
+	c.Reset(s)
+	var reno float64
+	{
+		s2 := newState()
+		r, _ := New("reno")
+		r.Reset(s2)
+		for i := 0; i < 400; i++ {
+			s2.Now += 10 * time.Millisecond
+			r.OnAck(s2, mss)
+		}
+		reno = s2.Cwnd
+	}
+	for i := 0; i < 400; i++ {
+		s.Now += 10 * time.Millisecond
+		s.LastRTT = s.MinRTT + time.Duration(i)*time.Millisecond/2 // steadily rising
+		c.OnAck(s, mss)
+	}
+	if s.Cwnd >= reno {
+		t.Errorf("CDG under rising delay (%.0f) >= Reno (%.0f)", s.Cwnd, reno)
+	}
+}
+
+// Property: after any single loss event, every algorithm leaves a usable
+// window (>= 2 MSS) and a finite positive ssthresh or +Inf (BBR).
+func TestQuickLossLeavesUsableWindow(t *testing.T) {
+	names := append(KernelNames(), StudentNames()...)
+	f := func(cwndPkts uint8, timeout bool, nameIdx uint8) bool {
+		name := names[int(nameIdx)%len(names)]
+		s := newState()
+		s.Cwnd = math.Max(float64(cwndPkts), 1) * mss
+		a, _ := New(name)
+		a.Reset(s)
+		a.OnLoss(s, timeout)
+		if s.Cwnd < 2*mss-1e-9 || math.IsNaN(s.Cwnd) {
+			return false
+		}
+		return s.Ssthresh >= 2*mss-1e-9 || math.IsInf(s.Ssthresh, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: one ACK never moves the window by more than the slow-start
+// bound (acked bytes) for the loss-based family in congestion avoidance.
+func TestQuickBoundedPerAckGrowth(t *testing.T) {
+	f := func(cwndPkts uint8) bool {
+		pkts := math.Max(float64(cwndPkts), 4)
+		for _, name := range []string{"reno", "scalable", "westwood", "veno"} {
+			s := newState()
+			s.Cwnd = pkts * mss
+			a, _ := New(name)
+			a.Reset(s)
+			before := s.Cwnd
+			a.OnAck(s, mss)
+			if s.Cwnd-before > mss+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeSinceLoss(t *testing.T) {
+	s := newState()
+	if got := s.TimeSinceLoss(); got != 3*time.Second {
+		t.Errorf("TimeSinceLoss = %v, want 3s", got)
+	}
+}
+
+func TestSetCwndPktsClamps(t *testing.T) {
+	s := newState()
+	s.SetCwndPkts(0.5)
+	if s.CwndPkts() != 2 {
+		t.Errorf("SetCwndPkts(0.5) -> %v pkts, want clamp to 2", s.CwndPkts())
+	}
+}

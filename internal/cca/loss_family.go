@@ -1,0 +1,311 @@
+package cca
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+func init() {
+	Register("cubic", func() Algorithm { return &Cubic{} })
+	Register("bic", func() Algorithm { return &BIC{} })
+	Register("htcp", func() Algorithm { return &HTCP{} })
+	Register("highspeed", func() Algorithm { return &HighSpeed{} })
+	Register("cdg", func() Algorithm { return NewCDG(1) })
+}
+
+// Cubic grows the window as a cubic function of the time since the last
+// loss, with the plateau anchored at the pre-loss window wmax
+// [Ha, Rhee & Xu, '08].
+type Cubic struct {
+	wmax       float64 // window (packets) at last loss
+	epochStart time.Duration
+	k          float64 // seconds to return to wmax
+	wEst       float64 // Reno-friendly estimate, packets
+}
+
+// Cubic constants: C in packets/sec^3 and the multiplicative decrease.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7 // kernel's 717/1024
+)
+
+// Name implements Algorithm.
+func (*Cubic) Name() string { return "cubic" }
+
+// Reset implements Algorithm.
+func (c *Cubic) Reset(*State) {
+	c.wmax, c.epochStart, c.k, c.wEst = 0, -1, 0, 0
+}
+
+// OnAck implements Algorithm.
+func (c *Cubic) OnAck(s *State, acked float64) {
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	if c.epochStart < 0 {
+		// First congestion-avoidance ACK of this epoch.
+		c.epochStart = s.Now
+		cw := s.CwndPkts()
+		if c.wmax < cw {
+			c.wmax = cw
+		}
+		c.k = math.Cbrt(c.wmax * (1 - cubicBeta) / cubicC)
+		c.wEst = cw
+	}
+	t := (s.Now - c.epochStart).Seconds()
+	target := c.wmax + cubicC*math.Pow(t-c.k, 3)
+	cw := s.CwndPkts()
+	if target > cw {
+		s.Cwnd += (target - cw) / cw * s.MSS * (acked / s.MSS)
+	} else {
+		s.Cwnd += 0.01 * s.MSS * acked / s.Cwnd // minimal growth near plateau
+	}
+	// TCP friendliness: never slower than an equivalent Reno flow.
+	c.friendly(s, acked)
+}
+
+// friendly tracks the window an AIMD(1, 0.5)-equivalent flow would have and
+// floors cubic's window at it.
+func (c *Cubic) friendly(s *State, acked float64) {
+	// Reno-equivalent growth with cubic's beta: alpha = 3(1-b)/(1+b).
+	alpha := 3 * (1 - cubicBeta) / (1 + cubicBeta)
+	c.wEst += alpha * (acked / s.MSS) / c.wEst
+	if c.wEst*s.MSS > s.Cwnd {
+		s.Cwnd = c.wEst * s.MSS
+	}
+}
+
+// OnLoss implements Algorithm.
+func (c *Cubic) OnLoss(s *State, timeout bool) {
+	cw := s.CwndPkts()
+	if cw < c.wmax {
+		// Fast convergence: release bandwidth faster when the loss
+		// happened below the previous plateau.
+		c.wmax = cw * (2 - cubicBeta) / 2
+	} else {
+		c.wmax = cw
+	}
+	c.epochStart = -1
+	MultiplicativeDecrease(s, cubicBeta, timeout)
+}
+
+// BIC performs a binary search between the current window and the window at
+// the last loss, switching to linear "max probing" above it
+// [Xu, Harfoush & Rhee, INFOCOM '04].
+type BIC struct {
+	wmax float64 // packets
+}
+
+// BIC parameters (kernel defaults, packets).
+const (
+	bicSMax = 16.0 // max increment per RTT
+	bicSMin = 0.01 // min increment per RTT
+	bicBeta = 0.8  // 819/1024
+)
+
+// Name implements Algorithm.
+func (*BIC) Name() string { return "bic" }
+
+// Reset implements Algorithm.
+func (b *BIC) Reset(*State) { b.wmax = 0 }
+
+// OnAck implements Algorithm.
+func (b *BIC) OnAck(s *State, acked float64) {
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	cw := s.CwndPkts()
+	if b.wmax == 0 {
+		b.wmax = cw
+	}
+	var inc float64 // packets per RTT
+	if cw < b.wmax {
+		// Binary search toward the midpoint.
+		inc = (b.wmax - cw) / 2
+	} else {
+		// Max probing: slow-start-like departure from wmax.
+		inc = cw - b.wmax + 1
+	}
+	inc = math.Min(math.Max(inc, bicSMin), bicSMax)
+	s.Cwnd += inc * s.MSS * acked / s.Cwnd
+}
+
+// OnLoss implements Algorithm.
+func (b *BIC) OnLoss(s *State, timeout bool) {
+	cw := s.CwndPkts()
+	if cw < b.wmax {
+		b.wmax = cw * (2 - (1 - bicBeta)) / 2 // fast convergence
+	} else {
+		b.wmax = cw
+	}
+	MultiplicativeDecrease(s, bicBeta, timeout)
+}
+
+// HTCP scales its additive increase with the time elapsed since the last
+// loss and adapts its backoff to the RTT spread [Leith & Shorten, '04].
+type HTCP struct{}
+
+// htcpDeltaL is H-TCP's low-speed threshold: below one second since the
+// last loss the increase is Reno's.
+const htcpDeltaL = 1.0 // seconds
+
+// Name implements Algorithm.
+func (*HTCP) Name() string { return "htcp" }
+
+// Reset implements Algorithm.
+func (*HTCP) Reset(*State) {}
+
+// alpha returns H-TCP's increase factor for delta seconds since last loss.
+func htcpAlpha(delta float64) float64 {
+	if delta <= htcpDeltaL {
+		return 1
+	}
+	d := delta - htcpDeltaL
+	return 1 + 10*d + 0.25*d*d
+}
+
+// OnAck implements Algorithm.
+func (*HTCP) OnAck(s *State, acked float64) {
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	alpha := htcpAlpha(s.TimeSinceLoss().Seconds())
+	s.Cwnd += alpha * s.MSS * acked / s.Cwnd
+}
+
+// OnLoss implements Algorithm.
+func (*HTCP) OnLoss(s *State, timeout bool) {
+	// Adaptive backoff: beta = minRTT/maxRTT clamped to [0.5, 0.8].
+	beta := 0.5
+	if s.MaxRTT > 0 {
+		beta = s.MinRTT.Seconds() / s.MaxRTT.Seconds()
+		beta = math.Min(math.Max(beta, 0.5), 0.8)
+	}
+	MultiplicativeDecrease(s, beta, timeout)
+}
+
+// HighSpeed implements RFC 3649's HighSpeed response function. Rather than
+// embedding the kernel's 73-row lookup table we evaluate the RFC's defining
+// formulas directly: the same a(w)/b(w) values the table discretizes.
+type HighSpeed struct{}
+
+// RFC 3649 parameters.
+const (
+	hsLowWindow  = 38.0    // packets: below this, behave as Reno
+	hsHighWindow = 83000.0 // packets at the high end of the response curve
+	hsHighP      = 1e-7    // drop rate at HighWindow
+	hsHighDecr   = 0.1     // b(HighWindow)
+)
+
+// Name implements Algorithm.
+func (*HighSpeed) Name() string { return "highspeed" }
+
+// Reset implements Algorithm.
+func (*HighSpeed) Reset(*State) {}
+
+// hsB computes RFC 3649's b(w) by log-linear interpolation between
+// (LowWindow, 0.5) and (HighWindow, HighDecrease).
+func hsB(w float64) float64 {
+	if w <= hsLowWindow {
+		return 0.5
+	}
+	frac := (math.Log(w) - math.Log(hsLowWindow)) /
+		(math.Log(hsHighWindow) - math.Log(hsLowWindow))
+	return (hsHighDecr-0.5)*frac + 0.5
+}
+
+// hsA computes RFC 3649's a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w)), with
+// the response function p(w) = 0.078 / w^1.2.
+func hsA(w float64) float64 {
+	if w <= hsLowWindow {
+		return 1
+	}
+	p := 0.078 / math.Pow(w, 1.2)
+	b := hsB(w)
+	return math.Max(w*w*p*2*b/(2-b), 1)
+}
+
+// OnAck implements Algorithm.
+func (*HighSpeed) OnAck(s *State, acked float64) {
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	a := hsA(s.CwndPkts())
+	s.Cwnd += a * s.MSS * acked / s.Cwnd
+}
+
+// OnLoss implements Algorithm.
+func (*HighSpeed) OnLoss(s *State, timeout bool) {
+	b := hsB(s.CwndPkts())
+	MultiplicativeDecrease(s, 1-b, timeout)
+}
+
+// CDG backs off probabilistically on positive delay gradients: the larger
+// the RTT growth per RTT, the more likely a 0.7 multiplicative decrease
+// [Hayes & Armitage, '11]. CDG's use of randomness puts it outside
+// Abagnale's DSL — it exists here as a trace-generating substrate only.
+type CDG struct {
+	rng      *rand.Rand
+	prevMin  time.Duration
+	gradient float64 // smoothed d(minRTT)/dRTT, seconds
+	nextEval time.Duration
+	epochMin time.Duration
+	lastDecr time.Duration
+}
+
+// cdgG is the scaling parameter G in the backoff probability
+// 1 - exp(-gradient/G).
+const cdgG = 3 * time.Millisecond
+
+// NewCDG builds a CDG instance with a deterministic seed (CDG is the one
+// randomized CCA; seeding keeps simulations reproducible).
+func NewCDG(seed int64) *CDG {
+	return &CDG{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Algorithm.
+func (*CDG) Name() string { return "cdg" }
+
+// Reset implements Algorithm.
+func (c *CDG) Reset(*State) {
+	c.prevMin, c.gradient, c.nextEval, c.epochMin, c.lastDecr = 0, 0, 0, 0, 0
+}
+
+// OnAck implements Algorithm.
+func (c *CDG) OnAck(s *State, acked float64) {
+	if c.epochMin == 0 || s.LastRTT < c.epochMin {
+		c.epochMin = s.LastRTT
+	}
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	if s.Now >= c.nextEval {
+		c.nextEval = s.Now + s.SRTT
+		if c.prevMin > 0 {
+			g := (c.epochMin - c.prevMin).Seconds()
+			c.gradient = 0.875*c.gradient + 0.125*g
+		}
+		c.prevMin = c.epochMin
+		c.epochMin = 0
+		if c.gradient > 0 && s.Now-c.lastDecr > s.SRTT {
+			p := 1 - math.Exp(-c.gradient/cdgG.Seconds())
+			if c.rng.Float64() < p {
+				c.lastDecr = s.Now
+				s.Cwnd = math.Max(0.7*s.Cwnd, 2*s.MSS)
+				return
+			}
+		}
+	}
+	RenoIncrease(s, acked)
+}
+
+// OnLoss implements Algorithm.
+func (*CDG) OnLoss(s *State, timeout bool) {
+	MultiplicativeDecrease(s, 0.7, timeout)
+}

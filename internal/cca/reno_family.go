@@ -1,0 +1,190 @@
+package cca
+
+import (
+	"math"
+	"time"
+)
+
+func init() {
+	Register("reno", func() Algorithm { return &Reno{} })
+	Register("westwood", func() Algorithm { return &Westwood{} })
+	Register("scalable", func() Algorithm { return &Scalable{} })
+	Register("lp", func() Algorithm { return &LP{} })
+	Register("hybla", func() Algorithm { return &Hybla{} })
+}
+
+// Reno is classic TCP NewReno: additive increase of one MSS per RTT,
+// multiplicative decrease of one half on loss.
+type Reno struct{}
+
+// Name implements Algorithm.
+func (*Reno) Name() string { return "reno" }
+
+// Reset implements Algorithm.
+func (*Reno) Reset(*State) {}
+
+// OnAck implements Algorithm.
+func (*Reno) OnAck(s *State, acked float64) {
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	RenoIncrease(s, acked)
+}
+
+// OnLoss implements Algorithm.
+func (*Reno) OnLoss(s *State, timeout bool) {
+	MultiplicativeDecrease(s, 0.5, timeout)
+}
+
+// Westwood performs Reno's increase but sets the post-loss window from a
+// bandwidth estimate: ssthresh = bw_est * RTTmin, the estimated BDP at the
+// time of loss [Mascolo et al., MobiCom '01].
+type Westwood struct {
+	bwEst float64 // bytes/sec, EWMA of the delivery rate
+}
+
+// Name implements Algorithm.
+func (*Westwood) Name() string { return "westwood" }
+
+// Reset implements Algorithm.
+func (w *Westwood) Reset(*State) { w.bwEst = 0 }
+
+// OnAck implements Algorithm.
+func (w *Westwood) OnAck(s *State, acked float64) {
+	// Low-pass the connection's delivery-rate estimate, mimicking
+	// Westwood+'s once-per-RTT bandwidth filter.
+	const alpha = 0.9
+	if w.bwEst == 0 {
+		w.bwEst = s.AckRate
+	} else {
+		w.bwEst = alpha*w.bwEst + (1-alpha)*s.AckRate
+	}
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	RenoIncrease(s, acked)
+}
+
+// OnLoss implements Algorithm.
+func (w *Westwood) OnLoss(s *State, timeout bool) {
+	bdp := w.bwEst * s.MinRTT.Seconds()
+	s.Ssthresh = math.Max(bdp, 2*s.MSS)
+	if timeout {
+		s.Cwnd = 2 * s.MSS
+	} else {
+		s.Cwnd = math.Min(s.Cwnd, s.Ssthresh)
+	}
+}
+
+// Scalable grows the window by one MSS per 100 bytes-of-MSS acknowledged
+// once the window exceeds 100 packets (below that it behaves like Reno,
+// as in the kernel's tcp_scalable), and backs off by only 1/8 on loss
+// [Kelly, CCR '03].
+type Scalable struct{}
+
+// scalableAICnt is the kernel's TCP_SCALABLE_AI_CNT: above this many
+// packets of window, growth becomes proportional (0.01/ACK).
+const scalableAICnt = 100
+
+// Name implements Algorithm.
+func (*Scalable) Name() string { return "scalable" }
+
+// Reset implements Algorithm.
+func (*Scalable) Reset(*State) {}
+
+// OnAck implements Algorithm.
+func (*Scalable) OnAck(s *State, acked float64) {
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	div := math.Min(s.Cwnd, scalableAICnt*s.MSS)
+	s.Cwnd += s.MSS * acked / div
+}
+
+// OnLoss implements Algorithm.
+func (*Scalable) OnLoss(s *State, timeout bool) {
+	MultiplicativeDecrease(s, 0.875, timeout)
+}
+
+// LP is TCP-LP, a low-priority CCA: Reno dynamics plus an early delay-based
+// backoff when the smoothed one-way-delay proxy exceeds a threshold between
+// the observed delay extremes [Kuzmanovic & Knightly, ToN '06].
+type LP struct {
+	sowd     float64 // smoothed queueing-delay proxy, seconds
+	lastBack time.Duration
+}
+
+// lpDelayThresh is TCP-LP's delta: back off when the smoothed delay exceeds
+// min + delta*(max-min).
+const lpDelayThresh = 0.15
+
+// Name implements Algorithm.
+func (*LP) Name() string { return "lp" }
+
+// Reset implements Algorithm.
+func (l *LP) Reset(*State) { l.sowd, l.lastBack = 0, 0 }
+
+// OnAck implements Algorithm.
+func (l *LP) OnAck(s *State, acked float64) {
+	owd := (s.LastRTT - s.MinRTT).Seconds()
+	const gamma = 1.0 / 8
+	l.sowd = (1-gamma)*l.sowd + gamma*owd
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	spread := (s.MaxRTT - s.MinRTT).Seconds()
+	if spread > 0 && l.sowd > lpDelayThresh*spread && s.Now-l.lastBack > s.SRTT {
+		// Early congestion indication: halve, at most once per RTT.
+		l.lastBack = s.Now
+		s.Cwnd = math.Max(s.Cwnd/2, 2*s.MSS)
+		return
+	}
+	RenoIncrease(s, acked)
+}
+
+// OnLoss implements Algorithm.
+func (*LP) OnLoss(s *State, timeout bool) {
+	MultiplicativeDecrease(s, 0.5, timeout)
+}
+
+// Hybla scales Reno's increase by rho = RTT/RTT0 (RTT0 = 25ms) so that
+// long-RTT paths grow their windows at the same wall-clock rate as a
+// reference 25ms connection [Caini & Firrincieli, '04].
+type Hybla struct {
+	rho float64
+}
+
+// hyblaRTT0 is the reference round-trip time.
+const hyblaRTT0 = 25 * time.Millisecond
+
+// Name implements Algorithm.
+func (*Hybla) Name() string { return "hybla" }
+
+// Reset implements Algorithm.
+func (h *Hybla) Reset(*State) { h.rho = 1 }
+
+// OnAck implements Algorithm.
+func (h *Hybla) OnAck(s *State, acked float64) {
+	if s.SRTT > 0 {
+		h.rho = math.Max(s.SRTT.Seconds()/hyblaRTT0.Seconds(), 1)
+	}
+	if s.InSlowStart {
+		// cwnd += (2^rho - 1) per segment acked.
+		s.Cwnd += (math.Pow(2, h.rho) - 1) * acked
+		if s.Cwnd > s.Ssthresh {
+			s.Cwnd = s.Ssthresh + acked
+		}
+		return
+	}
+	// cwnd += rho^2 / cwnd per segment acked.
+	s.Cwnd += h.rho * h.rho * s.MSS * acked / s.Cwnd
+}
+
+// OnLoss implements Algorithm.
+func (*Hybla) OnLoss(s *State, timeout bool) {
+	MultiplicativeDecrease(s, 0.5, timeout)
+}

@@ -1,0 +1,207 @@
+package cca
+
+import (
+	"math"
+	"time"
+)
+
+// The "student" CCAs stand in for the paper's graduate-networking-class
+// dataset of 7 novel UDP-transport algorithms (50-150 lines of C++ each).
+// Each is deliberately naive in a different way — constant windows, hard
+// resets, rate trackers, delay dividers — so that, like the originals, they
+// are Unknown to the classifier yet mostly land in Vegas/delay-DSL
+// territory when synthesized (Table 2, Table 3, Figure 6).
+
+func init() {
+	Register("student1", func() Algorithm { return &StudentAIAD{} })
+	Register("student2", func() Algorithm { return &StudentReset{} })
+	Register("student3", func() Algorithm { return &StudentRate{} })
+	Register("student4", func() Algorithm { return &StudentFixed{Pkts: 4} })
+	Register("student5", func() Algorithm { return &StudentFixed{Pkts: 8} })
+	Register("student6", func() Algorithm { return &StudentGradient{} })
+	Register("student7", func() Algorithm { return &StudentAggressive{} })
+}
+
+// StudentAIAD increases additively until its queue estimate crosses a
+// threshold, then decreases additively — producing the triangular pattern
+// Figure 6a shows for student CCA #1.
+type StudentAIAD struct {
+	rising     bool
+	nextUpdate time.Duration
+}
+
+// Name implements Algorithm.
+func (*StudentAIAD) Name() string { return "student1" }
+
+// Reset implements Algorithm.
+func (a *StudentAIAD) Reset(*State) { a.rising = true; a.nextUpdate = 0 }
+
+// OnAck implements Algorithm.
+func (a *StudentAIAD) OnAck(s *State, acked float64) {
+	if s.Now < a.nextUpdate {
+		return
+	}
+	a.nextUpdate = s.Now + s.SRTT/4
+	q := backlogPkts(s, s.LastRTT)
+	if q > 12 {
+		a.rising = false
+	} else if q < 2 {
+		a.rising = true
+	}
+	if a.rising {
+		s.Cwnd += 2 * s.MSS
+	} else {
+		s.Cwnd = math.Max(s.Cwnd-2*s.MSS, 2*s.MSS)
+	}
+	s.InSlowStart = false
+}
+
+// OnLoss implements Algorithm.
+func (a *StudentAIAD) OnLoss(s *State, timeout bool) {
+	a.rising = false
+	MultiplicativeDecrease(s, 0.8, timeout)
+}
+
+// StudentReset grows one MSS per ACK while the path looks uncongested and
+// collapses to one MSS the moment its delay estimate crosses a threshold —
+// the synthesized handler for student #2 captures exactly this
+// grow-or-reset conditional.
+type StudentReset struct{}
+
+// Name implements Algorithm.
+func (*StudentReset) Name() string { return "student2" }
+
+// Reset implements Algorithm.
+func (*StudentReset) Reset(*State) {}
+
+// OnAck implements Algorithm.
+func (*StudentReset) OnAck(s *State, acked float64) {
+	if backlogPkts(s, s.LastRTT) < 5 {
+		s.Cwnd += s.MSS * acked / s.MSS / 4 // 1 MSS per 4 ACKs
+	} else {
+		s.Cwnd = 2 * s.MSS
+	}
+	s.InSlowStart = false
+}
+
+// OnLoss implements Algorithm.
+func (*StudentReset) OnLoss(s *State, timeout bool) {
+	s.Ssthresh = math.Max(s.Cwnd/2, 2*s.MSS)
+	s.Cwnd = 2 * s.MSS
+}
+
+// StudentRate pins the window to a fraction of the measured
+// bandwidth-delay product: cwnd = 0.8 * ack-rate * minRTT, a crude
+// delay-based rate tracker (student #3).
+type StudentRate struct{}
+
+// Name implements Algorithm.
+func (*StudentRate) Name() string { return "student3" }
+
+// Reset implements Algorithm.
+func (*StudentRate) Reset(*State) {}
+
+// OnAck implements Algorithm.
+func (*StudentRate) OnAck(s *State, acked float64) {
+	bdp := s.AckRate * s.MinRTT.Seconds()
+	if bdp > 0 {
+		s.Cwnd = math.Max(0.8*bdp, 2*s.MSS)
+		s.InSlowStart = false
+	} else {
+		SlowStart(s, acked)
+	}
+}
+
+// OnLoss implements Algorithm.
+func (*StudentRate) OnLoss(s *State, timeout bool) {
+	if timeout {
+		s.Cwnd = 2 * s.MSS
+	}
+}
+
+// StudentFixed holds a constant window of Pkts segments regardless of
+// network feedback (students #4 and #5).
+type StudentFixed struct {
+	Pkts float64
+}
+
+// Name implements Algorithm.
+func (f *StudentFixed) Name() string {
+	if f.Pkts <= 4 {
+		return "student4"
+	}
+	return "student5"
+}
+
+// Reset implements Algorithm.
+func (*StudentFixed) Reset(*State) {}
+
+// OnAck implements Algorithm.
+func (f *StudentFixed) OnAck(s *State, acked float64) {
+	s.Cwnd = f.Pkts * s.MSS
+	s.InSlowStart = false
+}
+
+// OnLoss implements Algorithm.
+func (f *StudentFixed) OnLoss(s *State, timeout bool) {
+	s.Cwnd = f.Pkts * s.MSS
+}
+
+// StudentGradient divides an inflated window by a smoothed delay-gradient
+// factor — growth while delay shrinks, sharp cuts while it grows
+// (student #6, whose synthesized handler divides by the delay gradient).
+type StudentGradient struct {
+	factor     float64
+	nextUpdate time.Duration
+}
+
+// Name implements Algorithm.
+func (*StudentGradient) Name() string { return "student6" }
+
+// Reset implements Algorithm.
+func (g *StudentGradient) Reset(*State) { g.factor = 1; g.nextUpdate = 0 }
+
+// OnAck implements Algorithm.
+func (g *StudentGradient) OnAck(s *State, acked float64) {
+	if s.Now < g.nextUpdate {
+		return
+	}
+	g.nextUpdate = s.Now + s.SRTT/2
+	if s.MinRTT > 0 {
+		ratio := s.LastRTT.Seconds() / s.MinRTT.Seconds()
+		g.factor = 0.75*g.factor + 0.25*ratio
+	}
+	div := math.Max(g.factor, 1)
+	s.Cwnd = math.Max((s.Cwnd+6*s.MSS)/div, 2*s.MSS)
+	s.InSlowStart = false
+}
+
+// OnLoss implements Algorithm.
+func (g *StudentGradient) OnLoss(s *State, timeout bool) {
+	MultiplicativeDecrease(s, 0.5, timeout)
+}
+
+// StudentAggressive is Reno at double speed — two MSS of growth per RTT —
+// with a shallow 0.75 backoff (student #7, synthesized as
+// CWND + 2*ACKed/RTT).
+type StudentAggressive struct{}
+
+// Name implements Algorithm.
+func (*StudentAggressive) Name() string { return "student7" }
+
+// Reset implements Algorithm.
+func (*StudentAggressive) Reset(*State) {}
+
+// OnAck implements Algorithm.
+func (*StudentAggressive) OnAck(s *State, acked float64) {
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	s.Cwnd += 2 * s.MSS * acked / s.Cwnd
+}
+
+// OnLoss implements Algorithm.
+func (*StudentAggressive) OnLoss(s *State, timeout bool) {
+	MultiplicativeDecrease(s, 0.75, timeout)
+}

@@ -1,0 +1,285 @@
+package cca
+
+import (
+	"math"
+	"time"
+)
+
+func init() {
+	Register("vegas", func() Algorithm { return &Vegas{} })
+	Register("veno", func() Algorithm { return &Veno{} })
+	Register("nv", func() Algorithm { return &NV{} })
+	Register("yeah", func() Algorithm { return &YeAH{} })
+	Register("illinois", func() Algorithm { return &Illinois{} })
+}
+
+// backlogPkts estimates the number of this flow's packets sitting in the
+// bottleneck queue, Vegas's "diff": cwnd * (rtt - baseRTT) / rtt in packets.
+func backlogPkts(s *State, rtt time.Duration) float64 {
+	if rtt <= 0 || s.MinRTT <= 0 {
+		return 0
+	}
+	return s.CwndPkts() * (rtt - s.MinRTT).Seconds() / rtt.Seconds()
+}
+
+// Vegas adjusts its window once per RTT by comparing the expected and actual
+// sending rate: fewer than alpha packets queued -> +1 MSS/RTT, more than
+// beta -> -1 MSS/RTT, else hold [Brakmo et al., SIGCOMM '94].
+type Vegas struct {
+	alpha, beta float64
+	nextUpdate  time.Duration
+	minRTTEpoch time.Duration // freshest RTT sample within the epoch
+}
+
+// Name implements Algorithm.
+func (*Vegas) Name() string { return "vegas" }
+
+// Reset implements Algorithm.
+func (v *Vegas) Reset(*State) {
+	v.alpha, v.beta = 2, 4
+	v.nextUpdate = 0
+	v.minRTTEpoch = 0
+}
+
+// OnAck implements Algorithm.
+func (v *Vegas) OnAck(s *State, acked float64) {
+	// Track the minimum RTT observed within this update epoch; Vegas uses
+	// it as the per-RTT congestion estimate.
+	if v.minRTTEpoch == 0 || s.LastRTT < v.minRTTEpoch {
+		v.minRTTEpoch = s.LastRTT
+	}
+	if s.InSlowStart {
+		// Vegas exits slow start early once a queue builds.
+		if backlogPkts(s, s.LastRTT) > 1 {
+			s.Ssthresh = math.Min(s.Ssthresh, s.Cwnd)
+			s.InSlowStart = false
+		} else {
+			SlowStart(s, acked)
+			return
+		}
+	}
+	if s.Now < v.nextUpdate {
+		return
+	}
+	v.nextUpdate = s.Now + s.SRTT
+	diff := backlogPkts(s, v.minRTTEpoch)
+	v.minRTTEpoch = 0
+	switch {
+	case diff < v.alpha:
+		s.Cwnd += s.MSS
+	case diff > v.beta:
+		s.Cwnd = math.Max(s.Cwnd-s.MSS, 2*s.MSS)
+	}
+}
+
+// OnLoss implements Algorithm.
+func (*Vegas) OnLoss(s *State, timeout bool) {
+	MultiplicativeDecrease(s, 0.5, timeout)
+}
+
+// Veno modulates Reno by the Vegas backlog estimate N: when the network is
+// congested (N >= beta) the increase slows to every other ACK, and a loss
+// with a small backlog is treated as random (gentler 0.8 decrease)
+// [Fu & Liew, JSAC '03].
+type Veno struct {
+	beta    float64
+	ackFlip bool
+}
+
+// Name implements Algorithm.
+func (*Veno) Name() string { return "veno" }
+
+// Reset implements Algorithm.
+func (v *Veno) Reset(*State) { v.beta, v.ackFlip = 3, false }
+
+// OnAck implements Algorithm.
+func (v *Veno) OnAck(s *State, acked float64) {
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	if backlogPkts(s, s.LastRTT) < v.beta {
+		RenoIncrease(s, acked)
+		return
+	}
+	// Congestive region: half-rate additive increase.
+	v.ackFlip = !v.ackFlip
+	if v.ackFlip {
+		RenoIncrease(s, acked)
+	}
+}
+
+// OnLoss implements Algorithm.
+func (v *Veno) OnLoss(s *State, timeout bool) {
+	beta := 0.5
+	if backlogPkts(s, s.LastRTT) < v.beta {
+		beta = 0.8 // loss deemed random, not congestive
+	}
+	MultiplicativeDecrease(s, beta, timeout)
+}
+
+// NV ("New Vegas") uses the same fundamental logic as Vegas but measures
+// congestion with an exponentially-weighted moving average of the RTT and
+// updates at half the cadence [Brakmo, LPC '10]. The paper notes Abagnale
+// synthesizes identical handlers for Vegas and NV.
+type NV struct {
+	alpha, beta float64
+	avgRTT      time.Duration
+	nextUpdate  time.Duration
+}
+
+// Name implements Algorithm.
+func (*NV) Name() string { return "nv" }
+
+// Reset implements Algorithm.
+func (n *NV) Reset(*State) {
+	n.alpha, n.beta = 2, 4
+	n.avgRTT, n.nextUpdate = 0, 0
+}
+
+// OnAck implements Algorithm.
+func (n *NV) OnAck(s *State, acked float64) {
+	if n.avgRTT == 0 {
+		n.avgRTT = s.LastRTT
+	} else {
+		n.avgRTT = (7*n.avgRTT + s.LastRTT) / 8
+	}
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	if s.Now < n.nextUpdate {
+		return
+	}
+	n.nextUpdate = s.Now + 2*s.SRTT // half Vegas's cadence
+	diff := backlogPkts(s, n.avgRTT)
+	switch {
+	case diff < n.alpha:
+		s.Cwnd += s.MSS
+	case diff > n.beta:
+		s.Cwnd = math.Max(s.Cwnd-s.MSS, 2*s.MSS)
+	}
+}
+
+// OnLoss implements Algorithm.
+func (*NV) OnLoss(s *State, timeout bool) {
+	MultiplicativeDecrease(s, 0.5, timeout)
+}
+
+// YeAH runs in a "fast" Scalable-style mode while the estimated queue is
+// small and falls back to Reno (with precautionary decongestion) once the
+// queue exceeds its budget [Baiocchi et al., PFLDnet '07].
+type YeAH struct {
+	qMax       float64 // packets of queue tolerated before decongestion
+	nextDecong time.Duration
+}
+
+// Name implements Algorithm.
+func (*YeAH) Name() string { return "yeah" }
+
+// Reset implements Algorithm.
+func (y *YeAH) Reset(*State) { y.qMax, y.nextDecong = 8, 0 }
+
+// OnAck implements Algorithm.
+func (y *YeAH) OnAck(s *State, acked float64) {
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	q := backlogPkts(s, s.LastRTT)
+	if q < y.qMax {
+		// Fast mode: Scalable-style increase.
+		div := math.Min(s.Cwnd, scalableAICnt*s.MSS)
+		s.Cwnd += s.MSS * acked / div
+		return
+	}
+	// Slow mode: Reno increase plus once-per-RTT precautionary
+	// decongestion that drains the excess queue.
+	RenoIncrease(s, acked)
+	if s.Now >= y.nextDecong {
+		y.nextDecong = s.Now + s.SRTT
+		s.Cwnd = math.Max(s.Cwnd-(q-y.qMax/2)*s.MSS, 2*s.MSS)
+	}
+}
+
+// OnLoss implements Algorithm.
+func (y *YeAH) OnLoss(s *State, timeout bool) {
+	// Decrease by the measured queue when meaningful, else by 1/2.
+	q := backlogPkts(s, s.LastRTT)
+	beta := 0.5
+	if q > 0 && q*s.MSS < s.Cwnd/2 {
+		beta = 1 - q*s.MSS/s.Cwnd
+		beta = math.Min(math.Max(beta, 0.5), 0.875)
+	}
+	MultiplicativeDecrease(s, beta, timeout)
+}
+
+// Illinois scales both the additive increase alpha and the multiplicative
+// decrease beta with the average queueing delay: large alpha/small beta when
+// the path looks empty, small alpha/large beta near congestion
+// [Liu, Basar & Srikant, '08].
+type Illinois struct {
+	da float64 // smoothed queueing delay, seconds
+}
+
+// Illinois parameters (defaults from the paper/kernel).
+const (
+	illAlphaMax = 10.0
+	illAlphaMin = 0.3
+	illBetaMin  = 0.125
+	illBetaMax  = 0.5
+)
+
+// Name implements Algorithm.
+func (*Illinois) Name() string { return "illinois" }
+
+// Reset implements Algorithm.
+func (il *Illinois) Reset(*State) { il.da = 0 }
+
+// alphaBeta derives the AIMD parameters from current delay measurements.
+func (il *Illinois) alphaBeta(s *State) (alpha, beta float64) {
+	dm := (s.MaxRTT - s.MinRTT).Seconds()
+	if dm <= 0 {
+		return illAlphaMax, illBetaMin
+	}
+	d1 := 0.01 * dm
+	da := il.da
+	if da <= d1 {
+		alpha = illAlphaMax
+	} else {
+		// Concave decrease k1/(k2+da) fitted to pass through
+		// (d1, alphaMax) and (dm, alphaMin).
+		k1 := (dm - d1) * illAlphaMin * illAlphaMax / (illAlphaMax - illAlphaMin)
+		k2 := (dm-d1)*illAlphaMin/(illAlphaMax-illAlphaMin) - d1
+		alpha = k1 / (k2 + da)
+	}
+	// Beta rises linearly from betaMin at 0.1dm to betaMax at 0.8dm.
+	d2, d3 := 0.1*dm, 0.8*dm
+	switch {
+	case da <= d2:
+		beta = illBetaMin
+	case da >= d3:
+		beta = illBetaMax
+	default:
+		beta = illBetaMin + (illBetaMax-illBetaMin)*(da-d2)/(d3-d2)
+	}
+	return alpha, beta
+}
+
+// OnAck implements Algorithm.
+func (il *Illinois) OnAck(s *State, acked float64) {
+	qd := (s.LastRTT - s.MinRTT).Seconds()
+	il.da = 0.9*il.da + 0.1*qd
+	if s.InSlowStart {
+		SlowStart(s, acked)
+		return
+	}
+	alpha, _ := il.alphaBeta(s)
+	s.Cwnd += alpha * s.MSS * acked / s.Cwnd
+}
+
+// OnLoss implements Algorithm.
+func (il *Illinois) OnLoss(s *State, timeout bool) {
+	_, beta := il.alphaBeta(s)
+	MultiplicativeDecrease(s, 1-beta, timeout)
+}

@@ -1,0 +1,177 @@
+// Package classify implements a CCA classifier in the style of CCAnalyzer
+// [Ware et al., SIGCOMM '24]: it compares a connection's observed CWND
+// time series against a library of reference traces from known CCAs
+// collected under the same network conditions, labels the connection with
+// the nearest reference, and reports "Unknown" when nothing is close
+// enough. Abagnale uses the classifier's output only as a hint for which
+// sub-DSL to search (§3.3, Table 3).
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// reference is one labeled CWND series under one network configuration.
+type reference struct {
+	label  string
+	series dist.Series
+}
+
+// Classifier is a nearest-reference-trace CCA classifier.
+type Classifier struct {
+	metric dist.Metric
+	// refs groups references by network-configuration key: traces are
+	// only compared against references from matching conditions.
+	refs map[string][]reference
+	// Threshold is the distance above which a connection is Unknown;
+	// +Inf (the default) disables the Unknown verdict. Calibrate sets it
+	// from the reference library itself.
+	Threshold float64
+	// perLabel holds per-label thresholds from Calibrate: a label is only
+	// assigned when the probe sits within margin x that label's own
+	// intra-reference spread; otherwise the verdict is Unknown.
+	perLabel map[string]float64
+}
+
+// New builds an empty classifier; nil metric means DTW.
+func New(metric dist.Metric) *Classifier {
+	if metric == nil {
+		metric = dist.DTW{}
+	}
+	return &Classifier{
+		metric:    metric,
+		refs:      map[string][]reference{},
+		Threshold: math.Inf(1),
+	}
+}
+
+// ConfigKey builds a canonical key for a network configuration, so that
+// references and probes from the same testbed scenario compare against
+// each other.
+func ConfigKey(rttMillis int, bandwidthBps float64) string {
+	return fmt.Sprintf("rtt=%dms,bw=%.0f", rttMillis, bandwidthBps)
+}
+
+// Add registers a reference trace for a known CCA under a configuration.
+func (c *Classifier) Add(configKey, label string, t *trace.Trace) {
+	c.refs[configKey] = append(c.refs[configKey], reference{label: label, series: t.Series()})
+}
+
+// Match is one candidate label with its distance.
+type Match struct {
+	Label    string
+	Distance float64
+}
+
+// Result is a classification verdict.
+type Result struct {
+	// Label is the chosen CCA, or "Unknown".
+	Label string
+	// Unknown reports whether no reference was within the threshold.
+	Unknown bool
+	// Nearest lists per-label best distances, closest first — the
+	// "closest known algorithms" CCAnalyzer reports even for Unknowns.
+	Nearest []Match
+}
+
+// Unknown label constant.
+const Unknown = "Unknown"
+
+// Classify labels a trace measured under the given configuration.
+func (c *Classifier) Classify(configKey string, t *trace.Trace) (Result, error) {
+	refs := c.refs[configKey]
+	if len(refs) == 0 {
+		return Result{}, fmt.Errorf("classify: no references for configuration %q", configKey)
+	}
+	s := t.Series()
+	best := map[string]float64{}
+	for _, r := range refs {
+		d := c.metric.Distance(s, r.series)
+		if prev, ok := best[r.label]; !ok || d < prev {
+			best[r.label] = d
+		}
+	}
+	var matches []Match
+	for label, d := range best {
+		matches = append(matches, Match{Label: label, Distance: d})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Distance != matches[j].Distance {
+			return matches[i].Distance < matches[j].Distance
+		}
+		return matches[i].Label < matches[j].Label
+	})
+	res := Result{Nearest: matches}
+	limit := c.Threshold
+	if t, ok := c.perLabel[matches[0].Label]; ok && t < limit {
+		limit = t
+	}
+	if matches[0].Distance > limit {
+		res.Label = Unknown
+		res.Unknown = true
+	} else {
+		res.Label = matches[0].Label
+	}
+	return res, nil
+}
+
+// Calibrate sets the Unknown thresholds from the reference library: for
+// every label with at least two references under one configuration, the
+// label's threshold is margin times its own worst intra-label distance —
+// a probe is only assigned a label it resembles as closely as that
+// label's runs resemble each other. The global Threshold becomes margin
+// times the worst spread overall (a fallback for labels with a single
+// reference). With margin <= 0 a default of 3 is used.
+func (c *Classifier) Calibrate(margin float64) {
+	if margin <= 0 {
+		margin = 3
+	}
+	worst := 0.0
+	perLabel := map[string]float64{}
+	for _, refs := range c.refs {
+		for i := range refs {
+			for j := i + 1; j < len(refs); j++ {
+				if refs[i].label != refs[j].label {
+					continue
+				}
+				d := c.metric.Distance(refs[i].series, refs[j].series)
+				if math.IsInf(d, 0) {
+					continue
+				}
+				if d > worst {
+					worst = d
+				}
+				if d > perLabel[refs[i].label] {
+					perLabel[refs[i].label] = d
+				}
+			}
+		}
+	}
+	if worst > 0 {
+		c.Threshold = margin * worst
+	}
+	c.perLabel = map[string]float64{}
+	for label, d := range perLabel {
+		if d > 0 {
+			c.perLabel[label] = margin * d
+		}
+	}
+}
+
+// HintDSL maps a classification result to the sub-DSL Abagnale should
+// search: the labeled CCA's family DSL, or — for Unknowns, as the paper
+// does with CCAnalyzer's closest-match output — the family of the nearest
+// known CCA.
+func (r Result) HintDSL() string {
+	label := r.Label
+	if r.Unknown && len(r.Nearest) > 0 {
+		label = r.Nearest[0].Label
+	}
+	return expr.DSLHint(label)
+}

@@ -1,0 +1,156 @@
+package classify
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// traceFor simulates one scenario and analyzes its capture.
+var traceCache sync.Map
+
+type cacheKey struct {
+	cca  string
+	seed int64
+}
+
+func traceFor(t *testing.T, cca string, seed int64) *trace.Trace {
+	t.Helper()
+	if v, ok := traceCache.Load(cacheKey{cca, seed}); ok {
+		return v.(*trace.Trace)
+	}
+	res, err := sim.Run(sim.Config{
+		CCA:       cca,
+		Bandwidth: 10e6 / 8,
+		RTT:       40 * time.Millisecond,
+		Duration:  15 * time.Second,
+		Jitter:    500 * time.Microsecond, // make seeds matter
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.AnalyzeRecords(res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Label = cca
+	traceCache.Store(cacheKey{cca, seed}, tr)
+	return tr
+}
+
+const testKey = "rtt=40ms,bw=1250000"
+
+// buildClassifier registers two reference runs for a few contrasting CCAs.
+func buildClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	c := New(nil)
+	for _, cca := range []string{"reno", "cubic", "vegas", "bbr"} {
+		c.Add(testKey, cca, traceFor(t, cca, 100))
+		c.Add(testKey, cca, traceFor(t, cca, 101))
+	}
+	return c
+}
+
+func TestClassifyKnownCCAs(t *testing.T) {
+	c := buildClassifier(t)
+	for _, cca := range []string{"reno", "vegas", "bbr"} {
+		probe := traceFor(t, cca, 77) // unseen seed
+		res, err := c.Classify(testKey, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Label != cca {
+			t.Errorf("%s classified as %q (nearest %v)", cca, res.Label, res.Nearest[:2])
+		}
+	}
+}
+
+func TestClassifyUnknownWithThreshold(t *testing.T) {
+	c := buildClassifier(t)
+	c.Calibrate(1.2) // tight margin
+	// A constant-window student CCA resembles none of the references.
+	probe := traceFor(t, "student4", 77)
+	res, err := c.Classify(testKey, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unknown {
+		t.Errorf("student4 classified as %q, want Unknown", res.Label)
+	}
+	if len(res.Nearest) == 0 {
+		t.Fatal("Unknown verdict lost the nearest-match list")
+	}
+	if res.HintDSL() == "" {
+		t.Error("Unknown result produced no DSL hint")
+	}
+}
+
+func TestClassifyNoReferences(t *testing.T) {
+	c := New(nil)
+	if _, err := c.Classify("nope", traceFor(t, "reno", 1)); err == nil {
+		t.Error("classification without references succeeded")
+	}
+}
+
+func TestNearestSorted(t *testing.T) {
+	c := buildClassifier(t)
+	res, err := c.Classify(testKey, traceFor(t, "cubic", 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Nearest); i++ {
+		if res.Nearest[i].Distance < res.Nearest[i-1].Distance {
+			t.Fatal("nearest list not sorted")
+		}
+	}
+	if len(res.Nearest) != 4 {
+		t.Errorf("nearest has %d labels, want 4", len(res.Nearest))
+	}
+}
+
+func TestCalibrateSetsFiniteThreshold(t *testing.T) {
+	c := buildClassifier(t)
+	if !math.IsInf(c.Threshold, 1) {
+		t.Fatal("threshold not infinite before calibration")
+	}
+	c.Calibrate(0)
+	if math.IsInf(c.Threshold, 1) || c.Threshold <= 0 {
+		t.Errorf("calibrated threshold = %v", c.Threshold)
+	}
+}
+
+func TestHintDSLKnown(t *testing.T) {
+	r := Result{Label: "reno"}
+	if r.HintDSL() != "reno" {
+		t.Errorf("hint = %q", r.HintDSL())
+	}
+	r = Result{Label: Unknown, Unknown: true, Nearest: []Match{{Label: "vegas"}}}
+	if r.HintDSL() != "vegas" {
+		t.Errorf("unknown hint = %q", r.HintDSL())
+	}
+}
+
+func TestConfigKey(t *testing.T) {
+	if got := ConfigKey(40, 1.25e6); got != testKey {
+		t.Errorf("ConfigKey = %q, want %q", got, testKey)
+	}
+}
+
+func TestClassifierWithEuclidean(t *testing.T) {
+	c := New(dist.Euclidean{})
+	c.Add(testKey, "reno", traceFor(t, "reno", 100))
+	c.Add(testKey, "vegas", traceFor(t, "vegas", 100))
+	res, err := c.Classify(testKey, traceFor(t, "reno", 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != "reno" {
+		t.Errorf("euclidean classifier labeled reno as %q", res.Label)
+	}
+}

@@ -1,0 +1,385 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Feature-based classification in the style of Gordon [Mishra et al.,
+// SIGMETRICS '20]: instead of comparing whole CWND curves, extract a small
+// vector of behavioral features — growth rate, loss reaction, flatness,
+// pulse periodicity, delay sensitivity, growth-curve shape — and label a
+// trace by its nearest reference in (z-normalized) feature space. This
+// complements the trace-distance classifier: features are robust to
+// temporal misalignment but blur fine structure; curve distance is the
+// opposite trade.
+
+// Features is the behavioral fingerprint of one trace.
+type Features struct {
+	// GrowthRate is the median within-segment window growth in MSS per
+	// RTT — Reno ~1, Scalable/HTCP higher, Vegas ~0.
+	GrowthRate float64
+	// DecreaseRatio is the mean post/pre-loss window ratio (Reno ~0.5,
+	// Cubic ~0.7, Scalable ~0.875; 1.0 when no losses).
+	DecreaseRatio float64
+	// Flatness is the inverse normalized within-segment window spread:
+	// 1 for a constant window (Vegas/student4), ~0 for a deep sawtooth.
+	Flatness float64
+	// PulseScore measures short-period oscillation (BBR's PROBE_BW
+	// pulses): the relative amplitude of sign flips in the window
+	// derivative.
+	PulseScore float64
+	// DelayCorr is the correlation between window and RTT samples:
+	// positive for queue-filling CCAs, near zero for delay-based ones
+	// that hold the queue short.
+	DelayCorr float64
+	// Concavity is the sign-weighted second derivative of the
+	// within-segment growth: negative for concave (BIC's binary search),
+	// positive for convex (Cubic's late probing), ~0 for linear (Reno).
+	Concavity float64
+}
+
+// Vector returns the feature values in a fixed order.
+func (f Features) Vector() []float64 {
+	return []float64{
+		f.GrowthRate, f.DecreaseRatio, f.Flatness,
+		f.PulseScore, f.DelayCorr, f.Concavity,
+	}
+}
+
+// ExtractFeatures computes the fingerprint of a trace.
+func ExtractFeatures(tr *trace.Trace) Features {
+	var f Features
+	segs := tr.Split(8)
+	if len(segs) == 0 {
+		segs = []*trace.Segment{{Samples: tr.Samples, MSS: tr.MSS}}
+	}
+
+	f.GrowthRate = medianGrowthRate(segs)
+	f.DecreaseRatio = decreaseRatio(tr)
+	f.Flatness = flatness(segs)
+	f.PulseScore = pulseScore(segs)
+	f.DelayCorr = delayCorrelation(tr)
+	f.Concavity = concavity(segs)
+	return f
+}
+
+// medianGrowthRate measures window growth in MSS per RTT within segments.
+func medianGrowthRate(segs []*trace.Segment) float64 {
+	var rates []float64
+	for _, g := range segs {
+		n := len(g.Samples)
+		if n < 8 {
+			continue
+		}
+		first, last := g.Samples[0], g.Samples[n-1]
+		dt := (last.Time - first.Time).Seconds()
+		rtt := last.MinRTT.Seconds()
+		if dt <= 0 || rtt <= 0 {
+			continue
+		}
+		growthMSS := (last.Cwnd - first.Cwnd) / g.MSS
+		rates = append(rates, growthMSS/(dt/rtt))
+	}
+	return median(rates)
+}
+
+// decreaseRatio is the mean post/pre window ratio across inferred losses.
+func decreaseRatio(tr *trace.Trace) float64 {
+	if len(tr.Losses) == 0 {
+		return 1
+	}
+	var ratios []float64
+	for _, lt := range tr.Losses {
+		var before float64
+		after := math.Inf(1)
+		for i := range tr.Samples {
+			s := &tr.Samples[i]
+			if s.Time < lt {
+				before = s.Cwnd
+				continue
+			}
+			if s.Time > lt+3*s.MinRTT {
+				break
+			}
+			if s.Cwnd > 0 && s.Cwnd < after {
+				after = s.Cwnd
+			}
+		}
+		if before > 0 && !math.IsInf(after, 1) {
+			ratios = append(ratios, math.Min(after/before, 1.5))
+		}
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	return mean(ratios)
+}
+
+// flatness is 1/(1+cv) of the window within segments, averaged.
+func flatness(segs []*trace.Segment) float64 {
+	var vals []float64
+	for _, g := range segs {
+		if len(g.Samples) < 8 {
+			continue
+		}
+		var xs []float64
+		for i := range g.Samples {
+			xs = append(xs, g.Samples[i].Cwnd)
+		}
+		m := mean(xs)
+		if m <= 0 {
+			continue
+		}
+		vals = append(vals, 1/(1+stddev(xs)/m*10))
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return mean(vals)
+}
+
+// pulseScore measures repeated up/down swings within segments.
+func pulseScore(segs []*trace.Segment) float64 {
+	var scores []float64
+	for _, g := range segs {
+		n := len(g.Samples)
+		if n < 16 {
+			continue
+		}
+		var flips int
+		var amp float64
+		prevSign := 0
+		m := mean(cwnds(g))
+		if m <= 0 {
+			continue
+		}
+		for i := 1; i < n; i++ {
+			d := g.Samples[i].Cwnd - g.Samples[i-1].Cwnd
+			sign := 0
+			if d > 0 {
+				sign = 1
+			} else if d < 0 {
+				sign = -1
+			}
+			if sign != 0 && prevSign != 0 && sign != prevSign {
+				flips++
+				amp += math.Abs(d) / m
+			}
+			if sign != 0 {
+				prevSign = sign
+			}
+		}
+		dur := (g.Samples[n-1].Time - g.Samples[0].Time).Seconds()
+		if dur > 0 {
+			scores = append(scores, amp/dur)
+		}
+	}
+	if len(scores) == 0 {
+		return 0
+	}
+	return median(scores)
+}
+
+// delayCorrelation is Pearson correlation between window and RTT.
+func delayCorrelation(tr *trace.Trace) float64 {
+	var ws, rs []float64
+	for i := range tr.Samples {
+		s := &tr.Samples[i]
+		if s.RTT > 0 {
+			ws = append(ws, s.Cwnd)
+			rs = append(rs, s.RTT.Seconds())
+		}
+	}
+	return correlation(ws, rs)
+}
+
+// concavity compares growth in the first and second halves of segments:
+// positive when growth accelerates (convex), negative when it decelerates.
+func concavity(segs []*trace.Segment) float64 {
+	var vals []float64
+	for _, g := range segs {
+		n := len(g.Samples)
+		if n < 16 {
+			continue
+		}
+		mid := n / 2
+		g1 := g.Samples[mid].Cwnd - g.Samples[0].Cwnd
+		g2 := g.Samples[n-1].Cwnd - g.Samples[mid].Cwnd
+		scale := math.Abs(g1) + math.Abs(g2)
+		if scale == 0 {
+			vals = append(vals, 0)
+			continue
+		}
+		vals = append(vals, (g2-g1)/scale)
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return median(vals)
+}
+
+func cwnds(g *trace.Segment) []float64 {
+	out := make([]float64, len(g.Samples))
+	for i := range g.Samples {
+		out[i] = g.Samples[i].Cwnd
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64{}, xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+func correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 3 {
+		return 0
+	}
+	mx, my := mean(xs), mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// FeatureClassifier labels traces by nearest reference in z-normalized
+// feature space.
+type FeatureClassifier struct {
+	refs []featureRef
+	// Threshold is the normalized feature distance above which a trace
+	// is Unknown; +Inf disables the verdict.
+	Threshold float64
+
+	// normalization state, rebuilt lazily
+	dirty bool
+	means []float64
+	stds  []float64
+}
+
+type featureRef struct {
+	label string
+	vec   []float64
+}
+
+// NewFeatureClassifier builds an empty feature classifier.
+func NewFeatureClassifier() *FeatureClassifier {
+	return &FeatureClassifier{Threshold: math.Inf(1)}
+}
+
+// Add registers a reference trace.
+func (c *FeatureClassifier) Add(label string, tr *trace.Trace) {
+	c.refs = append(c.refs, featureRef{label: label, vec: ExtractFeatures(tr).Vector()})
+	c.dirty = true
+}
+
+// normalize (re)computes per-dimension statistics.
+func (c *FeatureClassifier) normalize() {
+	if !c.dirty {
+		return
+	}
+	c.dirty = false
+	if len(c.refs) == 0 {
+		return
+	}
+	dims := len(c.refs[0].vec)
+	c.means = make([]float64, dims)
+	c.stds = make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		var col []float64
+		for _, r := range c.refs {
+			col = append(col, r.vec[d])
+		}
+		c.means[d] = mean(col)
+		c.stds[d] = stddev(col)
+		if c.stds[d] == 0 {
+			c.stds[d] = 1
+		}
+	}
+}
+
+// distance is the z-normalized Euclidean feature distance.
+func (c *FeatureClassifier) distance(a, b []float64) float64 {
+	var s float64
+	for d := range a {
+		da := (a[d] - c.means[d]) / c.stds[d]
+		db := (b[d] - c.means[d]) / c.stds[d]
+		s += (da - db) * (da - db)
+	}
+	return math.Sqrt(s)
+}
+
+// Classify labels a trace by its nearest feature-space reference.
+func (c *FeatureClassifier) Classify(tr *trace.Trace) (Result, error) {
+	if len(c.refs) == 0 {
+		return Result{}, fmt.Errorf("classify: feature classifier has no references")
+	}
+	c.normalize()
+	vec := ExtractFeatures(tr).Vector()
+	best := map[string]float64{}
+	for _, r := range c.refs {
+		d := c.distance(vec, r.vec)
+		if prev, ok := best[r.label]; !ok || d < prev {
+			best[r.label] = d
+		}
+	}
+	var matches []Match
+	for label, d := range best {
+		matches = append(matches, Match{Label: label, Distance: d})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Distance != matches[j].Distance {
+			return matches[i].Distance < matches[j].Distance
+		}
+		return matches[i].Label < matches[j].Label
+	})
+	res := Result{Nearest: matches}
+	if matches[0].Distance > c.Threshold {
+		res.Label = Unknown
+		res.Unknown = true
+	} else {
+		res.Label = matches[0].Label
+	}
+	return res, nil
+}

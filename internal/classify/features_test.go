@@ -1,0 +1,115 @@
+package classify
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtractFeaturesContrasts(t *testing.T) {
+	reno := ExtractFeatures(traceFor(t, "reno", 300))
+	vegas := ExtractFeatures(traceFor(t, "vegas", 300))
+	bbr := ExtractFeatures(traceFor(t, "bbr", 300))
+	scalable := ExtractFeatures(traceFor(t, "scalable", 300))
+
+	// Vegas holds a near-flat window; Reno saws.
+	if !(vegas.Flatness > reno.Flatness) {
+		t.Errorf("vegas flatness %.3f not above reno %.3f", vegas.Flatness, reno.Flatness)
+	}
+	// BBR pulses more than Reno.
+	if !(bbr.PulseScore > reno.PulseScore) {
+		t.Errorf("bbr pulse score %.3f not above reno %.3f", bbr.PulseScore, reno.PulseScore)
+	}
+	// Scalable backs off less than Reno on loss.
+	if scalable.DecreaseRatio <= reno.DecreaseRatio {
+		t.Errorf("scalable decrease %.2f not gentler than reno %.2f",
+			scalable.DecreaseRatio, reno.DecreaseRatio)
+	}
+	// Reno's queue-filling growth correlates window with RTT.
+	if reno.DelayCorr < 0.2 {
+		t.Errorf("reno delay correlation %.2f unexpectedly low", reno.DelayCorr)
+	}
+}
+
+func TestFeatureVectorStable(t *testing.T) {
+	f1 := ExtractFeatures(traceFor(t, "reno", 300))
+	f2 := ExtractFeatures(traceFor(t, "reno", 300))
+	v1, v2 := f1.Vector(), f2.Vector()
+	if len(v1) != 6 {
+		t.Fatalf("vector length %d", len(v1))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("features not deterministic for identical traces")
+		}
+		if math.IsNaN(v1[i]) || math.IsInf(v1[i], 0) {
+			t.Fatalf("feature %d not finite: %v", i, v1[i])
+		}
+	}
+}
+
+func TestFeatureClassifierLabelsKnownCCAs(t *testing.T) {
+	c := NewFeatureClassifier()
+	for _, cca := range []string{"reno", "vegas", "bbr", "scalable"} {
+		c.Add(cca, traceFor(t, cca, 100))
+		c.Add(cca, traceFor(t, cca, 101))
+	}
+	correct := 0
+	for _, cca := range []string{"reno", "vegas", "bbr", "scalable"} {
+		res, err := c.Classify(traceFor(t, cca, 77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Label == cca {
+			correct++
+		} else {
+			t.Logf("%s classified as %s", cca, res.Label)
+		}
+	}
+	// Feature classification is coarser than curve distance; require a
+	// strong majority rather than perfection.
+	if correct < 3 {
+		t.Errorf("feature classifier got %d/4 correct", correct)
+	}
+}
+
+func TestFeatureClassifierEmpty(t *testing.T) {
+	c := NewFeatureClassifier()
+	if _, err := c.Classify(traceFor(t, "reno", 1)); err == nil {
+		t.Error("empty feature classifier classified")
+	}
+}
+
+func TestFeatureClassifierUnknownThreshold(t *testing.T) {
+	c := NewFeatureClassifier()
+	c.Add("reno", traceFor(t, "reno", 100))
+	c.Add("reno", traceFor(t, "reno", 101))
+	c.Threshold = 1e-12 // everything is Unknown under a zero threshold
+	res, err := c.Classify(traceFor(t, "vegas", 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unknown {
+		t.Errorf("tight threshold still labeled %q", res.Label)
+	}
+}
+
+func TestStatHelpers(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("empty median = %v", m)
+	}
+	if c := correlation([]float64{1, 2, 3, 4}, []float64{2, 4, 6, 8}); math.Abs(c-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", c)
+	}
+	if c := correlation([]float64{1, 2, 3, 4}, []float64{8, 6, 4, 2}); math.Abs(c+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", c)
+	}
+	if c := correlation([]float64{1, 1, 1}, []float64{1, 2, 3}); c != 0 {
+		t.Errorf("degenerate correlation = %v", c)
+	}
+}

@@ -1,0 +1,549 @@
+// Package core implements Abagnale's synthesis pipeline — the paper's
+// primary contribution. Given trace segments of an unknown CCA and a
+// curated sub-DSL, it searches the space of candidate cwnd-on-ACK handlers
+// for the one whose replayed CWND series minimizes the distance to the
+// observed series.
+//
+// The search follows Algorithm 1: the sketch space is partitioned into
+// buckets keyed by operator subset; each refinement iteration samples N
+// sketches per bucket, concretizes their constants from a sampled pool
+// (§4.2), scores the resulting handlers (§4.3), keeps the top-k buckets,
+// then multiplies N by 8, halves k, and adds trace segments — until one
+// bucket remains (exhausted) or every bucket is exhausted. The best handler
+// seen is retained throughout, so interrupting the loop (budget exhaustion)
+// still returns a result.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"iter"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/enum"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Options configures a synthesis run. Zero values select the paper's
+// defaults.
+type Options struct {
+	// DSL is the curated sub-DSL to search (required).
+	DSL *dsl.DSL
+	// Metric scores candidate handlers; nil means DTW (§4.3).
+	Metric dist.Metric
+	// InitialSamples is N in Algorithm 1: sketches sampled per bucket in
+	// the first iteration. Default 16.
+	InitialSamples int
+	// InitialKeep is k in Algorithm 1: buckets retained after the first
+	// iteration. Default 5.
+	InitialKeep int
+	// InitialSegments is how many trace segments score iteration 1;
+	// every iteration adds two more (§4.4). Default 4.
+	InitialSegments int
+	// MaxCompletions bounds the constant assignments sampled per sketch
+	// (§4.2). Default 24.
+	MaxCompletions int
+	// MaxHandlers bounds the total concrete handlers scored — the
+	// stand-in for the paper's wall-clock timeout. Default 300000.
+	MaxHandlers int
+	// BucketCap bounds how many sketches may be drawn from one bucket
+	// (guards exhaustive passes over enormous buckets). Default 20000.
+	BucketCap int
+	// ScanBudget bounds how many candidate roots one bucket's enumerator
+	// may construct over its lifetime while looking for members — the
+	// in-process analogue of the paper's wall-clock timeout (~25k
+	// candidates/second/core). Default 100000.
+	ScanBudget int
+	// Workers sets scoring parallelism. Default GOMAXPROCS.
+	Workers int
+	// RandomSegments disables the paper's diverse segment selection
+	// (§3.2) in favor of uniform random sampling — an ablation knob.
+	RandomSegments bool
+	// NoBucketPruning disables Algorithm 1's only-top-k refinement: all
+	// buckets stay live every iteration — an ablation knob quantifying
+	// what bucket prioritization buys.
+	NoBucketPruning bool
+	// Seed drives all sampling; runs are reproducible.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Metric == nil {
+		o.Metric = dist.DTW{}
+	}
+	if o.InitialSamples == 0 {
+		o.InitialSamples = 16
+	}
+	if o.InitialKeep == 0 {
+		o.InitialKeep = 5
+	}
+	if o.InitialSegments == 0 {
+		o.InitialSegments = 4
+	}
+	if o.MaxCompletions == 0 {
+		o.MaxCompletions = 24
+	}
+	if o.MaxHandlers == 0 {
+		o.MaxHandlers = 300000
+	}
+	if o.BucketCap == 0 {
+		o.BucketCap = 20000
+	}
+	if o.ScanBudget == 0 {
+		o.ScanBudget = 100000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// BucketRank records one bucket's score in one iteration, for the search
+// accuracy analysis of §6.2 (Table 4).
+type BucketRank struct {
+	// Ops is the bucket key.
+	Ops dsl.OpSet
+	// Score is the bucket's best sampled handler distance.
+	Score float64
+}
+
+// IterationStats describes one refinement iteration.
+type IterationStats struct {
+	// Index is the 1-based iteration number.
+	Index int
+	// SamplesPerBucket is N for this iteration.
+	SamplesPerBucket int
+	// Segments is how many trace segments scored this iteration.
+	Segments int
+	// HandlersScored counts concrete handlers evaluated this iteration.
+	HandlersScored int
+	// Ranking is every live bucket ordered best-first.
+	Ranking []BucketRank
+	// Kept is how many buckets advanced to the next iteration.
+	Kept int
+}
+
+// RankOf returns the 1-based rank of the bucket containing ops, or 0 when
+// that bucket was not in this iteration's ranking.
+func (s *IterationStats) RankOf(ops dsl.OpSet) int {
+	for i, r := range s.Ranking {
+		if r.Ops == ops {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// SearchStats aggregates a run's exploration record (§6.1).
+type SearchStats struct {
+	// SpaceBuckets is the number of non-empty buckets at the start.
+	SpaceBuckets int
+	// Iterations holds per-iteration detail.
+	Iterations []IterationStats
+	// HandlersScored is the total number of concrete handlers evaluated.
+	HandlersScored int
+	// SketchesScored is the total number of sketches sampled.
+	SketchesScored int
+	// BudgetExhausted reports whether MaxHandlers stopped the loop early.
+	BudgetExhausted bool
+}
+
+// Result is a completed synthesis.
+type Result struct {
+	// Handler is the best concrete handler found.
+	Handler *dsl.Node
+	// Sketch is the sketch the handler was concretized from.
+	Sketch *dsl.Node
+	// Distance is the handler's summed distance over all input segments
+	// (comparable to Table 2's per-CCA values).
+	Distance float64
+	// Stats records the search's progress.
+	Stats SearchStats
+}
+
+// Synthesize runs the pipeline over the given trace segments.
+func Synthesize(segs []*trace.Segment, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.DSL == nil {
+		return nil, errors.New("core: Options.DSL is required")
+	}
+	if len(segs) == 0 {
+		return nil, errors.New("core: no trace segments")
+	}
+	run := &runState{
+		opts: opts,
+		segs: segs,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	return run.run()
+}
+
+// runState carries one synthesis run.
+type runState struct {
+	opts Options
+	segs []*trace.Segment
+	rng  *rand.Rand
+
+	stats   SearchStats
+	scored  int // handlers scored so far (budget)
+	best    scoredHandler
+	buckets []*bucket
+}
+
+// scoredHandler is a candidate with its score at evaluation time.
+type scoredHandler struct {
+	handler  *dsl.Node
+	sketch   *dsl.Node
+	distance float64
+}
+
+// bucket is one lazily-enumerated partition of the sketch space.
+type bucket struct {
+	ops       dsl.OpSet
+	cache     []*dsl.Node
+	next      func() (*dsl.Node, bool)
+	stop      func()
+	exhausted bool
+	score     float64
+	best      scoredHandler
+}
+
+// take returns the first n sketches of the bucket, pulling from the
+// enumerator as needed (bounded by capN and the scan budget).
+func (b *bucket) take(n, capN, scanBudget int, e *enum.Enumerator) []*dsl.Node {
+	if n > capN {
+		n = capN
+	}
+	if b.next == nil && !b.exhausted {
+		b.next, b.stop = iter.Pull(e.BucketLimited(b.ops, scanBudget))
+	}
+	for len(b.cache) < n && !b.exhausted {
+		sk, ok := b.next()
+		if !ok {
+			b.exhausted = true
+			b.stop()
+			break
+		}
+		b.cache = append(b.cache, sk)
+		if len(b.cache) >= capN {
+			b.exhausted = true
+			b.stop()
+		}
+	}
+	if n > len(b.cache) {
+		n = len(b.cache)
+	}
+	return b.cache[:n]
+}
+
+// release closes any live iterator.
+func (b *bucket) release() {
+	if b.next != nil && !b.exhausted {
+		b.stop()
+	}
+	b.next = nil
+}
+
+// run executes Algorithm 1.
+func (r *runState) run() (*Result, error) {
+	e := enum.New(r.opts.DSL)
+	for _, ops := range e.Buckets() {
+		r.buckets = append(r.buckets, &bucket{ops: ops, score: math.Inf(1)})
+	}
+	defer func() {
+		for _, b := range r.buckets {
+			b.release()
+		}
+	}()
+	r.best.distance = math.Inf(1)
+
+	n := r.opts.InitialSamples
+	k := r.opts.InitialKeep
+	nseg := r.opts.InitialSegments
+	iterIdx := 0
+
+	live := r.buckets
+	for {
+		iterIdx++
+		var segs []*trace.Segment
+		if r.opts.RandomSegments {
+			segs = randomSegments(r.segs, nseg, r.rng)
+		} else {
+			segs = trace.SelectDiverse(r.segs, nseg, r.opts.Metric, r.rng)
+		}
+		prep := prepareSegments(segs)
+
+		handlers := r.scoreBuckets(live, n, prep)
+
+		// Drop buckets that turned out empty, then rank.
+		nonEmpty := live[:0:0]
+		for _, b := range live {
+			if len(b.cache) > 0 {
+				nonEmpty = append(nonEmpty, b)
+			}
+		}
+		live = nonEmpty
+		if iterIdx == 1 {
+			r.stats.SpaceBuckets = len(live)
+		}
+		if len(live) == 0 {
+			return nil, errors.New("core: the DSL's sketch space is empty")
+		}
+		sort.SliceStable(live, func(i, j int) bool { return live[i].score < live[j].score })
+
+		it := IterationStats{
+			Index:            iterIdx,
+			SamplesPerBucket: n,
+			Segments:         len(segs),
+			HandlersScored:   handlers,
+		}
+		for _, b := range live {
+			it.Ranking = append(it.Ranking, BucketRank{Ops: b.ops, Score: b.score})
+		}
+
+		// only-top-k: keep buckets scoring no worse than the k-th (§4.4:
+		// ties are retained).
+		kept := live
+		if r.opts.NoBucketPruning {
+			k = len(live)
+		}
+		if len(live) > k {
+			cut := live[k-1].score
+			idx := k
+			for idx < len(live) && live[idx].score <= cut {
+				idx++
+			}
+			for _, b := range live[idx:] {
+				b.release()
+			}
+			kept = live[:idx]
+		}
+		it.Kept = len(kept)
+		r.stats.Iterations = append(r.stats.Iterations, it)
+		live = kept
+
+		if r.scored >= r.opts.MaxHandlers {
+			r.stats.BudgetExhausted = true
+			break
+		}
+		// Termination: everything remaining already fully enumerated and
+		// sampled (covers the single-bucket case).
+		allDone := true
+		for _, b := range live {
+			if !b.exhausted || len(b.cache) > n {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+
+		n *= 8
+		if k > 1 {
+			k /= 2
+		}
+		nseg += 2
+	}
+
+	if r.best.handler == nil {
+		return nil, errors.New("core: no viable handler found (all candidates diverged)")
+	}
+	// Report the final handler's distance over the full segment set.
+	final := replay.TotalDistance(r.best.handler, r.segs, r.opts.Metric)
+	r.stats.HandlersScored = r.scored
+	return &Result{
+		Handler:  r.best.handler,
+		Sketch:   r.best.sketch,
+		Distance: final,
+		Stats:    r.stats,
+	}, nil
+}
+
+// randomSegments draws n segments uniformly without replacement.
+func randomSegments(segs []*trace.Segment, n int, rng *rand.Rand) []*trace.Segment {
+	if n >= len(segs) {
+		out := make([]*trace.Segment, len(segs))
+		copy(out, segs)
+		return out
+	}
+	perm := rng.Perm(len(segs))
+	out := make([]*trace.Segment, n)
+	for i := 0; i < n; i++ {
+		out[i] = segs[perm[i]]
+	}
+	return out
+}
+
+// preparedSegment caches the per-segment data scoring needs.
+type preparedSegment struct {
+	seg      *trace.Segment
+	envs     []dsl.Env
+	observed dist.Series
+}
+
+func prepareSegments(segs []*trace.Segment) []preparedSegment {
+	out := make([]preparedSegment, len(segs))
+	for i, s := range segs {
+		out[i] = preparedSegment{seg: s, envs: replay.Envs(s), observed: s.Series()}
+	}
+	return out
+}
+
+// scoreBuckets samples and scores n sketches from every live bucket in
+// parallel, updating bucket scores and the global best. It returns the
+// number of handlers scored.
+func (r *runState) scoreBuckets(live []*bucket, n int, prep []preparedSegment) int {
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		total   int
+		sketchN int
+		sem     = make(chan struct{}, r.opts.Workers)
+		budget  = r.opts.MaxHandlers - r.scored
+		perBkt  = budgetShare(budget, len(live))
+	)
+	for _, b := range live {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b *bucket) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sketches := b.take(n, r.opts.BucketCap, r.opts.ScanBudget, enum.New(r.opts.DSL))
+			handlers := 0
+			for _, sk := range sketches {
+				if handlers >= perBkt {
+					break
+				}
+				h, d, hn := r.scoreSketch(sk, prep)
+				handlers += hn
+				if d < b.score {
+					b.score = d
+					b.best = scoredHandler{handler: h, sketch: sk, distance: d}
+				}
+			}
+			mu.Lock()
+			total += handlers
+			sketchN += len(sketches)
+			if b.best.handler != nil && b.best.distance < r.best.distance {
+				r.best = b.best
+			}
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	r.scored += total
+	r.stats.SketchesScored += sketchN
+	return total
+}
+
+// budgetShare splits the remaining handler budget across buckets.
+func budgetShare(budget, buckets int) int {
+	if buckets == 0 {
+		return 0
+	}
+	share := budget / buckets
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// scoreSketch concretizes a sketch's holes from the constant pool and
+// returns the best handler, its distance, and the number of handlers
+// evaluated. Sampling is deterministic per (sketch, seed).
+func (r *runState) scoreSketch(sk *dsl.Node, prep []preparedSegment) (*dsl.Node, float64, int) {
+	holes := sk.Holes()
+	if holes == 0 {
+		return sk, r.scoreHandler(sk, prep), 1
+	}
+	pool := r.opts.DSL.Constants
+	assignments := completions(sk, pool, holes, r.opts.MaxCompletions, r.opts.Seed)
+	bestD := math.Inf(1)
+	var bestH *dsl.Node
+	for _, vals := range assignments {
+		h, err := sk.Bind(vals)
+		if err != nil {
+			continue
+		}
+		if d := r.scoreHandler(h, prep); d < bestD {
+			bestD = d
+			bestH = h
+		}
+	}
+	return bestH, bestD, len(assignments)
+}
+
+// scoreHandler sums the handler's distance over the prepared segments.
+func (r *runState) scoreHandler(h *dsl.Node, prep []preparedSegment) float64 {
+	var total float64
+	for i := range prep {
+		d := replay.DistanceEnvs(h, prep[i].seg, prep[i].envs, prep[i].observed, r.opts.Metric)
+		if math.IsInf(d, 1) {
+			return d
+		}
+		total += d
+	}
+	return total
+}
+
+// completions returns the constant assignments to try for a sketch: the
+// full cross product when small enough, otherwise a deterministic random
+// sample (§4.2's approximate concretization).
+func completions(sk *dsl.Node, pool []float64, holes, maxN int, seed int64) [][]float64 {
+	if len(pool) == 0 {
+		return nil
+	}
+	total := 1
+	for i := 0; i < holes; i++ {
+		total *= len(pool)
+		if total > maxN {
+			break
+		}
+	}
+	if total <= maxN {
+		// Exhaustive cross product.
+		out := make([][]float64, 0, total)
+		idx := make([]int, holes)
+		for {
+			vals := make([]float64, holes)
+			for i, j := range idx {
+				vals[i] = pool[j]
+			}
+			out = append(out, vals)
+			i := holes - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < len(pool) {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+		return out
+	}
+	// Deterministic per-sketch random sample.
+	h := fnv.New64a()
+	fmt.Fprint(h, sk.Key())
+	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	out := make([][]float64, maxN)
+	for i := range out {
+		vals := make([]float64, holes)
+		for j := range vals {
+			vals[j] = pool[rng.Intn(len(pool))]
+		}
+		out[i] = vals
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+// Package dist implements the trace-distance metrics Abagnale's optimization
+// formulation is built on (§4.3 of the paper): Dynamic Time Warping (the
+// primary metric, most tolerant to constant error), Euclidean, Manhattan and
+// discrete Fréchet distances over congestion-window time series.
+//
+// Series are (time, value) pairs on arbitrary grids; every metric first
+// resamples both inputs onto a common uniform grid. Values are compared in
+// their native scale (packets of CWND) — the metrics must stay sensitive to
+// multiplicative constant error, which is exactly what Figure 3 evaluates.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is a time series of observations at increasing times.
+type Series struct {
+	// Times are sample times in seconds, non-decreasing.
+	Times []float64
+	// Values are the observations (CWND in MSS units, by convention).
+	Values []float64
+}
+
+// Len returns the number of points.
+func (s Series) Len() int { return len(s.Values) }
+
+// validate reports whether the series is well-formed.
+func (s Series) validate() error {
+	if len(s.Times) != len(s.Values) {
+		return fmt.Errorf("dist: %d times but %d values", len(s.Times), len(s.Values))
+	}
+	for i := 1; i < len(s.Times); i++ {
+		if s.Times[i] < s.Times[i-1] {
+			return fmt.Errorf("dist: times not sorted at %d", i)
+		}
+	}
+	return nil
+}
+
+// ResampleN is the uniform grid size every metric maps series onto.
+const ResampleN = 200
+
+// Resample linearly interpolates the series onto n uniformly spaced points
+// spanning its time range. A series with fewer than 2 points yields a
+// constant (or zero) vector.
+func Resample(s Series, n int) []float64 {
+	out := make([]float64, n)
+	if len(s.Values) == 0 {
+		return out
+	}
+	if len(s.Values) == 1 || s.Times[len(s.Times)-1] <= s.Times[0] {
+		for i := range out {
+			out[i] = s.Values[0]
+		}
+		return out
+	}
+	t0, t1 := s.Times[0], s.Times[len(s.Times)-1]
+	j := 0
+	for i := 0; i < n; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(n-1)
+		for j < len(s.Times)-2 && s.Times[j+1] < t {
+			j++
+		}
+		// Interpolate between points j and j+1.
+		ta, tb := s.Times[j], s.Times[j+1]
+		va, vb := s.Values[j], s.Values[j+1]
+		if tb <= ta {
+			out[i] = va
+			continue
+		}
+		frac := (t - ta) / (tb - ta)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		out[i] = va + frac*(vb-va)
+	}
+	return out
+}
+
+// Metric measures how far apart two congestion-window traces are. Lower is
+// closer. Implementations return +Inf for malformed input or series
+// containing non-finite values.
+type Metric interface {
+	// Name returns the metric's short identifier.
+	Name() string
+	// Distance computes the metric between two series.
+	Distance(a, b Series) float64
+}
+
+// finite reports whether all values are finite.
+func finite(vs []float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// prepare resamples both series onto the common grid, returning ok=false
+// when either input is unusable.
+func prepare(a, b Series) (x, y []float64, ok bool) {
+	if a.validate() != nil || b.validate() != nil || a.Len() == 0 || b.Len() == 0 {
+		return nil, nil, false
+	}
+	x = Resample(a, ResampleN)
+	y = Resample(b, ResampleN)
+	if !finite(x) || !finite(y) {
+		return nil, nil, false
+	}
+	return x, y, true
+}
+
+// DTW is the Dynamic Time Warping distance with a Sakoe-Chiba band. Being
+// alignment-based, it corrects for temporal shifts between curves — the
+// property that makes it the most tolerant of the four metrics to error in
+// handler constants (Figure 3), at a higher computational cost.
+type DTW struct {
+	// Band is the Sakoe-Chiba band half-width in grid points; 0 means
+	// ResampleN/10.
+	Band int
+}
+
+// Name implements Metric.
+func (DTW) Name() string { return "dtw" }
+
+// Distance implements Metric.
+func (d DTW) Distance(a, b Series) float64 {
+	x, y, ok := prepare(a, b)
+	if !ok {
+		return math.Inf(1)
+	}
+	band := d.Band
+	if band <= 0 {
+		band = ResampleN / 10
+	}
+	return dtwBanded(x, y, band) / float64(len(x)+len(y))
+}
+
+// dtwBanded computes the classic DTW accumulated cost with |.| local cost
+// and a band constraint.
+func dtwBanded(x, y []float64, band int) float64 {
+	n, m := len(x), len(y)
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo, hi := i-band, i+band
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > m {
+			hi = m
+		}
+		for j := lo; j <= hi; j++ {
+			cost := math.Abs(x[i-1] - y[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// Euclidean is the point-wise L2 distance on the resampled grid, normalized
+// by sqrt(n). Cheap, but unforgiving of temporal shifts.
+type Euclidean struct{}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Distance implements Metric.
+func (Euclidean) Distance(a, b Series) float64 {
+	x, y, ok := prepare(a, b)
+	if !ok {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range x {
+		d := x[i] - y[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(x)))
+}
+
+// Manhattan is the point-wise mean absolute difference on the resampled
+// grid — the area between the curves.
+type Manhattan struct{}
+
+// Name implements Metric.
+func (Manhattan) Name() string { return "manhattan" }
+
+// Distance implements Metric.
+func (Manhattan) Distance(a, b Series) float64 {
+	x, y, ok := prepare(a, b)
+	if !ok {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range x {
+		sum += math.Abs(x[i] - y[i])
+	}
+	return sum / float64(len(x))
+}
+
+// Frechet is the discrete Fréchet distance: the minimax "dog leash" length
+// over monotone traversals of both curves.
+type Frechet struct{}
+
+// Name implements Metric.
+func (Frechet) Name() string { return "frechet" }
+
+// Distance implements Metric.
+func (Frechet) Distance(a, b Series) float64 {
+	x, y, ok := prepare(a, b)
+	if !ok {
+		return math.Inf(1)
+	}
+	n, m := len(x), len(y)
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			d := math.Abs(x[i] - y[j])
+			switch {
+			case i == 0 && j == 0:
+				cur[j] = d
+			case i == 0:
+				cur[j] = math.Max(cur[j-1], d)
+			case j == 0:
+				cur[j] = math.Max(prev[j], d)
+			default:
+				cur[j] = math.Max(math.Min(math.Min(prev[j], prev[j-1]), cur[j-1]), d)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// Metrics returns one instance of every metric, DTW first (the default).
+func Metrics() []Metric {
+	return []Metric{DTW{}, Euclidean{}, Manhattan{}, Frechet{}}
+}
+
+// ByName returns the named metric.
+func ByName(name string) (Metric, error) {
+	for _, m := range Metrics() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("dist: unknown metric %q", name)
+}
+
+// Names returns the metric names, sorted.
+func Names() []string {
+	var names []string
+	for _, m := range Metrics() {
+		names = append(names, m.Name())
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,168 @@
+package dsl
+
+// Canonicality: the enumerator must not emit two sketches that an algebra
+// system (the paper uses sympy) would simplify to the same expression, nor
+// sketches that are trivially rewritable to smaller ones. IsCanonical
+// encodes those rules structurally:
+//
+//   - no operator applies to two constants (constant folding);
+//   - x - x, x / x and x + x are out (they fold to 0, 1, 2x);
+//   - a constant may appear in a product only as the leftmost factor of
+//     the (left-associated) chain, and never in a sum, difference
+//     denominator or dividend position where it could be folded into a
+//     neighboring constant (x - c = x + c', x/c = c'*x);
+//   - + and * chains are left-associated with operands in canonical key
+//     order (commutativity dedup);
+//   - cube(cbrt(x)) and cbrt(cube(x)) cancel; cube/cbrt of a constant is a
+//     constant;
+//   - a conditional's branches must differ and its predicate's operands
+//     must differ;
+//   - the enumerator expresses all ordering predicates with < (a > b is
+//     the mirror of b < a); Gt nodes exist for parsing fine-tuned
+//     handlers but are never canonical.
+func IsCanonical(n *Node) bool {
+	if !canonicalNode(n) {
+		return false
+	}
+	for _, k := range n.Kids {
+		if !IsCanonical(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// isConst reports whether the node is a constant leaf (bound or hole).
+func isConst(n *Node) bool { return n.Op == OpConst }
+
+// rank orders nodes for commutative canonicalization: simple state/signal
+// leaves first, then macros and constants, then compound expressions — so
+// the canonical spelling of a sum reads "cwnd + 0.7*reno-inc", matching
+// the paper's notation.
+func rank(n *Node) int {
+	switch n.Op {
+	case OpCwnd:
+		return 0
+	case OpSignal:
+		return 1
+	case OpMacro:
+		return 2
+	case OpConst:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// nodeLE reports a <= b in canonical operand order.
+func nodeLE(a, b *Node) bool {
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	return a.Key() <= b.Key()
+}
+
+// canonicalNode checks the local rules at one node.
+func canonicalNode(n *Node) bool {
+	switch n.Op {
+	case OpCwnd, OpSignal, OpMacro, OpConst:
+		return true
+	case OpAdd:
+		a, b := n.Kids[0], n.Kids[1]
+		if isConst(a) || isConst(b) {
+			// Sums never contain bare constants: scaling runs through
+			// products (c*x), and x + c either fails unit checking or
+			// folds with another constant.
+			return false
+		}
+		// Left-associated chain with ordered operands.
+		if b.Op == OpAdd {
+			return false
+		}
+		if a.Op != OpAdd && !nodeLE(a, b) {
+			return false
+		}
+		if a.Op == OpAdd && !nodeLE(a.Kids[1], b) {
+			return false
+		}
+		return !a.Equal(b)
+	case OpSub:
+		a, b := n.Kids[0], n.Kids[1]
+		if isConst(b) || (isConst(a) && isConst(b)) {
+			return false // x - c == x + c'
+		}
+		if isConst(a) {
+			return false // c - x: out of the classical shape, folds badly
+		}
+		return !a.Equal(b)
+	case OpMul:
+		a, b := n.Kids[0], n.Kids[1]
+		if isConst(a) && isConst(b) {
+			return false
+		}
+		if isConst(b) {
+			return false // constants lead: c*x, never x*c
+		}
+		// Left-associated chain with ordered non-const operands.
+		if b.Op == OpMul {
+			return false
+		}
+		if a.Op == OpMul {
+			// Chain tail must stay ordered; a's leftmost may be const.
+			return nodeLE(a.Kids[1], b)
+		}
+		if !isConst(a) && !nodeLE(a, b) {
+			return false
+		}
+		return true
+	case OpDiv:
+		a, b := n.Kids[0], n.Kids[1]
+		if isConst(b) {
+			return false // x/c == c'*x
+		}
+		if isConst(a) && isConst(b) {
+			return false
+		}
+		return !a.Equal(b)
+	case OpCond:
+		cond, then, els := n.Kids[0], n.Kids[1], n.Kids[2]
+		if !cond.Op.IsBool() {
+			return false
+		}
+		// Two unbound holes are structurally equal but concretize to
+		// different values ("? 2.6 : 2.05"), so they count as distinct.
+		if isConst(then) && !then.Bound && isConst(els) && !els.Bound {
+			return true
+		}
+		return !then.Equal(els)
+	case OpCube:
+		k := n.Kids[0]
+		return k.Op != OpCbrt && !isConst(k)
+	case OpCbrt:
+		k := n.Kids[0]
+		return k.Op != OpCube && !isConst(k)
+	case OpLt:
+		a, b := n.Kids[0], n.Kids[1]
+		if isConst(a) && isConst(b) {
+			return false
+		}
+		return !a.Equal(b)
+	case OpGt:
+		// Mirror of Lt: parse-only, never canonical.
+		return false
+	case OpModEq:
+		a, b := n.Kids[0], n.Kids[1]
+		if isConst(a) {
+			return false // c % x is not a classical predicate shape
+		}
+		return !a.Equal(b)
+	default:
+		return false
+	}
+}
+
+// CanonicalAt checks the local canonicality rules at a single node whose
+// children are already known to be canonical — the incremental form the
+// enumerator uses while building trees bottom-up.
+func CanonicalAt(n *Node) bool { return canonicalNode(n) }

@@ -1,0 +1,151 @@
+package dsl
+
+import "math"
+
+// EvalFunc is a compiled handler: it computes the new window for an
+// environment, reporting ok=false where Eval would return ErrEval
+// (non-finite result anywhere in the tree).
+type EvalFunc func(*Env) (float64, bool)
+
+// Compile translates a fully-bound expression into a closure tree,
+// removing the per-node switch dispatch of Eval. Scoring a candidate
+// handler evaluates it once per ACK sample across many segments — the
+// pipeline's hottest loop — and compiled handlers evaluate several times
+// faster. Compiling a sketch (unbound holes) yields an evaluator that
+// always reports ok=false, mirroring Eval.
+func Compile(n *Node) EvalFunc {
+	f := compileNum(n)
+	return func(e *Env) (float64, bool) {
+		v := f(e)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		return v, true
+	}
+}
+
+// numFunc computes a (possibly non-finite) value.
+type numFunc func(*Env) float64
+
+// boolFunc computes a predicate; NaN operands surface as NaN poisoning via
+// the second return.
+type boolFunc func(*Env) (bool, bool)
+
+var nan = math.NaN()
+
+func compileNum(n *Node) numFunc {
+	switch n.Op {
+	case OpCwnd:
+		return func(e *Env) float64 { return e.Cwnd }
+	case OpSignal:
+		switch n.Sig {
+		case SigMSS:
+			return func(e *Env) float64 { return e.MSS }
+		case SigAcked:
+			return func(e *Env) float64 { return e.Acked }
+		case SigTimeSinceLoss:
+			return func(e *Env) float64 { return e.TimeSinceLoss }
+		case SigRTT:
+			return func(e *Env) float64 { return e.RTT }
+		case SigMinRTT:
+			return func(e *Env) float64 { return e.MinRTT }
+		case SigMaxRTT:
+			return func(e *Env) float64 { return e.MaxRTT }
+		case SigAckRate:
+			return func(e *Env) float64 { return e.AckRate }
+		case SigRTTGradient:
+			return func(e *Env) float64 { return e.RTTGradient }
+		case SigWMax:
+			return func(e *Env) float64 { return e.WMax }
+		}
+		return func(*Env) float64 { return nan }
+	case OpMacro:
+		switch n.Mac {
+		case MacroRenoInc:
+			return func(e *Env) float64 { return e.Acked * e.MSS / e.Cwnd }
+		case MacroVegasDiff:
+			return func(e *Env) float64 { return (e.RTT - e.MinRTT) * e.AckRate / e.MSS }
+		case MacroHTCPDiff:
+			return func(e *Env) float64 { return (e.RTT - e.MinRTT) / e.MaxRTT }
+		case MacroRTTsSinceLoss:
+			return func(e *Env) float64 { return e.TimeSinceLoss / e.RTT }
+		}
+		return func(*Env) float64 { return nan }
+	case OpConst:
+		if !n.Bound {
+			return func(*Env) float64 { return nan }
+		}
+		v := n.Value
+		return func(*Env) float64 { return v }
+	case OpAdd:
+		a, b := compileNum(n.Kids[0]), compileNum(n.Kids[1])
+		return func(e *Env) float64 { return a(e) + b(e) }
+	case OpSub:
+		a, b := compileNum(n.Kids[0]), compileNum(n.Kids[1])
+		return func(e *Env) float64 { return a(e) - b(e) }
+	case OpMul:
+		a, b := compileNum(n.Kids[0]), compileNum(n.Kids[1])
+		return func(e *Env) float64 { return a(e) * b(e) }
+	case OpDiv:
+		a, b := compileNum(n.Kids[0]), compileNum(n.Kids[1])
+		return func(e *Env) float64 { return a(e) / b(e) }
+	case OpCond:
+		c := compileBool(n.Kids[0])
+		t, f := compileNum(n.Kids[1]), compileNum(n.Kids[2])
+		return func(e *Env) float64 {
+			v, ok := c(e)
+			if !ok {
+				return nan
+			}
+			if v {
+				return t(e)
+			}
+			return f(e)
+		}
+	case OpCube:
+		k := compileNum(n.Kids[0])
+		return func(e *Env) float64 {
+			v := k(e)
+			return v * v * v
+		}
+	case OpCbrt:
+		k := compileNum(n.Kids[0])
+		return func(e *Env) float64 { return math.Cbrt(k(e)) }
+	default:
+		return func(*Env) float64 { return nan }
+	}
+}
+
+func compileBool(n *Node) boolFunc {
+	a, b := compileNum(n.Kids[0]), compileNum(n.Kids[1])
+	switch n.Op {
+	case OpLt:
+		return func(e *Env) (bool, bool) {
+			x, y := a(e), b(e)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				return false, false
+			}
+			return x < y, true
+		}
+	case OpGt:
+		return func(e *Env) (bool, bool) {
+			x, y := a(e), b(e)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				return false, false
+			}
+			return x > y, true
+		}
+	case OpModEq:
+		return func(e *Env) (bool, bool) {
+			x, y := a(e), b(e)
+			if math.IsNaN(x) || math.IsNaN(y) || y == 0 {
+				return false, false
+			}
+			r := math.Abs(math.Mod(x, y))
+			ay := math.Abs(y)
+			return r <= modEqTolerance*ay || r >= (1-modEqTolerance)*ay, true
+		}
+	default:
+		return func(*Env) (bool, bool) { return false, false }
+	}
+}

@@ -1,0 +1,137 @@
+package dsl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// compileCorpus exercises every operator, signal and macro.
+var compileCorpus = []string{
+	"cwnd",
+	"mss",
+	"acked",
+	"time-since-loss",
+	"rtt",
+	"min-rtt",
+	"max-rtt",
+	"ack-rate",
+	"rtt-gradient",
+	"wmax",
+	"reno-inc",
+	"vegas-diff",
+	"htcp-diff",
+	"rtts-since-loss",
+	"cwnd + 0.7*reno-inc",
+	"cwnd - mss",
+	"cwnd/rtt*min-rtt",
+	"cube(time-since-loss) + cbrt(wmax)",
+	"{vegas-diff < 1} ? cwnd + mss : cwnd - mss",
+	"{vegas-diff > 5} ? mss : cwnd",
+	"min-rtt*ack-rate*({rtts-since-loss % 8 = 0} ? 2.6 : 2.05)",
+	"wmax + cube(11*time-since-loss - cbrt(0.3*wmax))",
+	"{cwnd % 2.7 = 0} ? 2.05*cwnd : mss",
+}
+
+// randEnv builds a random but physically-plausible environment.
+func randEnv(rng *rand.Rand) *Env {
+	minRTT := 0.01 + rng.Float64()*0.1
+	return &Env{
+		Cwnd:          1448 * (1 + rng.Float64()*100),
+		MSS:           1448,
+		Acked:         1448 * rng.Float64() * 4,
+		TimeSinceLoss: rng.Float64() * 20,
+		RTT:           minRTT + rng.Float64()*0.1,
+		MinRTT:        minRTT,
+		MaxRTT:        minRTT + 0.1 + rng.Float64()*0.1,
+		AckRate:       1e4 + rng.Float64()*3e6,
+		RTTGradient:   (rng.Float64() - 0.5) * 2,
+		WMax:          1448 * (1 + rng.Float64()*100),
+	}
+}
+
+// Property: Compile agrees exactly with Eval on every corpus expression
+// over random environments — both value and error behavior.
+func TestQuickCompileMatchesEval(t *testing.T) {
+	type compiled struct {
+		node *Node
+		fn   EvalFunc
+	}
+	var cs []compiled
+	for _, src := range compileCorpus {
+		n := MustParse(src)
+		cs = append(cs, compiled{node: n, fn: Compile(n)})
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := randEnv(rng)
+		for _, c := range cs {
+			ev, everr := c.node.Eval(env)
+			cv, ok := c.fn(env)
+			if (everr == nil) != ok {
+				return false
+			}
+			if everr == nil && ev != cv {
+				// Identical operation order: must match bit-for-bit.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileSketchAlwaysFails(t *testing.T) {
+	fn := Compile(MustParse("c1*mss"))
+	if _, ok := fn(env()); ok {
+		t.Error("compiled sketch evaluated successfully")
+	}
+}
+
+func TestCompileGuards(t *testing.T) {
+	e := env()
+	e.Cwnd = 0
+	if _, ok := Compile(MustParse("cwnd + reno-inc"))(e); ok {
+		t.Error("compiled division by zero not caught")
+	}
+	if _, ok := Compile(MustParse("{cwnd % 0 = 0} ? 1 : 2"))(env()); ok {
+		t.Error("compiled modulo by zero not caught")
+	}
+}
+
+func BenchmarkEvalInterpreted(b *testing.B) {
+	n := MustParse("cwnd + reno-inc*({vegas-diff < 0.7} ? 0.35 : 0.16)")
+	e := env()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Eval(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalCompiled(b *testing.B) {
+	fn := Compile(MustParse("cwnd + reno-inc*({vegas-diff < 0.7} ? 0.35 : 0.16)"))
+	e := env()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := fn(e); !ok {
+			b.Fatal("eval failed")
+		}
+	}
+}
+
+func TestCompileNonFinitePropagation(t *testing.T) {
+	// Inner NaN must poison the whole expression, same as Eval.
+	e := env()
+	e.RTT = math.NaN()
+	n := MustParse("cwnd + rtt*ack-rate")
+	_, everr := n.Eval(e)
+	_, ok := Compile(n)(e)
+	if (everr == nil) != ok {
+		t.Errorf("NaN propagation differs: eval err=%v compiled ok=%v", everr, ok)
+	}
+}

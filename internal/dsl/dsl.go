@@ -1,0 +1,196 @@
+package dsl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DSL is one curated sub-language of the full grammar (§3.3): the signals,
+// macros and operators a synthesis run may draw from, plus its structural
+// budget. Abagnale is pointed at one sub-DSL per run, chosen from a CCA
+// classifier's hint about the trace's family.
+type DSL struct {
+	// Name identifies the sub-DSL ("reno", "cubic", "delay", "vegas").
+	Name string
+	// Signals are the congestion-signal leaves available.
+	Signals []Signal
+	// Macros are the Table 1 macro leaves available.
+	Macros []Macro
+	// NumOps are the numeric operators available (OpAdd..OpCbrt).
+	NumOps []Op
+	// BoolOps are the predicate operators available (OpLt, OpModEq; the
+	// enumerator expresses > as mirrored <).
+	BoolOps []Op
+	// MaxDepth bounds the sketch tree depth (a leaf is depth 1).
+	MaxDepth int
+	// MaxNodes bounds the sketch size; 0 means unlimited.
+	MaxNodes int
+	// UnitCheck enables dimensional analysis during enumeration. The
+	// Cubic DSL disables it: cube roots cannot be unit-checked with
+	// integer exponents (§5.5).
+	UnitCheck bool
+	// Constants is the pool of concrete values used to fill sketch holes
+	// (§4.2): values observed in known CCAs.
+	Constants []float64
+}
+
+// DefaultConstants is the concretization pool: constant values observed in
+// the classical CCAs (Reno/Westwood betas, BBR gains, Vegas thresholds,
+// Hybla's rho, ...) as described in §4.2/§6.1.
+func DefaultConstants() []float64 {
+	return []float64{
+		0.16, 0.2, 0.25, 0.3, 0.35, 0.37, 0.5, 0.68, 0.7, 0.8,
+		1, 1.3, 2, 2.05, 2.15, 2.6, 2.7, 3, 5, 8, 150,
+	}
+}
+
+// baseSignals is the Reno-DSL signal set (non-colored in Listing 1).
+func baseSignals() []Signal {
+	return []Signal{SigMSS, SigAcked, SigTimeSinceLoss}
+}
+
+// delaySignals extends the base with the rate/delay signals (olive in
+// Listing 1).
+func delaySignals() []Signal {
+	return append(baseSignals(), SigRTT, SigMinRTT, SigMaxRTT, SigAckRate, SigRTTGradient)
+}
+
+// arithOps is the operator core every useful DSL includes.
+func arithOps() []Op { return []Op{OpAdd, OpSub, OpMul, OpDiv, OpCond} }
+
+// Reno returns the base Reno-family DSL: Reno, Westwood, Scalable, LP,
+// Hybla, HTCP and Illinois all synthesize within it.
+func Reno() *DSL {
+	return &DSL{
+		Name:      "reno",
+		Signals:   baseSignals(),
+		Macros:    []Macro{MacroRenoInc},
+		NumOps:    arithOps(),
+		BoolOps:   []Op{OpLt, OpModEq},
+		MaxDepth:  3,
+		UnitCheck: true,
+		Constants: DefaultConstants(),
+	}
+}
+
+// Cubic returns the Cubic-family DSL: Reno plus cube/cube-root and the
+// window-at-last-loss signal, with unit checking disabled (teal in
+// Listing 1).
+func Cubic() *DSL {
+	d := Reno()
+	d.Name = "cubic"
+	d.Signals = append(d.Signals, SigWMax)
+	d.NumOps = append(d.NumOps, OpCube, OpCbrt)
+	d.MaxDepth = 6
+	d.MaxNodes = 11
+	d.UnitCheck = false
+	return d
+}
+
+// Delay returns the rate/delay DSL: RTT and rate signals for BBR-like and
+// delay-reactive CCAs (olive in Listing 1), without the Vegas macro.
+func Delay() *DSL {
+	return &DSL{
+		Name:      "delay",
+		Signals:   delaySignals(),
+		Macros:    []Macro{MacroRenoInc, MacroRTTsSinceLoss},
+		NumOps:    arithOps(),
+		BoolOps:   []Op{OpLt, OpModEq},
+		MaxDepth:  4,
+		MaxNodes:  11,
+		UnitCheck: true,
+		Constants: DefaultConstants(),
+	}
+}
+
+// Vegas returns the Vegas-family DSL: the delay DSL plus the vegas-diff
+// and htcp-diff macros, which free up nodes for the conditional structure
+// Vegas variants need (§6.3).
+func Vegas() *DSL {
+	d := Delay()
+	d.Name = "vegas"
+	d.Macros = append(d.Macros, MacroVegasDiff, MacroHTCPDiff)
+	d.MaxDepth = 5
+	// Table 2's Vegas-family fine-tuned handlers nest two conditionals
+	// (17 nodes); the tighter 11-node variant ("Vegas-11") is built for
+	// the Figure 6 experiments via explicit overrides.
+	d.MaxNodes = 17
+	return d
+}
+
+// Named returns a predefined sub-DSL by name.
+func Named(name string) (*DSL, error) {
+	switch name {
+	case "reno":
+		return Reno(), nil
+	case "cubic":
+		return Cubic(), nil
+	case "delay":
+		return Delay(), nil
+	case "vegas":
+		return Vegas(), nil
+	default:
+		return nil, fmt.Errorf("dsl: unknown sub-DSL %q (have reno, cubic, delay, vegas)", name)
+	}
+}
+
+// DSLNames lists the predefined sub-DSLs.
+func DSLNames() []string {
+	names := []string{"reno", "cubic", "delay", "vegas"}
+	sort.Strings(names)
+	return names
+}
+
+// Elements counts the DSL's components (leaves + operators), the measure
+// the paper sizes search spaces by.
+func (d *DSL) Elements() int {
+	return 1 /* cwnd */ + 1 /* const */ + len(d.Signals) + len(d.Macros) +
+		len(d.NumOps) + len(d.BoolOps)
+}
+
+// Admits reports whether an expression stays within the DSL: every leaf
+// and operator it uses must be available, and depth/size must fit. Gt
+// counts as Lt availability (mirrored predicate).
+func (d *DSL) Admits(n *Node) error {
+	if dep := n.Depth(); dep > d.MaxDepth {
+		return fmt.Errorf("dsl: depth %d exceeds %s-DSL bound %d", dep, d.Name, d.MaxDepth)
+	}
+	if d.MaxNodes > 0 && n.Size() > d.MaxNodes {
+		return fmt.Errorf("dsl: %d nodes exceeds %s-DSL bound %d", n.Size(), d.Name, d.MaxNodes)
+	}
+	sigOK := map[Signal]bool{}
+	for _, s := range d.Signals {
+		sigOK[s] = true
+	}
+	macOK := map[Macro]bool{}
+	for _, m := range d.Macros {
+		macOK[m] = true
+	}
+	opOK := map[Op]bool{OpCwnd: true, OpConst: true, OpSignal: true, OpMacro: true}
+	for _, o := range d.NumOps {
+		opOK[o] = true
+	}
+	for _, o := range d.BoolOps {
+		opOK[o] = true
+		if o == OpLt {
+			opOK[OpGt] = true
+		}
+	}
+	var err error
+	n.Walk(func(m *Node) {
+		if err != nil {
+			return
+		}
+		if !opOK[m.Op] {
+			err = fmt.Errorf("dsl: operator %q not in %s-DSL", m.Op, d.Name)
+			return
+		}
+		if m.Op == OpSignal && !sigOK[m.Sig] {
+			err = fmt.Errorf("dsl: signal %q not in %s-DSL", m.Sig, d.Name)
+		}
+		if m.Op == OpMacro && !macOK[m.Mac] {
+			err = fmt.Errorf("dsl: macro %q not in %s-DSL", m.Mac, d.Name)
+		}
+	})
+	return err
+}

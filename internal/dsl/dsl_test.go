@@ -1,0 +1,529 @@
+package dsl
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// env returns a plausible ACK-time environment: cwnd 20 pkts of 1448B,
+// RTT 50ms over a 40ms floor, 1 MB/s delivery.
+func env() *Env {
+	return &Env{
+		Cwnd:          20 * 1448,
+		MSS:           1448,
+		Acked:         1448,
+		TimeSinceLoss: 3.0,
+		RTT:           0.050,
+		MinRTT:        0.040,
+		MaxRTT:        0.080,
+		AckRate:       1e6,
+		RTTGradient:   0.01,
+		WMax:          25 * 1448,
+	}
+}
+
+// Table 2 expressions: every synthesized and fine-tuned handler in the
+// paper must parse.
+var table2Exprs = []string{
+	"2*ack-rate*min-rtt + ({cwnd % 2.7 = 0} ? 2.05*cwnd : mss)",
+	"min-rtt*ack-rate*({rtts-since-loss % 8 = 0} ? 2.6 : 2.05)",
+	"cwnd + 0.7*reno-inc",
+	"cwnd + reno-inc",
+	"cwnd + 0.68*reno-inc",
+	"cwnd + 0.37*reno-inc",
+	"cwnd*({htcp-diff > 0.5} ? 0.5 : 1) + 0.68*reno-inc",
+	"cwnd + 8*rtt*reno-inc",
+	"cwnd + reno-inc*({htcp-diff < 0.25} ? 1 : 0.2)",
+	"cwnd + 1.3*reno-inc",
+	"cwnd + 0.3*reno-inc + 5*reno-inc*htcp-diff",
+	"cwnd + ({vegas-diff < 1} ? 0.7*reno-inc : 0)",
+	"cwnd + ({vegas-diff < 1} ? 0.7*reno-inc : {vegas-diff > 5} ? -0.7*reno-inc : 0)",
+	"cwnd + reno-inc*({vegas-diff < 0.7} ? 0.35 : 0.16)",
+	"cwnd + reno-inc*({vegas-diff > 5} ? 0.3 : 1)",
+	"cwnd + cube(time-since-loss)",
+	"wmax + cube(8*time-since-loss - cbrt(24*wmax))",
+	"{vegas-diff/min-rtt < 5} ? cwnd + mss : mss",
+	"0.8*acked/min-rtt",
+	"mss",
+	"2*mss",
+	"(cwnd + 150*mss)/delay-gradient",
+	"cwnd + 2*acked/rtt",
+}
+
+func TestParseTable2Expressions(t *testing.T) {
+	for _, src := range table2Exprs {
+		n, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if n.Holes() != 0 {
+			t.Errorf("Parse(%q) produced %d holes", src, n.Holes())
+		}
+		if _, err := n.Eval(env()); err != nil {
+			t.Errorf("Eval(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, src := range table2Exprs {
+		n := MustParse(src)
+		back, err := Parse(n.String())
+		if err != nil {
+			t.Errorf("reparse of %q -> %q failed: %v", src, n.String(), err)
+			continue
+		}
+		if !n.Equal(back) {
+			t.Errorf("round trip changed %q: %q vs %q", src, n, back)
+		}
+	}
+}
+
+func TestEvalRenoHandler(t *testing.T) {
+	n := MustParse("cwnd + 0.7*reno-inc")
+	e := env()
+	got, err := n.Eval(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Cwnd + 0.7*e.Acked*e.MSS/e.Cwnd
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+}
+
+func TestEvalMacros(t *testing.T) {
+	e := env()
+	cases := map[string]float64{
+		"reno-inc":        e.Acked * e.MSS / e.Cwnd,
+		"vegas-diff":      (e.RTT - e.MinRTT) * e.AckRate / e.MSS,
+		"htcp-diff":       (e.RTT - e.MinRTT) / e.MaxRTT,
+		"rtts-since-loss": e.TimeSinceLoss / e.RTT,
+	}
+	for src, want := range cases {
+		got, err := MustParse(src).Eval(e)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEvalConditional(t *testing.T) {
+	n := MustParse("{vegas-diff < 1} ? 10 : 20")
+	e := env() // vegas-diff = 0.01*1e6/1448 ~ 6.9 -> else branch
+	got, _ := n.Eval(e)
+	if got != 20 {
+		t.Errorf("cond = %v, want 20", got)
+	}
+	e.RTT = e.MinRTT // vegas-diff = 0 -> then branch
+	got, _ = n.Eval(e)
+	if got != 10 {
+		t.Errorf("cond = %v, want 10", got)
+	}
+}
+
+func TestEvalModEq(t *testing.T) {
+	n := MustParse("{cwnd % 2 = 0} ? 1 : 0")
+	e := env()
+	e.Cwnd = 8
+	if got, _ := n.Eval(e); got != 1 {
+		t.Errorf("8 %% 2 = 0 should hold, got %v", got)
+	}
+	e.Cwnd = 9
+	if got, _ := n.Eval(e); got != 0 {
+		t.Errorf("9 %% 2 = 0 should not hold, got %v", got)
+	}
+	// Tolerance: within 10% of a multiple counts.
+	e.Cwnd = 8.1
+	if got, _ := n.Eval(e); got != 1 {
+		t.Errorf("8.1 %% 2 ~= 0 should hold (10%% tolerance), got %v", got)
+	}
+}
+
+func TestEvalGuards(t *testing.T) {
+	e := env()
+	e.Cwnd = 0 // division by zero inside reno-inc
+	if _, err := MustParse("cwnd + reno-inc").Eval(e); err == nil {
+		t.Error("division by zero did not error")
+	}
+	// Unbound hole.
+	if _, err := MustParse("c1*mss").Eval(env()); err == nil {
+		t.Error("evaluating a sketch with holes did not error")
+	}
+	// Modulo by zero.
+	bad := MustParse("{cwnd % 0 = 0} ? 1 : 2")
+	if _, err := bad.Eval(env()); err == nil {
+		t.Error("modulo by zero did not error")
+	}
+}
+
+func TestEvalCubeCbrt(t *testing.T) {
+	e := env()
+	e.TimeSinceLoss = 2
+	got, _ := MustParse("cube(time-since-loss)").Eval(e)
+	if got != 8 {
+		t.Errorf("cube(2) = %v", got)
+	}
+	got, _ = MustParse("cbrt(cube(time-since-loss))").Eval(e)
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("cbrt(cube(2)) = %v", got)
+	}
+}
+
+func TestHolesAndBind(t *testing.T) {
+	sketch := MustParse("cwnd + c1*reno-inc")
+	if sketch.Holes() != 1 {
+		t.Fatalf("holes = %d, want 1", sketch.Holes())
+	}
+	h, err := sketch.Bind([]float64{0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Holes() != 0 {
+		t.Error("bound handler still has holes")
+	}
+	want := MustParse("cwnd + 0.7*reno-inc")
+	if !h.Equal(want) {
+		t.Errorf("bound = %q, want %q", h, want)
+	}
+	// Binding must not mutate the sketch.
+	if sketch.Holes() != 1 {
+		t.Error("Bind mutated the sketch")
+	}
+	if _, err := sketch.Bind([]float64{1, 2}); err == nil {
+		t.Error("Bind accepted wrong arity")
+	}
+}
+
+func TestDepthAndSize(t *testing.T) {
+	n := MustParse("cwnd + 0.7*reno-inc")
+	if n.Depth() != 3 {
+		t.Errorf("depth = %d, want 3 (macro counts as a leaf)", n.Depth())
+	}
+	if n.Size() != 5 {
+		t.Errorf("size = %d, want 5", n.Size())
+	}
+	if Cwnd().Depth() != 1 {
+		t.Error("leaf depth != 1")
+	}
+}
+
+func TestOpsSet(t *testing.T) {
+	n := MustParse("cwnd + reno-inc*({vegas-diff < 0.7} ? 0.35 : 0.16)")
+	s := n.Ops()
+	for _, op := range []Op{OpAdd, OpMul, OpCond, OpLt} {
+		if !s.Has(op) {
+			t.Errorf("ops missing %v: %v", op, s)
+		}
+	}
+	if s.Has(OpDiv) || s.Has(OpSub) {
+		t.Errorf("ops has extras: %v", s)
+	}
+	// Gt folds into Lt.
+	g := MustParse("{vegas-diff > 5} ? mss : cwnd")
+	if !g.Ops().Has(OpLt) || g.Ops().Has(OpGt) {
+		t.Errorf("Gt did not fold into Lt: %v", g.Ops())
+	}
+}
+
+func TestOpSetSubset(t *testing.T) {
+	var a, b OpSet
+	a = a.With(OpAdd).With(OpMul)
+	b = b.With(OpAdd).With(OpMul).With(OpCond)
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("SubsetOf misbehaves")
+	}
+	if got := a.String(); got != "{+,*}" {
+		t.Errorf("OpSet string = %q", got)
+	}
+}
+
+func TestUnits(t *testing.T) {
+	good := []string{
+		"cwnd + 0.7*reno-inc",
+		"min-rtt*ack-rate*({rtts-since-loss % 8 = 0} ? 2.6 : 2.05)",
+		"cwnd + reno-inc*({vegas-diff < 0.7} ? 0.35 : 0.16)",
+		"mss",
+		"(cwnd + 150*mss)/delay-gradient",
+		"0.8*acked/min-rtt*rtt", // bytes/sec*sec = bytes
+		"0.8*acked/min-rtt",     // the constant absorbs the sec^-1 (poly units)
+		"cwnd + ({vegas-diff < 1} ? 0.7*reno-inc : 0)", // 0 unifies with bytes
+	}
+	for _, src := range good {
+		if err := CheckHandlerUnits(MustParse(src)); err != nil {
+			t.Errorf("units rejected %q: %v", src, err)
+		}
+	}
+	bad := []string{
+		"cwnd + rtt",                   // bytes + seconds
+		"rtt",                          // handler must be bytes
+		"cwnd + vegas-diff",            // bytes + dimensionless
+		"cwnd + cube(time-since-loss)", // bytes + sec^3 (the Cubic limitation)
+		"cbrt(cwnd)",                   // bytes^(1/3) unrepresentable
+		"acked/min-rtt",                // bytes/sec with no constant to absorb it
+	}
+	for _, src := range bad {
+		if err := CheckHandlerUnits(MustParse(src)); err == nil {
+			t.Errorf("units accepted %q", src)
+		}
+	}
+}
+
+func TestUnitOfDims(t *testing.T) {
+	cases := map[string]Dim{
+		"rtt":             {Secs: 1},
+		"ack-rate":        {Bytes: 1, Secs: -1},
+		"ack-rate*rtt":    {Bytes: 1},
+		"vegas-diff":      {},
+		"cube(rtt)":       {Secs: 3},
+		"cwnd/mss":        {},
+		"cbrt(cube(rtt))": {Secs: 1},
+	}
+	for src, want := range cases {
+		u, err := UnitOf(MustParse(src))
+		if err != nil {
+			t.Errorf("UnitOf(%q): %v", src, err)
+			continue
+		}
+		if u.Poly || u.D != want {
+			t.Errorf("UnitOf(%q) = %v, want %v", src, u, want)
+		}
+	}
+	// Constants are unit-polymorphic.
+	for _, src := range []string{"0.7", "2*mss*ack-rate", "c1*rtt"} {
+		u, err := UnitOf(MustParse(src))
+		if err != nil || !u.Poly {
+			t.Errorf("UnitOf(%q) = %v, %v; want poly", src, u, err)
+		}
+	}
+}
+
+func TestUnitsComparisonsAllowCalibrationConstants(t *testing.T) {
+	// cwnd % 2.7 = 0 compares bytes against a dimensionless constant:
+	// allowed (thresholds are calibration values).
+	if err := CheckHandlerUnits(MustParse("{cwnd % 2.7 = 0} ? cwnd : mss")); err != nil {
+		t.Errorf("calibration-constant comparison rejected: %v", err)
+	}
+	// Comparing bytes with seconds is rejected.
+	if err := CheckHandlerUnits(MustParse("{cwnd < rtt} ? cwnd : mss")); err == nil {
+		t.Error("bytes<seconds comparison accepted")
+	}
+}
+
+func TestCanonicalAccepts(t *testing.T) {
+	good := []string{
+		"cwnd + c1*reno-inc",
+		"cwnd + reno-inc*({vegas-diff < c1} ? c2 : c3)",
+		"c1*mss",
+		"cwnd",
+	}
+	for _, src := range good {
+		if !IsCanonical(MustParse(src)) {
+			t.Errorf("canonical form rejected: %q", src)
+		}
+	}
+}
+
+func TestCanonicalRejects(t *testing.T) {
+	bad := map[string]*Node{
+		"x - x":         Sub(Cwnd(), Cwnd()),
+		"x / x":         Div(Cwnd(), Cwnd()),
+		"x + x":         Add(Cwnd(), Cwnd()),
+		"c + c":         Add(Hole(), Hole()),
+		"x + c":         Add(Cwnd(), Hole()),
+		"x - c":         Sub(Cwnd(), Hole()),
+		"x / c":         Div(Cwnd(), Hole()),
+		"x * c":         Mul(Cwnd(), Hole()), // const must lead
+		"c * c":         Mul(Hole(), Hole()),
+		"cube(cbrt(x))": Cube(Cbrt(Cwnd())),
+		"cbrt(cube(x))": Cbrt(Cube(Cwnd())),
+		"cube(c)":       Cube(Hole()),
+		"same-branches": Cond(Lt(Cwnd(), Sig(SigMSS)), Cwnd(), Cwnd()),
+		"x < x":         Cond(Lt(Cwnd(), Cwnd()), Cwnd(), Sig(SigMSS)),
+		"gt":            Cond(Gt(Cwnd(), Sig(SigMSS)), Cwnd(), Sig(SigMSS)),
+		"right-add":     Add(Cwnd(), Add(Sig(SigMSS), Sig(SigAcked))),
+		"right-mul":     Mul(Cwnd(), Mul(Sig(SigMSS), Sig(SigAcked))),
+		"c % x":         Cond(ModEq(Hole(), Cwnd()), Cwnd(), Sig(SigMSS)),
+	}
+	for name, n := range bad {
+		if IsCanonical(n) {
+			t.Errorf("non-canonical form accepted: %s (%q)", name, n)
+		}
+	}
+}
+
+func TestCanonicalCommutativeOrder(t *testing.T) {
+	a, b := Cwnd(), Sig(SigMSS)
+	// Exactly one of the two orders is canonical.
+	n1, n2 := Add(a.Clone(), b.Clone()), Add(b.Clone(), a.Clone())
+	if IsCanonical(n1) == IsCanonical(n2) {
+		t.Errorf("both/neither of %q and %q canonical", n1, n2)
+	}
+	m1, m2 := Mul(a.Clone(), b.Clone()), Mul(b.Clone(), a.Clone())
+	if IsCanonical(m1) == IsCanonical(m2) {
+		t.Errorf("both/neither of %q and %q canonical", m1, m2)
+	}
+}
+
+func TestSubDSLs(t *testing.T) {
+	for _, name := range DSLNames() {
+		d, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("Named(%q).Name = %q", name, d.Name)
+		}
+		if d.Elements() < 8 {
+			t.Errorf("%s-DSL has only %d elements", name, d.Elements())
+		}
+		if len(d.Constants) == 0 {
+			t.Errorf("%s-DSL has no constant pool", name)
+		}
+	}
+	if _, err := Named("quic"); err == nil {
+		t.Error("Named accepted unknown DSL")
+	}
+}
+
+func TestDSLAdmits(t *testing.T) {
+	reno := Reno()
+	if err := reno.Admits(MustParse("cwnd + c1*reno-inc")); err != nil {
+		t.Errorf("reno-DSL rejected its own sketch: %v", err)
+	}
+	// vegas-diff is not in the Reno DSL.
+	if err := reno.Admits(MustParse("cwnd + vegas-diff*mss")); err == nil {
+		t.Error("reno-DSL admitted a vegas macro")
+	}
+	// rtt signal is not in the Reno DSL.
+	if err := reno.Admits(MustParse("cwnd + rtt*acked/min-rtt")); err == nil {
+		t.Error("reno-DSL admitted delay signals")
+	}
+	// cube is only in the cubic DSL.
+	if err := reno.Admits(MustParse("cwnd + cube(time-since-loss)")); err == nil {
+		t.Error("reno-DSL admitted cube")
+	}
+	if err := Cubic().Admits(MustParse("wmax + cube(8*time-since-loss - cbrt(24*wmax))")); err != nil {
+		t.Errorf("cubic-DSL rejected the fine-tuned Cubic handler: %v", err)
+	}
+	// Depth bound.
+	deep := MustParse("cwnd + mss*(acked/(mss + acked/(cwnd + mss)))")
+	if err := reno.Admits(deep); err == nil {
+		t.Error("reno-DSL admitted depth > 3")
+	}
+	// Gt admitted where Lt is (mirrored predicate).
+	if err := Vegas().Admits(MustParse("cwnd + reno-inc*({vegas-diff > 5} ? 0.3 : 1)")); err != nil {
+		t.Errorf("vegas-DSL rejected Gt: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"cwnd +",
+		"foo",
+		"cwnd + (mss",
+		"{cwnd < mss} ? 1",         // missing else
+		"cwnd ? 1 : 2",             // non-predicate condition
+		"{cwnd % mss = 3} ? 1 : 2", // modulo must compare to 0
+		"1.2.3",
+		"cwnd @ mss",
+		"cwnd < mss", // predicate is not a handler
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestParseHyphenIdentifiers(t *testing.T) {
+	// min-rtt is one identifier; subtraction needs spaces.
+	n := MustParse("rtt - min-rtt")
+	if n.Op != OpSub {
+		t.Fatalf("parsed %q", n)
+	}
+	if n.Kids[1].Op != OpSignal || n.Kids[1].Sig != SigMinRTT {
+		t.Errorf("rhs = %q", n.Kids[1])
+	}
+}
+
+func TestParseUnaryMinus(t *testing.T) {
+	n := MustParse("cwnd + -0.7*reno-inc")
+	e := env()
+	got, _ := n.Eval(e)
+	want := e.Cwnd - 0.7*e.Acked*e.MSS/e.Cwnd
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("unary minus eval = %v, want %v", got, want)
+	}
+	m := MustParse("-cwnd + mss*2")
+	if _, err := m.Eval(e); err != nil {
+		t.Errorf("-cwnd eval: %v", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	n := MustParse("cwnd + 0.7*reno-inc")
+	if got := n.String(); got != "cwnd + 0.7*reno-inc" {
+		t.Errorf("String = %q", got)
+	}
+	c := MustParse("{vegas-diff < 1} ? mss : cwnd")
+	if !strings.Contains(c.String(), "?") || !strings.Contains(c.String(), "vegas-diff < 1") {
+		t.Errorf("cond String = %q", c.String())
+	}
+	if s := Hole().String(); s != "c1" {
+		t.Errorf("hole String = %q", s)
+	}
+}
+
+// Property: Bind never changes structure, only fills holes, and the result
+// always evaluates when the sketch's shape is division-safe.
+func TestQuickBindPreservesShape(t *testing.T) {
+	sketch := MustParse("cwnd + c1*reno-inc + c2*mss*({vegas-diff < c3} ? c4 : c5)")
+	f := func(a, b, c, d, e float64) bool {
+		vals := []float64{a, b, c, d, e}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 1
+			}
+		}
+		h, err := sketch.Bind(vals)
+		if err != nil {
+			return false
+		}
+		return h.Depth() == sketch.Depth() && h.Size() == sketch.Size() && h.Holes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String/Parse round-trips preserve structural equality for
+// randomly generated canonical expressions.
+func TestQuickRenderParseRoundTrip(t *testing.T) {
+	exprs := []string{
+		"cwnd + c1*reno-inc",
+		"c1*min-rtt*ack-rate",
+		"{vegas-diff < c1} ? cwnd + mss : cwnd - mss",
+		"cwnd/(c1*rtt*ack-rate)*mss",
+		"wmax + cube(c1*time-since-loss)",
+	}
+	for _, src := range exprs {
+		n := MustParse(src)
+		back, err := Parse(n.String())
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if !n.Equal(back) {
+			t.Errorf("%q: round trip %q != %q", src, n, back)
+		}
+	}
+}

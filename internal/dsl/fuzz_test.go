@@ -1,0 +1,37 @@
+package dsl
+
+import "testing"
+
+// FuzzParse feeds arbitrary strings to the expression parser: it must
+// never panic, and anything it accepts must render and re-parse to a
+// structurally identical tree.
+func FuzzParse(f *testing.F) {
+	for _, src := range table2Exprs {
+		f.Add(src)
+	}
+	f.Add("c1*mss + c2")
+	f.Add("((((")
+	f.Add("cwnd ? 1 : 2")
+	f.Add("-{x}")
+	f.Add("1e309")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := n.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of accepted %q -> %q does not re-parse: %v", src, rendered, err)
+		}
+		if !n.Equal(back) {
+			t.Fatalf("round trip changed %q: %q vs %q", src, n, back)
+		}
+		// Simplify must not panic on any accepted expression and must not
+		// grow it.
+		s := Simplify(n)
+		if s.Size() > n.Size() {
+			t.Fatalf("Simplify grew %q -> %q", n, s)
+		}
+	})
+}

@@ -1,0 +1,356 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an expression in the paper's notation, e.g.
+//
+//	cwnd + 0.7*reno-inc
+//	{vegas-diff < 1} ? cwnd + 0.7*reno-inc : cwnd
+//	min-rtt*ack-rate*({rtts-since-loss % 8 = 0} ? 2.6 : 2.05)
+//
+// Identifiers may contain hyphens (min-rtt); a binary minus between two
+// identifiers therefore needs surrounding spaces ("cwnd - mss"). The
+// identifiers c1..c99 denote unbound constant holes.
+func Parse(src string) (*Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("dsl: unexpected trailing input %q", p.peek().text)
+	}
+	if n.Op.IsBool() {
+		return nil, fmt.Errorf("dsl: expression is a predicate, not a number")
+	}
+	return n, nil
+}
+
+// MustParse is Parse for statically-known expressions (tests, tables).
+func MustParse(src string) *Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokSym // single-rune symbol
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  float64
+}
+
+// lex splits the source into tokens. Hyphens glue identifier parts when
+// they sit directly between letters ("min-rtt"); otherwise '-' is a symbol.
+func lex(src string) ([]token, error) {
+	var toks []token
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsDigit(r) || r == '.':
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' || rs[j] == 'e' ||
+				(j > i && (rs[j] == '+' || rs[j] == '-') && (rs[j-1] == 'e'))) {
+				j++
+			}
+			v, err := strconv.ParseFloat(string(rs[i:j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dsl: bad number %q", string(rs[i:j]))
+			}
+			toks = append(toks, token{kind: tokNum, text: string(rs[i:j]), val: v})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) {
+				r := rs[j]
+				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+					j++
+					continue
+				}
+				// A hyphen joins identifier parts when followed by a letter.
+				if r == '-' && j+1 < len(rs) && unicode.IsLetter(rs[j+1]) {
+					j += 2
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToLower(string(rs[i:j]))})
+			i = j
+		case strings.ContainsRune("+-*/(){}?:<>%=,", r):
+			toks = append(toks, token{kind: tokSym, text: string(r)})
+			i++
+		default:
+			return nil, fmt.Errorf("dsl: unexpected character %q", string(r))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) eof() bool { return p.peek().kind == tokEOF }
+
+// accept consumes the symbol when it matches.
+func (p *parser) accept(sym string) bool {
+	if t := p.peek(); t.kind == tokSym && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes the symbol or fails.
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return fmt.Errorf("dsl: expected %q, found %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+// parseTernary := cmp [ '?' ternary ':' ternary ]
+func (p *parser) parseTernary() (*Node, error) {
+	cond, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("?") {
+		return cond, nil
+	}
+	if !cond.Op.IsBool() {
+		return nil, fmt.Errorf("dsl: conditional needs a predicate before '?'")
+	}
+	then, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return Cond(cond, then, els), nil
+}
+
+// parseCmp := addsub [ '<' addsub | '>' addsub | '%' addsub '=' '0' ]
+func (p *parser) parseCmp() (*Node, error) {
+	a, err := p.parseAddSub()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept("<"):
+		b, err := p.parseAddSub()
+		if err != nil {
+			return nil, err
+		}
+		return Lt(a, b), nil
+	case p.accept(">"):
+		b, err := p.parseAddSub()
+		if err != nil {
+			return nil, err
+		}
+		return Gt(a, b), nil
+	case p.accept("%"):
+		b, err := p.parseAddSub()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		// Accept "= 0" and "== 0".
+		p.accept("=")
+		z := p.next()
+		if z.kind != tokNum || z.val != 0 {
+			return nil, fmt.Errorf("dsl: modulo predicate must compare to 0")
+		}
+		return ModEq(a, b), nil
+	}
+	return a, nil
+}
+
+// parseAddSub := muldiv { ('+'|'-') muldiv }
+func (p *parser) parseAddSub() (*Node, error) {
+	a, err := p.parseMulDiv()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			b, err := p.parseMulDiv()
+			if err != nil {
+				return nil, err
+			}
+			a = Add(a, b)
+		case p.accept("-"):
+			b, err := p.parseMulDiv()
+			if err != nil {
+				return nil, err
+			}
+			a = Sub(a, b)
+		default:
+			return a, nil
+		}
+	}
+}
+
+// parseMulDiv := primary { ('*'|'/') primary }
+func (p *parser) parseMulDiv() (*Node, error) {
+	a, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("*"):
+			b, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			a = Mul(a, b)
+		case p.accept("/"):
+			b, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			a = Div(a, b)
+		default:
+			return a, nil
+		}
+	}
+}
+
+// identNodes maps identifier spellings (including common aliases) to leaf
+// constructors.
+var identNodes = map[string]func() *Node{
+	"cwnd":            Cwnd,
+	"mss":             func() *Node { return Sig(SigMSS) },
+	"acked":           func() *Node { return Sig(SigAcked) },
+	"acked-bytes":     func() *Node { return Sig(SigAcked) },
+	"time-since-loss": func() *Node { return Sig(SigTimeSinceLoss) },
+	"rtt":             func() *Node { return Sig(SigRTT) },
+	"min-rtt":         func() *Node { return Sig(SigMinRTT) },
+	"minrtt":          func() *Node { return Sig(SigMinRTT) },
+	"max-rtt":         func() *Node { return Sig(SigMaxRTT) },
+	"maxrtt":          func() *Node { return Sig(SigMaxRTT) },
+	"ack-rate":        func() *Node { return Sig(SigAckRate) },
+	"rtt-gradient":    func() *Node { return Sig(SigRTTGradient) },
+	"delay-gradient":  func() *Node { return Sig(SigRTTGradient) },
+	"wmax":            func() *Node { return Sig(SigWMax) },
+	"reno-inc":        func() *Node { return Mac(MacroRenoInc) },
+	"vegas-diff":      func() *Node { return Mac(MacroVegasDiff) },
+	"htcp-diff":       func() *Node { return Mac(MacroHTCPDiff) },
+	"rtts-since-loss": func() *Node { return Mac(MacroRTTsSinceLoss) },
+	"rtt-since-loss":  func() *Node { return Mac(MacroRTTsSinceLoss) },
+}
+
+// parsePrimary := number | ident | hole | cube(...) | cbrt(...) | (...) | {...}
+func (p *parser) parsePrimary() (*Node, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNum:
+		p.next()
+		return Lit(t.val), nil
+	case t.kind == tokIdent:
+		p.next()
+		switch t.text {
+		case "cube", "cbrt":
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseTernary()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if t.text == "cube" {
+				return Cube(arg), nil
+			}
+			return Cbrt(arg), nil
+		}
+		if mk, ok := identNodes[t.text]; ok {
+			return mk(), nil
+		}
+		// c1..c99 are sketch holes.
+		if len(t.text) >= 2 && t.text[0] == 'c' {
+			if _, err := strconv.Atoi(t.text[1:]); err == nil {
+				return Hole(), nil
+			}
+		}
+		return nil, fmt.Errorf("dsl: unknown identifier %q", t.text)
+	case p.accept("("):
+		n, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case p.accept("{"):
+		n, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case p.accept("-"):
+		// Unary minus: -x parses as (0-1)*x notationally; represent as
+		// Mul(Lit(-1), x) to stay within the grammar.
+		n, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == OpConst && n.Bound {
+			n.Value = -n.Value
+			return n, nil
+		}
+		return Mul(Lit(-1), n), nil
+	default:
+		return nil, fmt.Errorf("dsl: unexpected token %q", t.text)
+	}
+}

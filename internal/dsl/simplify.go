@@ -1,0 +1,184 @@
+package dsl
+
+import "math"
+
+// Simplify rewrites a fully-bound handler into an arithmetically simpler
+// equivalent for presentation — the role sympy plays in the paper's Table 2
+// ("we arithmetically simplify the expressions where possible for
+// readability"). The rewrite is semantics-preserving over all environments:
+//
+//   - constant subexpressions fold (2*3*mss -> 6*mss);
+//   - neutral elements vanish (x+0, 1*x, x/1, x-0);
+//   - annihilators collapse (0*x -> 0);
+//   - nested constant factors merge (2*(3*x) -> 6*x);
+//   - x/c rewrites to (1/c)*x, c/(d*x) to (c/d)/x;
+//   - cube(cbrt(x)) and cbrt(cube(x)) cancel;
+//   - conditionals with identical arms drop the predicate, and
+//     statically-decidable constant predicates pick their arm (the paper's
+//     student #5 case — a trivially-false comparison — simplifies away).
+//
+// Sketches (with unbound holes) are returned structurally cloned but
+// otherwise untouched: holes cannot be folded.
+func Simplify(n *Node) *Node {
+	if n.Holes() > 0 {
+		return n.Clone()
+	}
+	return simplify(n.Clone())
+}
+
+// simplify rewrites bottom-up until a fixed point (single pass per node is
+// enough because children are simplified first and each local rule either
+// returns a leaf or strictly smaller tree).
+func simplify(n *Node) *Node {
+	for i, k := range n.Kids {
+		n.Kids[i] = simplify(k)
+	}
+	switch n.Op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		return simplifyArith(n)
+	case OpCube, OpCbrt:
+		return simplifyPow(n)
+	case OpCond:
+		return simplifyCond(n)
+	default:
+		return n
+	}
+}
+
+// litVal extracts a bound constant's value.
+func litVal(n *Node) (float64, bool) {
+	if n.Op == OpConst && n.Bound {
+		return n.Value, true
+	}
+	return 0, false
+}
+
+// simplifyArith applies the binary-operator rules.
+func simplifyArith(n *Node) *Node {
+	a, b := n.Kids[0], n.Kids[1]
+	av, aConst := litVal(a)
+	bv, bConst := litVal(b)
+
+	// Full constant folding.
+	if aConst && bConst {
+		switch n.Op {
+		case OpAdd:
+			return Lit(av + bv)
+		case OpSub:
+			return Lit(av - bv)
+		case OpMul:
+			return Lit(av * bv)
+		case OpDiv:
+			if bv != 0 {
+				return Lit(av / bv)
+			}
+		}
+	}
+
+	switch n.Op {
+	case OpAdd:
+		if aConst && av == 0 {
+			return b
+		}
+		if bConst && bv == 0 {
+			return a
+		}
+	case OpSub:
+		if bConst && bv == 0 {
+			return a
+		}
+		if a.Equal(b) {
+			return Lit(0)
+		}
+	case OpMul:
+		switch {
+		case aConst && av == 0, bConst && bv == 0:
+			return Lit(0)
+		case aConst && av == 1:
+			return b
+		case bConst && bv == 1:
+			return a
+		}
+		// Merge nested constant factors: c*(d*x) -> (c*d)*x and
+		// (c*x)*y -> c*(x*y) canonically folded when both sides carry
+		// constants.
+		if aConst && b.Op == OpMul {
+			if dv, ok := litVal(b.Kids[0]); ok {
+				return simplifyArith(Mul(Lit(av*dv), b.Kids[1]))
+			}
+		}
+		if bConst && a.Op == OpMul {
+			if dv, ok := litVal(a.Kids[0]); ok {
+				return simplifyArith(Mul(Lit(bv*dv), a.Kids[1]))
+			}
+		}
+	case OpDiv:
+		if bConst && bv == 1 {
+			return a
+		}
+		if bConst && bv != 0 {
+			// x/c == (1/c)*x; re-simplify to merge with nested factors.
+			return simplifyArith(Mul(Lit(1/bv), a))
+		}
+		if a.Equal(b) {
+			return Lit(1)
+		}
+		if aConst && av == 0 {
+			return Lit(0)
+		}
+	}
+	return n
+}
+
+// simplifyPow cancels cube/cbrt pairs and folds constants.
+func simplifyPow(n *Node) *Node {
+	k := n.Kids[0]
+	if v, ok := litVal(k); ok {
+		if n.Op == OpCube {
+			return Lit(v * v * v)
+		}
+		return Lit(math.Cbrt(v))
+	}
+	if n.Op == OpCube && k.Op == OpCbrt {
+		return k.Kids[0]
+	}
+	if n.Op == OpCbrt && k.Op == OpCube {
+		return k.Kids[0]
+	}
+	return n
+}
+
+// simplifyCond drops decidable or degenerate conditionals.
+func simplifyCond(n *Node) *Node {
+	cond, then, els := n.Kids[0], n.Kids[1], n.Kids[2]
+	if then.Equal(els) {
+		return then
+	}
+	// Statically-decidable predicates: both comparison operands constant.
+	a, aConst := litVal(cond.Kids[0])
+	b, bConst := litVal(cond.Kids[1])
+	if aConst && bConst {
+		var take bool
+		var decidable bool
+		switch cond.Op {
+		case OpLt:
+			take, decidable = a < b, true
+		case OpGt:
+			take, decidable = a > b, true
+		case OpModEq:
+			if b != 0 {
+				r := math.Abs(math.Mod(a, b))
+				ab := math.Abs(b)
+				take = r <= modEqTolerance*ab || r >= (1-modEqTolerance)*ab
+				decidable = true
+			}
+		}
+		if decidable {
+			if take {
+				return then
+			}
+			return els
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package dsl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyCases(t *testing.T) {
+	cases := map[string]string{
+		// constant folding
+		"2*3*mss":               "6*mss",
+		"cwnd + 0*mss":          "cwnd",
+		"1*cwnd + 0.5*2*mss":    "cwnd + mss",
+		"cwnd/1":                "cwnd",
+		"cwnd - 0*acked":        "cwnd",
+		"cwnd/0.5":              "2*cwnd",
+		"2*(3*reno-inc) + cwnd": "cwnd + 6*reno-inc", // note: operand order preserved per input
+		"cube(cbrt(cwnd))":      "cwnd",
+		"cbrt(cube(acked))":     "acked",
+		"cube(2)":               "8",
+		// decidable conditionals (the student #5 situation)
+		"{2 < 1} ? mss : cwnd":         "cwnd",
+		"{1 < 2} ? mss : cwnd":         "mss",
+		"{4 % 2 = 0} ? mss : cwnd":     "mss",
+		"{5 % 2 = 0} ? mss : cwnd":     "cwnd",
+		"{cwnd < mss} ? acked : acked": "acked",
+	}
+	e := env()
+	for src, wantSrc := range cases {
+		in := MustParse(src)
+		got := Simplify(in)
+		want := MustParse(wantSrc)
+		// Compare semantically: equal values over the reference env.
+		gv, gerr := got.Eval(e)
+		wv, werr := want.Eval(e)
+		if gerr != nil || werr != nil {
+			t.Errorf("%q: eval errors %v/%v", src, gerr, werr)
+			continue
+		}
+		if math.Abs(gv-wv) > 1e-9 {
+			t.Errorf("Simplify(%q) = %q (%.3f), want %q (%.3f)", src, got, gv, want, wv)
+		}
+		if got.Size() > want.Size() {
+			t.Errorf("Simplify(%q) = %q (size %d) larger than %q (size %d)",
+				src, got, got.Size(), want, want.Size())
+		}
+	}
+}
+
+func TestSimplifyLeavesIrreducible(t *testing.T) {
+	for _, src := range []string{
+		"cwnd + 0.7*reno-inc",
+		"min-rtt*ack-rate*({rtts-since-loss % 8 = 0} ? 2.6 : 2.05)",
+		"cwnd + reno-inc*({vegas-diff < 0.7} ? 0.35 : 0.16)",
+	} {
+		in := MustParse(src)
+		got := Simplify(in)
+		if !got.Equal(in) {
+			t.Errorf("Simplify changed irreducible %q -> %q", src, got)
+		}
+	}
+}
+
+func TestSimplifyPreservesSketches(t *testing.T) {
+	sk := MustParse("cwnd + c1*reno-inc")
+	got := Simplify(sk)
+	if !got.Equal(sk) {
+		t.Errorf("Simplify altered a sketch: %q", got)
+	}
+	if got == sk {
+		t.Error("Simplify returned the input node, not a copy")
+	}
+}
+
+func TestSimplifyDoesNotMutateInput(t *testing.T) {
+	in := MustParse("2*3*mss")
+	before := in.String()
+	Simplify(in)
+	if in.String() != before {
+		t.Error("Simplify mutated its input")
+	}
+}
+
+// Property: simplification preserves semantics on random environments and
+// never grows the expression.
+func TestQuickSimplifySemantics(t *testing.T) {
+	exprs := []*Node{
+		MustParse("2*0.5*cwnd + 0*mss"),
+		MustParse("cwnd/0.25 - acked + 3*(2*mss)"),
+		MustParse("{3 < 2} ? cwnd + mss : cwnd + 2*acked"),
+		MustParse("cube(cbrt(cwnd + 4*mss))"),
+		MustParse("cwnd + reno-inc*({vegas-diff < 1} ? 2*0.35 : 0.16/2)"),
+		MustParse("(cwnd + 150*mss)/delay-gradient"),
+	}
+	simplified := make([]*Node, len(exprs))
+	for i, e := range exprs {
+		simplified[i] = Simplify(e)
+		if simplified[i].Size() > e.Size() {
+			t.Fatalf("Simplify grew %q -> %q", e, simplified[i])
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := &Env{
+			Cwnd:          1448 * (1 + rng.Float64()*50),
+			MSS:           1448,
+			Acked:         1448 * rng.Float64() * 3,
+			TimeSinceLoss: rng.Float64() * 10,
+			RTT:           0.02 + rng.Float64()*0.2,
+			MinRTT:        0.02,
+			MaxRTT:        0.3,
+			AckRate:       1e5 + rng.Float64()*2e6,
+			RTTGradient:   rng.Float64(),
+			WMax:          1448 * (1 + rng.Float64()*60),
+		}
+		for i := range exprs {
+			v1, err1 := exprs[i].Eval(e)
+			v2, err2 := simplified[i].Eval(e)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 == nil && math.Abs(v1-v2) > 1e-6*(1+math.Abs(v1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+package dsl
+
+import "fmt"
+
+// Dim is a dimension vector over (bytes, seconds) with integer exponents —
+// the quantifier-free finite-domain encoding the paper chose for its unit
+// constraints (§4.1): ack-rate is bytes^1 * sec^-1, RTT is sec^1, and a
+// handler's output must be bytes^1.
+type Dim struct {
+	Bytes int
+	Secs  int
+}
+
+// Dimensionless is the zero dimension.
+var Dimensionless = Dim{}
+
+// DimBytes is the dimension of window sizes.
+var DimBytes = Dim{Bytes: 1}
+
+// String renders e.g. "bytes^1*sec^-1".
+func (d Dim) String() string {
+	switch {
+	case d == Dimensionless:
+		return "1"
+	case d.Secs == 0:
+		return fmt.Sprintf("bytes^%d", d.Bytes)
+	case d.Bytes == 0:
+		return fmt.Sprintf("sec^%d", d.Secs)
+	default:
+		return fmt.Sprintf("bytes^%d*sec^%d", d.Bytes, d.Secs)
+	}
+}
+
+// Unit is the result of dimensional analysis: either a concrete dimension
+// or polymorphic ("Poly"). Constants are unit-polymorphic — in the paper's
+// SMT encoding every constant carries a free unit variable, which is what
+// lets Cubic's C absorb packets/sec^3 and lets a conditional arm hold a
+// bare 0. Any expression containing a free constant factor is polymorphic.
+type Unit struct {
+	D    Dim
+	Poly bool
+}
+
+// String implements fmt.Stringer.
+func (u Unit) String() string {
+	if u.Poly {
+		return "poly"
+	}
+	return u.D.String()
+}
+
+// maxExponent bounds dimension exponents during checking; expressions that
+// exceed it are rejected as physically meaningless.
+const maxExponent = 3
+
+// inRange reports whether the dimension's exponents are within bounds.
+func (d Dim) inRange() bool {
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	return abs(d.Bytes) <= maxExponent && abs(d.Secs) <= maxExponent
+}
+
+// signalDims gives each signal its physical dimension.
+var signalDims = map[Signal]Dim{
+	SigMSS:           DimBytes,
+	SigAcked:         DimBytes,
+	SigTimeSinceLoss: {Secs: 1},
+	SigRTT:           {Secs: 1},
+	SigMinRTT:        {Secs: 1},
+	SigMaxRTT:        {Secs: 1},
+	SigAckRate:       {Bytes: 1, Secs: -1},
+	SigRTTGradient:   Dimensionless,
+	SigWMax:          DimBytes,
+}
+
+// macroDims gives each macro its physical dimension (derivable from its
+// definition; pre-computed for clarity).
+var macroDims = map[Macro]Dim{
+	MacroRenoInc:       DimBytes,      // acked*mss/cwnd
+	MacroVegasDiff:     Dimensionless, // sec * bytes/sec / bytes
+	MacroHTCPDiff:      Dimensionless, // sec / sec
+	MacroRTTsSinceLoss: Dimensionless, // sec / sec
+}
+
+// ErrUnits is returned when an expression fails dimensional analysis.
+type ErrUnits struct {
+	Node   *Node
+	Reason string
+}
+
+// Error implements error.
+func (e *ErrUnits) Error() string {
+	return fmt.Sprintf("dsl: unit error at %q: %s", e.Node, e.Reason)
+}
+
+// UnitOf computes the expression's unit. Cube triples exponents; cube root
+// requires all exponents divisible by 3 — with integer exponents,
+// bytes^(1/3) is not representable, which is exactly the paper's stated
+// limitation for Cubic (§5.5).
+func UnitOf(n *Node) (Unit, error) {
+	switch n.Op {
+	case OpCwnd:
+		return Unit{D: DimBytes}, nil
+	case OpSignal:
+		return Unit{D: signalDims[n.Sig]}, nil
+	case OpMacro:
+		return Unit{D: macroDims[n.Mac]}, nil
+	case OpConst:
+		return Unit{Poly: true}, nil
+	case OpAdd, OpSub:
+		a, err := UnitOf(n.Kids[0])
+		if err != nil {
+			return Unit{}, err
+		}
+		b, err := UnitOf(n.Kids[1])
+		if err != nil {
+			return Unit{}, err
+		}
+		return joinEqual(n, a, b, "adding")
+	case OpMul, OpDiv:
+		a, err := UnitOf(n.Kids[0])
+		if err != nil {
+			return Unit{}, err
+		}
+		b, err := UnitOf(n.Kids[1])
+		if err != nil {
+			return Unit{}, err
+		}
+		if a.Poly || b.Poly {
+			// A free constant factor can shift the product to any
+			// dimension.
+			return Unit{Poly: true}, nil
+		}
+		var d Dim
+		if n.Op == OpMul {
+			d = Dim{Bytes: a.D.Bytes + b.D.Bytes, Secs: a.D.Secs + b.D.Secs}
+		} else {
+			d = Dim{Bytes: a.D.Bytes - b.D.Bytes, Secs: a.D.Secs - b.D.Secs}
+		}
+		if !d.inRange() {
+			return Unit{}, &ErrUnits{Node: n, Reason: "exponent out of range"}
+		}
+		return Unit{D: d}, nil
+	case OpCond:
+		if err := checkBoolUnits(n.Kids[0]); err != nil {
+			return Unit{}, err
+		}
+		a, err := UnitOf(n.Kids[1])
+		if err != nil {
+			return Unit{}, err
+		}
+		b, err := UnitOf(n.Kids[2])
+		if err != nil {
+			return Unit{}, err
+		}
+		return joinEqual(n, a, b, "branches")
+	case OpCube:
+		a, err := UnitOf(n.Kids[0])
+		if err != nil {
+			return Unit{}, err
+		}
+		if a.Poly {
+			return a, nil
+		}
+		d := Dim{Bytes: 3 * a.D.Bytes, Secs: 3 * a.D.Secs}
+		if !d.inRange() {
+			return Unit{}, &ErrUnits{Node: n, Reason: "cube exponent out of range"}
+		}
+		return Unit{D: d}, nil
+	case OpCbrt:
+		a, err := UnitOf(n.Kids[0])
+		if err != nil {
+			return Unit{}, err
+		}
+		if a.Poly {
+			return a, nil
+		}
+		if a.D.Bytes%3 != 0 || a.D.Secs%3 != 0 {
+			return Unit{}, &ErrUnits{Node: n, Reason: "cube root of non-cubic dimension"}
+		}
+		return Unit{D: Dim{Bytes: a.D.Bytes / 3, Secs: a.D.Secs / 3}}, nil
+	default:
+		return Unit{}, &ErrUnits{Node: n, Reason: "boolean where number expected"}
+	}
+}
+
+// joinEqual unifies two units that must agree (sum operands, conditional
+// branches): a polymorphic side adopts the other side's dimension.
+func joinEqual(n *Node, a, b Unit, what string) (Unit, error) {
+	switch {
+	case a.Poly && b.Poly:
+		return Unit{Poly: true}, nil
+	case a.Poly:
+		return b, nil
+	case b.Poly:
+		return a, nil
+	case a.D != b.D:
+		return Unit{}, &ErrUnits{Node: n, Reason: fmt.Sprintf("%s %s and %s", what, a.D, b.D)}
+	default:
+		return a, nil
+	}
+}
+
+// checkBoolUnits validates a comparison: both operands must share a
+// dimension, with polymorphic sides (calibration constants like
+// "cwnd % 2.7") unifying freely.
+func checkBoolUnits(n *Node) error {
+	if !n.Op.IsBool() {
+		return &ErrUnits{Node: n, Reason: "number where boolean expected"}
+	}
+	a, err := UnitOf(n.Kids[0])
+	if err != nil {
+		return err
+	}
+	b, err := UnitOf(n.Kids[1])
+	if err != nil {
+		return err
+	}
+	_, err = joinEqual(n, a, b, "comparing")
+	return err
+}
+
+// CheckHandlerUnits verifies the whole-expression contract: a cwnd-on-ACK
+// handler must produce bytes (or be polymorphic — a free constant can
+// always be assigned bytes-valued units).
+func CheckHandlerUnits(n *Node) error {
+	u, err := UnitOf(n)
+	if err != nil {
+		return err
+	}
+	if !u.Poly && u.D != DimBytes {
+		return &ErrUnits{Node: n, Reason: fmt.Sprintf("handler produces %s, want bytes", u.D)}
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+// Package enum enumerates the sketch search space (§4.1 of the paper): all
+// canonical, type-correct and (optionally) unit-correct expression trees of
+// a sub-DSL up to a depth and size bound. It stands in for the paper's
+// Z3-based enumerator — where the paper iteratively queries an SMT solver
+// and blocks previous solutions, this package generates the identical set
+// directly, lazily, and in a deterministic order.
+//
+// The search space is partitioned into buckets keyed by the exact set of
+// operators a sketch uses — the bucket discriminator the paper found to
+// best preserve behavioral similarity (§4.4, option 2).
+package enum
+
+import (
+	"iter"
+	"sort"
+
+	"repro/internal/dsl"
+)
+
+// Enumerator generates the sketch space of one sub-DSL.
+type Enumerator struct {
+	// D is the sub-DSL whose space is enumerated.
+	D *dsl.DSL
+}
+
+// New returns an enumerator for the sub-DSL.
+func New(d *dsl.DSL) *Enumerator { return &Enumerator{D: d} }
+
+// All yields every admissible sketch: canonical per dsl.IsCanonical,
+// within the DSL's depth/size budget, and producing bytes under the unit
+// checker when the DSL enables it.
+func (e *Enumerator) All() iter.Seq[*dsl.Node] {
+	return func(yield func(*dsl.Node) bool) {
+		e.enumerate(fullOpSet(e.D), nil, yield)
+	}
+}
+
+// Bucket yields the sketches whose operator set is exactly ops.
+func (e *Enumerator) Bucket(ops dsl.OpSet) iter.Seq[*dsl.Node] {
+	return e.BucketLimited(ops, 0)
+}
+
+// BucketLimited is Bucket with a scan budget: enumeration gives up after
+// scanLimit admissible candidates have been generated (whether or not they
+// belong to the bucket). A zero limit scans exhaustively. The limit is the
+// in-process analogue of the paper's per-run wall-clock timeout: highly
+// selective buckets deep in a large DSL stop consuming time once their
+// budget is spent.
+func (e *Enumerator) BucketLimited(ops dsl.OpSet, scanLimit int) iter.Seq[*dsl.Node] {
+	return func(yield func(*dsl.Node) bool) {
+		e.enumerateLimited(ops, scanLimit, func(n *dsl.Node) verdict {
+			if n.Ops() != ops {
+				return skip
+			}
+			return keep
+		}, yield)
+	}
+}
+
+// verdict is a filter decision during enumeration.
+type verdict int
+
+const (
+	keep verdict = iota
+	skip
+	stopEnum
+)
+
+// enumerate runs the generator with ops as the allowed operator superset
+// and an optional final filter. Generation proceeds by iterative deepening
+// — all depth-1 sketches, then depth-2, ... — so samples drawn from a
+// bucket's prefix are the simplest members of that bucket, mirroring the
+// small-model-first order of the paper's SMT enumeration.
+func (e *Enumerator) enumerate(allowed dsl.OpSet, filter func(*dsl.Node) verdict, yield func(*dsl.Node) bool) {
+	e.enumerateLimited(allowed, 0, filter, yield)
+}
+
+// enumerateLimited is enumerate with a scan budget tied to the actual
+// generation work: every candidate root the generator constructs counts,
+// including ones a later stage re-emits or the unit checker rejects —
+// otherwise a deep DSL stage could grind indefinitely without ever
+// consuming budget.
+func (e *Enumerator) enumerateLimited(allowed dsl.OpSet, scanLimit int, filter func(*dsl.Node) verdict, yield func(*dsl.Node) bool) {
+	budget := e.D.MaxNodes
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	g := &gen{dsl: e.D, allowed: allowed, limit: scanLimit}
+	for depth := 1; depth <= e.D.MaxDepth; depth++ {
+		want := depth
+		ok := g.genNum(depth, budget, func(n *dsl.Node) bool {
+			if n.Depth() != want {
+				return true // emitted at an earlier stage
+			}
+			if e.D.UnitCheck {
+				if dsl.CheckHandlerUnits(n) != nil {
+					return true // skip, keep enumerating
+				}
+			}
+			if filter != nil {
+				switch filter(n) {
+				case skip:
+					return true
+				case stopEnum:
+					return false
+				}
+			}
+			return yield(n.Clone())
+		})
+		if !ok {
+			return
+		}
+	}
+}
+
+// Count exhaustively counts the admissible sketch space (§6.1 reports this
+// for the Reno DSL at depth 3).
+func (e *Enumerator) Count() int {
+	n := 0
+	for range e.All() {
+		n++
+	}
+	return n
+}
+
+// fullOpSet returns the DSL's operator universe (Gt folded into Lt).
+func fullOpSet(d *dsl.DSL) dsl.OpSet {
+	var s dsl.OpSet
+	for _, op := range d.NumOps {
+		s = s.With(op)
+	}
+	for _, op := range d.BoolOps {
+		if op == dsl.OpGt {
+			op = dsl.OpLt
+		}
+		s = s.With(op)
+	}
+	return s
+}
+
+// Buckets returns every feasible bucket key: subsets of the operator
+// universe in which conditionals and predicates appear together (a bool
+// operator only ever occurs under a cond, and a cond requires a predicate).
+// The empty set (single-leaf sketches) is included. Keys are returned in a
+// deterministic order.
+func (e *Enumerator) Buckets() []dsl.OpSet {
+	universe := []dsl.Op{}
+	for _, op := range e.D.NumOps {
+		universe = append(universe, op)
+	}
+	boolOps := []dsl.Op{}
+	for _, op := range e.D.BoolOps {
+		if op == dsl.OpGt {
+			op = dsl.OpLt
+		}
+		boolOps = append(boolOps, op)
+	}
+	// Split cond out of the numeric universe: its presence is tied to the
+	// bool ops.
+	numOps := []dsl.Op{}
+	hasCond := false
+	for _, op := range universe {
+		if op == dsl.OpCond {
+			hasCond = true
+			continue
+		}
+		numOps = append(numOps, op)
+	}
+
+	var keys []dsl.OpSet
+	for mask := 0; mask < 1<<len(numOps); mask++ {
+		var base dsl.OpSet
+		for i, op := range numOps {
+			if mask&(1<<i) != 0 {
+				base = base.With(op)
+			}
+		}
+		keys = append(keys, base)
+		if !hasCond {
+			continue
+		}
+		for bmask := 1; bmask < 1<<len(boolOps); bmask++ {
+			s := base.With(dsl.OpCond)
+			for i, op := range boolOps {
+				if bmask&(1<<i) != 0 {
+					s = s.With(op)
+				}
+			}
+			keys = append(keys, s)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// gen is the recursive generator. Children are canonical by construction,
+// so each candidate node needs only the local canonicality check. When
+// limit > 0, every constructed candidate — canonical or not — counts
+// against it, so the budget bounds the generator's actual work; spent
+// reports how much has been used.
+type gen struct {
+	dsl     *dsl.DSL
+	allowed dsl.OpSet
+	limit   int
+	spent   int
+}
+
+// charge consumes budget for one constructed candidate; it reports false
+// when the budget is exhausted.
+func (g *gen) charge() bool {
+	if g.limit <= 0 {
+		return true
+	}
+	g.spent++
+	return g.spent <= g.limit
+}
+
+// hasOp reports whether the operator may be used.
+func (g *gen) hasOp(op dsl.Op) bool {
+	// The DSL must contain it and the bucket superset must allow it.
+	in := false
+	for _, o := range g.dsl.NumOps {
+		if o == op {
+			in = true
+		}
+	}
+	for _, o := range g.dsl.BoolOps {
+		if o == op {
+			in = true
+		}
+	}
+	return in && g.allowed.Has(opKeyOf(op))
+}
+
+// opKeyOf folds Gt into Lt for bucket membership.
+func opKeyOf(op dsl.Op) dsl.Op {
+	if op == dsl.OpGt {
+		return dsl.OpLt
+	}
+	return op
+}
+
+// genNum yields all canonical numeric trees with depth <= d and size <=
+// budget. Each structurally distinct tree is produced exactly once. The
+// callback returns false to stop enumeration; genNum propagates the stop.
+func (g *gen) genNum(d, budget int, yield func(*dsl.Node) bool) bool {
+	if d < 1 || budget < 1 {
+		return true
+	}
+	// Leaves.
+	if !yield(dsl.Cwnd()) {
+		return false
+	}
+	for _, s := range g.dsl.Signals {
+		if !yield(dsl.Sig(s)) {
+			return false
+		}
+	}
+	for _, m := range g.dsl.Macros {
+		if !yield(dsl.Mac(m)) {
+			return false
+		}
+	}
+	if !yield(dsl.Hole()) {
+		return false
+	}
+	if d < 2 || budget < 2 {
+		return true
+	}
+
+	// Unary operators.
+	for _, op := range []dsl.Op{dsl.OpCube, dsl.OpCbrt} {
+		if !g.hasOp(op) {
+			continue
+		}
+		ok := g.genNum(d-1, budget-1, func(k *dsl.Node) bool {
+			if !g.charge() {
+				return false
+			}
+			n := &dsl.Node{Op: op, Kids: []*dsl.Node{k}}
+			if !dsl.CanonicalAt(n) {
+				return true
+			}
+			return yield(n)
+		})
+		if !ok {
+			return false
+		}
+	}
+
+	if budget < 3 {
+		return true
+	}
+	// Binary operators.
+	for _, op := range []dsl.Op{dsl.OpAdd, dsl.OpSub, dsl.OpMul, dsl.OpDiv} {
+		if !g.hasOp(op) {
+			continue
+		}
+		o := op
+		ok := g.genNum(d-1, budget-2, func(a *dsl.Node) bool {
+			return g.genNum(d-1, budget-1-a.Size(), func(b *dsl.Node) bool {
+				if !g.charge() {
+					return false
+				}
+				n := &dsl.Node{Op: o, Kids: []*dsl.Node{a, b}}
+				if !dsl.CanonicalAt(n) {
+					return true
+				}
+				return yield(n)
+			})
+		})
+		if !ok {
+			return false
+		}
+	}
+
+	// Conditionals.
+	if g.hasOp(dsl.OpCond) && d >= 3 && budget >= 5 {
+		ok := g.genBool(d-1, budget-3, func(cond *dsl.Node) bool {
+			return g.genNum(d-1, budget-1-cond.Size()-1, func(then *dsl.Node) bool {
+				return g.genNum(d-1, budget-1-cond.Size()-then.Size(), func(els *dsl.Node) bool {
+					if !g.charge() {
+						return false
+					}
+					n := &dsl.Node{Op: dsl.OpCond, Kids: []*dsl.Node{cond, then, els}}
+					if !dsl.CanonicalAt(n) {
+						return true
+					}
+					return yield(n)
+				})
+			})
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// genBool yields all canonical predicates with depth <= d, size <= budget.
+func (g *gen) genBool(d, budget int, yield func(*dsl.Node) bool) bool {
+	if d < 2 || budget < 3 {
+		return true
+	}
+	for _, op := range []dsl.Op{dsl.OpLt, dsl.OpModEq} {
+		if !g.hasOp(op) {
+			continue
+		}
+		o := op
+		ok := g.genNum(d-1, budget-2, func(a *dsl.Node) bool {
+			return g.genNum(d-1, budget-1-a.Size(), func(b *dsl.Node) bool {
+				if !g.charge() {
+					return false
+				}
+				n := &dsl.Node{Op: o, Kids: []*dsl.Node{a, b}}
+				if !dsl.CanonicalAt(n) {
+					return true
+				}
+				return yield(n)
+			})
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/replay"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out: the search
+// metric (DTW vs Euclidean, §4.3), the bucket refinement loop (§4.4),
+// diverse trace-segment selection (§3.2), and the size of the constant
+// pool (§4.2). Each variant runs the same synthesis task under an equal
+// handler budget; lower final distance at equal budget is better.
+
+// AblationRow is one variant's outcome.
+type AblationRow struct {
+	// Variant names the configuration.
+	Variant string
+	// Handler is the (simplified) synthesized expression.
+	Handler string
+	// Distance is the final summed DTW distance over all segments — the
+	// common yardstick, regardless of the metric used during search.
+	Distance float64
+	// HandlersScored is the search effort actually spent.
+	HandlersScored int
+	Err            error
+}
+
+// ablationVariants builds the option sets, all derived from the same base.
+func ablationVariants(base core.Options) []struct {
+	name string
+	opts core.Options
+} {
+	euclid := base
+	euclid.Metric = dist.Euclidean{}
+
+	noPrune := base
+	noPrune.NoBucketPruning = true
+
+	randSeg := base
+	randSeg.RandomSegments = true
+
+	smallPool := base
+	d := *base.DSL
+	d.Constants = []float64{0.5, 1, 2}
+	smallPool.DSL = &d
+
+	return []struct {
+		name string
+		opts core.Options
+	}{
+		{"baseline (DTW, buckets, diverse)", base},
+		{"euclidean search metric", euclid},
+		{"no bucket pruning", noPrune},
+		{"random segment selection", randSeg},
+		{"constant pool {0.5,1,2}", smallPool},
+	}
+}
+
+// Ablation runs every variant on one CCA's traces.
+func Ablation(ccaName string, s Scale) ([]AblationRow, error) {
+	ds, err := Collect(ccaName, s)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dsl.Named(expr.DSLHint(ccaName))
+	if err != nil {
+		return nil, err
+	}
+	base := core.Options{
+		DSL:         d,
+		MaxHandlers: s.MaxHandlers,
+		ScanBudget:  s.ScanBudget,
+		Seed:        s.Seed,
+	}
+	var rows []AblationRow
+	for _, v := range ablationVariants(base) {
+		res, err := core.Synthesize(ds.Segments, v.opts)
+		row := AblationRow{Variant: v.name}
+		if err != nil {
+			row.Err = err
+			rows = append(rows, row)
+			continue
+		}
+		row.Handler = dsl.Simplify(res.Handler).String()
+		// Re-score every variant under DTW over all segments so the
+		// comparison is apples-to-apples.
+		row.Distance = res.Distance
+		if _, isDTW := v.opts.Metric.(dist.DTW); v.opts.Metric != nil && !isDTW {
+			row.Distance = rescoreDTW(res, ds)
+		}
+		row.HandlersScored = res.Stats.HandlersScored
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// rescoreDTW re-evaluates a result under the common DTW yardstick.
+func rescoreDTW(res *core.Result, ds *Dataset) float64 {
+	return replay.TotalDistance(res.Handler, ds.Segments, dist.DTW{})
+}
+
+// FormatAblation renders the comparison.
+func FormatAblation(cca string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ablation on %s traces (equal handler budget; DTW yardstick)\n", cca)
+	fmt.Fprintf(&b, "%-34s %10s %10s  %s\n", "variant", "DTW dist", "handlers", "handler")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-34s failed: %v\n", r.Variant, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-34s %10.2f %10d  %s\n", r.Variant, r.Distance, r.HandlersScored, r.Handler)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Plot-ready artifacts: the figures in the paper are curves; the format
+// functions print summaries, and these helpers dump the underlying series
+// as CSV so any plotting tool can regenerate the visuals.
+
+// Fig3CSV renders the full error sweep: one row per (metric, error factor)
+// with per-handler distances and the correctness flag.
+func Fig3CSV(points []Fig3Point) []byte {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"metric", "error", "bbr", "cubic", "reno", "vegas", "correct"})
+	for _, p := range points {
+		_ = w.Write([]string{
+			p.Metric,
+			fmt.Sprintf("%.4f", p.Error),
+			f64(p.Distances["bbr"]),
+			f64(p.Distances["cubic"]),
+			f64(p.Distances["reno"]),
+			f64(p.Distances["vegas"]),
+			strconv.FormatBool(p.Correct),
+		})
+	}
+	w.Flush()
+	return []byte(b.String())
+}
+
+func f64(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// SegmentReplayCSV renders an observed segment alongside one or more
+// handlers' replayed CWND series — the raw material of Figures 4 and 5.
+// Column 1 is time (s), column 2 the observed window (MSS units), then one
+// column per handler.
+func SegmentReplayCSV(seg *trace.Segment, handlers map[string]*dsl.Node) ([]byte, error) {
+	obs := seg.Series()
+	names := make([]string, 0, len(handlers))
+	for n := range handlers {
+		names = append(names, n)
+	}
+	// Stable column order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	series := map[string]dist.Series{}
+	for _, n := range names {
+		s, err := replay.Synthesize(handlers[n], seg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replaying %q: %w", n, err)
+		}
+		series[n] = s
+	}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := append([]string{"time_s", "observed_mss"}, names...)
+	_ = w.Write(header)
+	for i := range obs.Times {
+		row := []string{
+			fmt.Sprintf("%.4f", obs.Times[i]),
+			fmt.Sprintf("%.3f", obs.Values[i]),
+		}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.3f", series[n].Values[i]))
+		}
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return []byte(b.String()), nil
+}
+
+// WriteFigureArtifacts regenerates the plottable data behind Figures 3-5
+// into dir: fig3.csv (the sweep), fig4-segment-*.csv (BBR segments with
+// both handlers replayed) and fig5-segment.csv (an HTCP segment with the
+// Reno-variant handler).
+func WriteFigureArtifacts(dir string, s Scale) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Figure 3.
+	points, err := Fig3(s)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fig3.csv"), Fig3CSV(points), 0o644); err != nil {
+		return err
+	}
+
+	// Figure 4: first two scoreable BBR segments with both handlers.
+	bbr, err := Collect("bbr", s)
+	if err != nil {
+		return err
+	}
+	fine, err := expr.Lookup("bbr")
+	if err != nil {
+		return err
+	}
+	handlers := map[string]*dsl.Node{
+		"synthesized": dsl.MustParse(Fig4SynthesizedBBR),
+		"fine_tuned":  fine.Handler(),
+	}
+	written := 0
+	for i, seg := range bbr.Segments {
+		data, err := SegmentReplayCSV(seg, handlers)
+		if err != nil {
+			continue // diverging segment; skip
+		}
+		name := fmt.Sprintf("fig4-segment-%d.csv", i)
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+		if written++; written >= 2 {
+			break
+		}
+	}
+
+	// Figure 5: the first HTCP segment with the plain Reno handler.
+	htcp, err := Collect("htcp", s)
+	if err != nil {
+		return err
+	}
+	if len(htcp.Segments) > 0 {
+		data, err := SegmentReplayCSV(htcp.Segments[0], map[string]*dsl.Node{
+			"reno_variant": dsl.MustParse("cwnd + reno-inc"),
+		})
+		if err == nil {
+			if err := os.WriteFile(filepath.Join(dir, "fig5-segment.csv"), data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

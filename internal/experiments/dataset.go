@@ -1,0 +1,181 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5-§6): trace collection over the testbed grid, synthesis per
+// CCA (Table 2), classification (Table 3), search accuracy (Table 4),
+// distance-metric error tolerance (Figure 3), the BBR pulse case study
+// (Figure 4), the HTCP inflection case study (Figure 5), DSL-input impact
+// on the student CCAs (Figure 6), and the search-efficiency accounting of
+// §6.1. Both cmd/experiments and the repository's benchmark harness drive
+// these entry points.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/classify"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Scale tunes how much work the experiments do. Full reproduces the
+// evaluation at paper-like trace volume; Quick shrinks runs for benchmarks
+// and smoke tests while keeping every code path identical.
+type Scale struct {
+	// Duration of each simulated flow.
+	Duration time.Duration
+	// RTTs and Bandwidths form the testbed grid (§3.2: 10-100ms,
+	// 5-15 Mbit/s).
+	RTTs       []time.Duration
+	Bandwidths []float64
+	// Jitter and LossRate are the measurement-noise knobs.
+	Jitter   time.Duration
+	LossRate float64
+	// MaxHandlers bounds each synthesis run.
+	MaxHandlers int
+	// ScanBudget bounds per-bucket enumeration effort in each synthesis
+	// run (0 uses core's default).
+	ScanBudget int
+	// MinSegment is the minimum samples per trace segment.
+	MinSegment int
+	// Seed drives everything.
+	Seed int64
+}
+
+// FullScale is the paper-like configuration.
+func FullScale() Scale {
+	return Scale{
+		Duration:    30 * time.Second,
+		RTTs:        []time.Duration{10 * time.Millisecond, 40 * time.Millisecond, 100 * time.Millisecond},
+		Bandwidths:  []float64{5e6 / 8, 10e6 / 8, 15e6 / 8},
+		Jitter:      time.Millisecond,
+		LossRate:    0.0005,
+		MaxHandlers: 120000,
+		ScanBudget:  150000,
+		MinSegment:  16,
+		Seed:        1,
+	}
+}
+
+// QuickScale is a reduced configuration for benchmarks: one short scenario
+// per RTT/bandwidth pair and a small search budget.
+func QuickScale() Scale {
+	return Scale{
+		Duration:    12 * time.Second,
+		RTTs:        []time.Duration{40 * time.Millisecond, 100 * time.Millisecond},
+		Bandwidths:  []float64{10e6 / 8},
+		Jitter:      500 * time.Microsecond,
+		LossRate:    0.0005,
+		MaxHandlers: 8000,
+		ScanBudget:  30000,
+		MinSegment:  16,
+		Seed:        1,
+	}
+}
+
+// Grid expands the scale into simulator scenarios for one CCA.
+func (s Scale) Grid(ccaName string) []sim.Config {
+	var cfgs []sim.Config
+	i := int64(0)
+	for _, rtt := range s.RTTs {
+		for _, bw := range s.Bandwidths {
+			i++
+			cfgs = append(cfgs, sim.Config{
+				CCA:       ccaName,
+				Bandwidth: bw,
+				RTT:       rtt,
+				Duration:  s.Duration,
+				Jitter:    s.Jitter,
+				LossRate:  s.LossRate,
+				Seed:      s.Seed*1000 + i,
+			})
+		}
+	}
+	return cfgs
+}
+
+// Dataset is the analyzed trace collection for one CCA.
+type Dataset struct {
+	// CCA is the ground-truth algorithm.
+	CCA string
+	// Traces holds one analyzed trace per scenario.
+	Traces []*trace.Trace
+	// Configs aligns 1:1 with Traces.
+	Configs []sim.Config
+	// Segments is the concatenated between-loss segmentation.
+	Segments []*trace.Segment
+}
+
+// datasetCache avoids re-simulating the same (cca, scale-ish) inputs
+// within one process; keyed by cca + seed + duration.
+var datasetCache sync.Map
+
+type datasetKey struct {
+	cca  string
+	seed int64
+	dur  time.Duration
+	n    int
+}
+
+// Collect simulates the grid for a CCA and analyzes every capture.
+func Collect(ccaName string, s Scale) (*Dataset, error) {
+	key := datasetKey{cca: ccaName, seed: s.Seed, dur: s.Duration, n: len(s.RTTs) * len(s.Bandwidths)}
+	if v, ok := datasetCache.Load(key); ok {
+		return v.(*Dataset), nil
+	}
+	ds := &Dataset{CCA: ccaName}
+	for _, cfg := range s.Grid(ccaName) {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: simulating %s: %w", ccaName, err)
+		}
+		tr, err := trace.AnalyzeRecords(res.Records)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: analyzing %s: %w", ccaName, err)
+		}
+		tr.Label = ccaName
+		ds.Traces = append(ds.Traces, tr)
+		ds.Configs = append(ds.Configs, cfg)
+		ds.Segments = append(ds.Segments, tr.Split(s.MinSegment)...)
+	}
+	if len(ds.Segments) == 0 {
+		// Near-lossless CCAs (Vegas at large buffers) may produce a
+		// single unsegmented trace; fall back to whole traces.
+		for _, tr := range ds.Traces {
+			ds.Segments = append(ds.Segments, &trace.Segment{
+				Samples: tr.Samples, MSS: tr.MSS, Label: tr.Label,
+			})
+		}
+	}
+	datasetCache.Store(key, ds)
+	return ds, nil
+}
+
+// BuildClassifier assembles the reference library over the kernel CCAs
+// (two noisy runs per scenario per CCA) and calibrates its Unknown
+// threshold — the Gordon/CCAnalyzer stand-in used for Table 3 and the
+// sub-DSL hints.
+func BuildClassifier(s Scale) (*classify.Classifier, error) {
+	c := classify.New(nil)
+	for _, name := range cca.KernelNames() {
+		for _, cfg := range s.Grid(name) {
+			for rep := int64(0); rep < 2; rep++ {
+				run := cfg
+				run.Seed = cfg.Seed + 7000 + rep // distinct from probe seeds
+				res, err := sim.Run(run)
+				if err != nil {
+					return nil, err
+				}
+				tr, err := trace.AnalyzeRecords(res.Records)
+				if err != nil {
+					return nil, err
+				}
+				key := classify.ConfigKey(int(cfg.RTT/time.Millisecond), cfg.Bandwidth)
+				c.Add(key, name, tr)
+			}
+		}
+	}
+	c.Calibrate(1.5)
+	return c, nil
+}

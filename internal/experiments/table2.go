@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/replay"
+)
+
+// Table2Row is one CCA's synthesis outcome, mirroring a row of the paper's
+// Table 2.
+type Table2Row struct {
+	// CCA is the ground-truth algorithm the traces came from.
+	CCA string
+	// DSLName is the sub-DSL searched (classifier hint).
+	DSLName string
+	// Synthesized is Abagnale's output handler and SynthDistance its
+	// summed DTW distance over the trace segments.
+	Synthesized   string
+	SynthDistance float64
+	// FineTuned is the expert handler for the CCA (empty if none exists)
+	// and FineDistance its summed distance over the same segments.
+	FineTuned    string
+	FineDistance float64
+	// Segments is how many trace segments the distances sum over.
+	Segments int
+	// Err records a failed synthesis (e.g. out-of-scope CCAs).
+	Err error
+}
+
+// Table2CCAs lists the algorithms the paper runs Abagnale on: the kernel
+// CCAs minus CDG (randomized, out of DSL) and HighSpeed (log-table, out of
+// DSL), plus the seven student CCAs (§5.1, §5.5).
+func Table2CCAs() []string {
+	var out []string
+	for _, n := range cca.KernelNames() {
+		if n == "cdg" || n == "highspeed" {
+			continue
+		}
+		out = append(out, n)
+	}
+	return append(out, cca.StudentNames()...)
+}
+
+// Table2 synthesizes every requested CCA and scores the fine-tuned
+// handlers over the same segments. A nil classifier skips the hint step
+// and uses the static per-CCA DSL mapping.
+func Table2(ccas []string, s Scale, cls *classify.Classifier) ([]Table2Row, error) {
+	if ccas == nil {
+		ccas = Table2CCAs()
+	}
+	var rows []Table2Row
+	for _, name := range ccas {
+		row, err := table2Row(name, s, cls)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// table2Row runs the full pipeline for one CCA.
+func table2Row(name string, s Scale, cls *classify.Classifier) (Table2Row, error) {
+	ds, err := Collect(name, s)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	dslName := expr.DSLHint(name)
+	if cls != nil {
+		// Classify the first trace to pick the sub-DSL, as §3.3 does.
+		key := classify.ConfigKey(int(ds.Configs[0].RTT/time.Millisecond), ds.Configs[0].Bandwidth)
+		if res, err := cls.Classify(key, ds.Traces[0]); err == nil {
+			dslName = res.HintDSL()
+		}
+	}
+	d, err := dsl.Named(dslName)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	res, err := core.Synthesize(ds.Segments, core.Options{
+		DSL:         d,
+		MaxHandlers: s.MaxHandlers,
+		ScanBudget:  s.ScanBudget,
+		Seed:        s.Seed,
+	})
+	row := Table2Row{CCA: name, DSLName: dslName, Segments: len(ds.Segments)}
+	if err != nil {
+		row.Err = err
+		return row, nil
+	}
+	// The paper arithmetically simplifies synthesized expressions for
+	// readability before printing them (§5.1).
+	row.Synthesized = dsl.Simplify(res.Handler).String()
+	row.SynthDistance = res.Distance
+	if f, err := expr.Lookup(name); err == nil {
+		row.FineTuned = f.Source
+		row.FineDistance = replay.TotalDistance(f.Handler(), ds.Segments, dist.DTW{})
+	} else {
+		row.FineDistance = math.NaN()
+	}
+	return row, nil
+}
+
+// FormatTable2 renders rows the way the paper prints Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s %-58s %10s  %-58s %10s\n",
+		"CCA", "DSL", "Synthesized cwnd-ack handler", "DTW dist", "Fine-tuned cwnd-ack handler", "DTW dist")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-10s %-6s synthesis failed: %v\n", r.CCA, r.DSLName, r.Err)
+			continue
+		}
+		fine, fd := "-", "-"
+		if r.FineTuned != "" {
+			fine = r.FineTuned
+			fd = fmt.Sprintf("%.2f", r.FineDistance)
+		}
+		fmt.Fprintf(&b, "%-10s %-6s %-58s %10.2f  %-58s %10s\n",
+			r.CCA, r.DSLName, clip(r.Synthesized, 58), r.SynthDistance, clip(fine, 58), fd)
+	}
+	return b.String()
+}
+
+// clip shortens long expressions for the fixed-width rendering.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

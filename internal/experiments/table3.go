@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/classify"
+)
+
+// Table3Row is one CCA's classification verdict, mirroring the paper's
+// Table 3.
+type Table3Row struct {
+	// CCA is the ground truth.
+	CCA string
+	// Output is the classifier's label ("Unknown" possible).
+	Output string
+	// Nearest lists the closest known CCAs (reported for Unknowns, as
+	// CCAnalyzer does).
+	Nearest []string
+	// Correct is true when Output == CCA.
+	Correct bool
+}
+
+// Table3 classifies one probe trace per CCA against the reference library.
+func Table3(s Scale, cls *classify.Classifier) ([]Table3Row, error) {
+	if cls == nil {
+		var err error
+		cls, err = BuildClassifier(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	names := append(append([]string{}, cca.KernelNames()...), cca.StudentNames()...)
+	var rows []Table3Row
+	for _, name := range names {
+		ds, err := Collect(name, s)
+		if err != nil {
+			return rows, err
+		}
+		key := classify.ConfigKey(int(ds.Configs[0].RTT/time.Millisecond), ds.Configs[0].Bandwidth)
+		res, err := cls.Classify(key, ds.Traces[0])
+		if err != nil {
+			return rows, err
+		}
+		row := Table3Row{CCA: name, Output: res.Label, Correct: res.Label == name}
+		for i, m := range res.Nearest {
+			if i >= 2 {
+				break
+			}
+			row.Nearest = append(row.Nearest, m.Label)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders the classification table.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-12s %-9s %s\n", "CCA", "Classifier", "Correct", "Nearest")
+	for _, r := range rows {
+		mark := ""
+		if r.Correct {
+			mark = "yes"
+		}
+		fmt.Fprintf(&b, "%-10s %-12s %-9s %s\n", r.CCA, r.Output, mark, strings.Join(r.Nearest, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+)
+
+// Table4Row reports where the refinement loop ranked the fine-tuned
+// handler's bucket after iterations 1 and 2 (§6.2) — how close the search
+// came to the expert answer before committing elsewhere.
+type Table4Row struct {
+	// CCA is the algorithm under synthesis.
+	CCA string
+	// Rank1/Total1 is the fine-tuned bucket's position after iteration 1
+	// (e.g. the paper's "4/127" for BBR). Rank1 == 0 means the bucket was
+	// empty or absent.
+	Rank1, Total1 int
+	// Rank2/Total2 is the position after iteration 2; Total2 == 0 when
+	// the loop finished in one iteration.
+	Rank2, Total2 int
+	// Survived1 reports whether the bucket advanced past iteration 1.
+	Survived1 bool
+}
+
+// Table4 runs an instrumented synthesis per CCA and extracts the
+// fine-tuned handler's bucket trajectory.
+func Table4(ccas []string, s Scale) ([]Table4Row, error) {
+	if ccas == nil {
+		ccas = expr.Names()
+	}
+	var rows []Table4Row
+	for _, name := range ccas {
+		f, err := expr.Lookup(name)
+		if err != nil {
+			continue // no fine-tuned handler for this CCA
+		}
+		ds, err := Collect(name, s)
+		if err != nil {
+			return rows, err
+		}
+		d, err := dsl.Named(f.DSLName)
+		if err != nil {
+			return rows, err
+		}
+		res, err := core.Synthesize(ds.Segments, core.Options{
+			DSL:         d,
+			MaxHandlers: s.MaxHandlers,
+			Seed:        s.Seed,
+		})
+		if err != nil {
+			return rows, err
+		}
+		ops := f.Handler().Ops()
+		row := Table4Row{CCA: name}
+		its := res.Stats.Iterations
+		if len(its) >= 1 {
+			row.Rank1 = its[0].RankOf(ops)
+			row.Total1 = len(its[0].Ranking)
+			row.Survived1 = row.Rank1 > 0 && row.Rank1 <= its[0].Kept
+		}
+		if len(its) >= 2 {
+			row.Rank2 = its[1].RankOf(ops)
+			row.Total2 = len(its[1].Ranking)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders the ranks like the paper ("4/127", "3/5").
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-18s %-18s\n", "CCA", "pos. after iter 1", "pos. after iter 2")
+	for _, r := range rows {
+		p1 := "-"
+		if r.Rank1 > 0 {
+			p1 = fmt.Sprintf("%d/%d", r.Rank1, r.Total1)
+		}
+		p2 := "-"
+		if r.Rank2 > 0 {
+			p2 = fmt.Sprintf("%d/%d", r.Rank2, r.Total2)
+		}
+		fmt.Fprintf(&b, "%-10s %-18s %-18s\n", r.CCA, p1, p2)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+// Package expr is the library of domain-expert handler expressions from
+// Table 2 of the paper: for each kernel CCA, the fine-tuned cwnd-on-ACK
+// handler a human wrote from the CCA's source code, within the same DSL
+// and depth budget as the synthesized output. The accuracy evaluation
+// (§6.2, Table 4) measures how far Abagnale's search got from these.
+package expr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsl"
+)
+
+// FineTuned holds one CCA's expert handler and the sub-DSL it lives in.
+type FineTuned struct {
+	// CCA is the ground-truth algorithm name.
+	CCA string
+	// DSLName is the sub-DSL the handler (and synthesis for this CCA)
+	// uses — the classifier-derived hint of §3.3.
+	DSLName string
+	// Source is the handler in the paper's notation.
+	Source string
+}
+
+// Handler parses the source expression.
+func (f FineTuned) Handler() *dsl.Node { return dsl.MustParse(f.Source) }
+
+// DSL returns the sub-DSL instance.
+func (f FineTuned) DSL() *dsl.DSL {
+	d, err := dsl.Named(f.DSLName)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// fineTuned lists Table 2's third column. CDG and HighSpeed have no entry:
+// the paper does not run Abagnale on them (randomness / out-of-DSL
+// operators, §5.5). BIC's handler exceeds every tractable depth bound, so
+// like the paper we record its closest expressible form.
+var fineTuned = map[string]FineTuned{
+	"bbr": {
+		CCA: "bbr", DSLName: "delay",
+		Source: "min-rtt*ack-rate*({rtts-since-loss % 8 = 0} ? 2.6 : 2.05)",
+	},
+	"reno": {
+		CCA: "reno", DSLName: "reno",
+		Source: "cwnd + 0.7*reno-inc",
+	},
+	"westwood": {
+		CCA: "westwood", DSLName: "reno",
+		Source: "cwnd + 0.68*reno-inc",
+	},
+	"scalable": {
+		CCA: "scalable", DSLName: "reno",
+		Source: "cwnd + 0.37*reno-inc",
+	},
+	"lp": {
+		CCA: "lp", DSLName: "vegas",
+		Source: "cwnd*({htcp-diff > 0.5} ? 0.5 : 1) + 0.68*reno-inc",
+	},
+	"hybla": {
+		CCA: "hybla", DSLName: "delay",
+		Source: "cwnd + 8*rtt*reno-inc", // Table 2: the RTT-scaled Reno increase
+	},
+	"htcp": {
+		CCA: "htcp", DSLName: "vegas",
+		Source: "cwnd + reno-inc*({htcp-diff < 0.25} ? 1 : 0.2)",
+	},
+	"illinois": {
+		CCA: "illinois", DSLName: "vegas",
+		Source: "cwnd + 0.3*reno-inc + 5*reno-inc*htcp-diff",
+	},
+	"vegas": {
+		CCA: "vegas", DSLName: "vegas",
+		Source: "cwnd + ({vegas-diff < 1} ? 0.7*reno-inc : {vegas-diff > 5} ? -0.7*reno-inc : 0)",
+	},
+	"veno": {
+		CCA: "veno", DSLName: "vegas",
+		Source: "cwnd + reno-inc*({vegas-diff < 0.7} ? 0.35 : 0.16)",
+	},
+	"nv": {
+		CCA: "nv", DSLName: "vegas",
+		Source: "cwnd + ({vegas-diff > 1} ? 0.7*reno-inc : {vegas-diff > 5} ? -0.7*reno-inc : 0)",
+	},
+	"yeah": {
+		CCA: "yeah", DSLName: "vegas",
+		Source: "cwnd + reno-inc*({vegas-diff > 5} ? 0.3 : 1)",
+	},
+	"cubic": {
+		CCA: "cubic", DSLName: "cubic",
+		// Table 2 writes wmax + (8*t - cbrt(24*wmax))^3 with windows in
+		// packets; our windows are bytes, so the constants are re-fitted
+		// to byte scale (same shape: a plateau at wmax reached K seconds
+		// after the loss, cubic on both sides).
+		Source: "wmax + cube(11*time-since-loss - cbrt(0.3*wmax))",
+	},
+	"bic": {
+		CCA: "bic", DSLName: "cubic",
+		Source: "cwnd + ({cwnd < wmax} ? 0.5*(wmax - cwnd)/cwnd*mss : reno-inc)",
+	},
+}
+
+// Lookup returns the fine-tuned entry for a CCA.
+func Lookup(cca string) (FineTuned, error) {
+	f, ok := fineTuned[cca]
+	if !ok {
+		return FineTuned{}, fmt.Errorf("expr: no fine-tuned handler for %q", cca)
+	}
+	return f, nil
+}
+
+// Names lists the CCAs with fine-tuned handlers, sorted.
+func Names() []string {
+	var names []string
+	for n := range fineTuned {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DSLHint returns the sub-DSL name used for a CCA's synthesis — the
+// classifier-derived mapping of §3.3/Table 3. CCAs without a fine-tuned
+// entry (students, CDG, HighSpeed) default to the vegas DSL, matching the
+// paper's CCAnalyzer hints for the student dataset.
+func DSLHint(cca string) string {
+	if f, ok := fineTuned[cca]; ok {
+		return f.DSLName
+	}
+	return "vegas"
+}

@@ -1,0 +1,86 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/dsl"
+)
+
+func TestAllFineTunedHandlersParse(t *testing.T) {
+	for _, name := range Names() {
+		f, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		h := f.Handler() // panics on parse error
+		if h == nil || h.Holes() != 0 {
+			t.Errorf("%s: handler %q has holes", name, f.Source)
+		}
+		if f.DSL() == nil {
+			t.Errorf("%s: nil DSL", name)
+		}
+	}
+}
+
+func TestFineTunedHandlersEvaluate(t *testing.T) {
+	env := &dsl.Env{
+		Cwnd: 20 * 1448, MSS: 1448, Acked: 1448, TimeSinceLoss: 2,
+		RTT: 0.05, MinRTT: 0.04, MaxRTT: 0.08, AckRate: 1e6,
+		RTTGradient: 0.01, WMax: 25 * 1448,
+	}
+	for _, name := range Names() {
+		f, _ := Lookup(name)
+		v, err := f.Handler().Eval(env)
+		if err != nil {
+			t.Errorf("%s: eval failed: %v", name, err)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("%s: handler produced non-positive window %v", name, v)
+		}
+	}
+}
+
+func TestFineTunedCoverage(t *testing.T) {
+	// The paper writes fine-tuned handlers for the kernel CCAs except CDG
+	// and HighSpeed (out of scope, §5.5); 14 entries total.
+	if got := len(Names()); got != 14 {
+		t.Errorf("fine-tuned handlers = %d, want 14", got)
+	}
+	for _, absent := range []string{"cdg", "highspeed", "student1"} {
+		if _, err := Lookup(absent); err == nil {
+			t.Errorf("unexpected fine-tuned handler for %q", absent)
+		}
+	}
+}
+
+func TestMostHandlersWithinTheirDSL(t *testing.T) {
+	// Every fine-tuned handler except BIC's fits its sub-DSL's budget.
+	// BIC is the paper's documented failure case: its handler is too deep
+	// for any tractable bound (§5.5).
+	for _, name := range Names() {
+		f, _ := Lookup(name)
+		err := f.DSL().Admits(f.Handler())
+		if name == "bic" {
+			if err == nil {
+				t.Error("bic's handler unexpectedly fits the DSL — the paper's depth argument no longer holds")
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: fine-tuned handler outside its DSL: %v", name, err)
+		}
+	}
+}
+
+func TestDSLHint(t *testing.T) {
+	if DSLHint("reno") != "reno" {
+		t.Error("reno hint wrong")
+	}
+	if DSLHint("bbr") != "delay" {
+		t.Error("bbr hint wrong")
+	}
+	if DSLHint("student3") != "vegas" {
+		t.Error("student default hint wrong")
+	}
+}

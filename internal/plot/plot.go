@@ -1,0 +1,128 @@
+// Package plot renders time series as ASCII charts — enough to eyeball the
+// CWND trajectories behind the paper's figures (the observed trace vs the
+// synthesized and fine-tuned handlers' replays) directly in a terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dist"
+)
+
+// glyphs assigns each series a drawing character, in registration order.
+var glyphs = []byte{'*', '+', 'o', 'x', '#'}
+
+// Chart is a fixed-size ASCII canvas with labeled axes.
+type Chart struct {
+	// Width and Height are the plot area dimensions in characters.
+	Width, Height int
+	// Title is printed above the canvas.
+	Title string
+	// YLabel names the value axis (default "cwnd (MSS)").
+	YLabel string
+
+	names  []string
+	series []dist.Series
+}
+
+// New returns a chart with sensible terminal dimensions.
+func New(title string) *Chart {
+	return &Chart{Width: 72, Height: 18, Title: title, YLabel: "cwnd (MSS)"}
+}
+
+// Add registers a named series. At most five series are drawable.
+func (c *Chart) Add(name string, s dist.Series) {
+	c.names = append(c.names, name)
+	c.series = append(c.series, s)
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	if len(c.series) == 0 {
+		return c.Title + "\n(no series)\n"
+	}
+	w, h := c.Width, c.Height
+	if w < 16 {
+		w = 16
+	}
+	if h < 4 {
+		h = 4
+	}
+
+	// Global ranges.
+	tMin, tMax := math.Inf(1), math.Inf(-1)
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.Times {
+			tMin = math.Min(tMin, s.Times[i])
+			tMax = math.Max(tMax, s.Times[i])
+			vMin = math.Min(vMin, s.Values[i])
+			vMax = math.Max(vMax, s.Values[i])
+		}
+	}
+	if !isFinite(tMin, tMax, vMin, vMax) {
+		return c.Title + "\n(non-finite series)\n"
+	}
+	if tMax <= tMin {
+		tMax = tMin + 1
+	}
+	if vMax <= vMin {
+		vMax = vMin + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.Times {
+			x := int(float64(w-1) * (s.Times[i] - tMin) / (tMax - tMin))
+			y := int(float64(h-1) * (s.Values[i] - vMin) / (vMax - vMin))
+			row := h - 1 - y
+			if row >= 0 && row < h && x >= 0 && x < w {
+				if grid[row][x] == ' ' || grid[row][x] == g {
+					grid[row][x] = g
+				} else {
+					grid[row][x] = '@' // overlap marker
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%8.1f |%s|\n", vMax, row)
+		case h - 1:
+			fmt.Fprintf(&b, "%8.1f |%s|\n", vMin, row)
+		default:
+			fmt.Fprintf(&b, "%8s |%s|\n", "", row)
+		}
+	}
+	fmt.Fprintf(&b, "%8s  %-10.2fs%*s%.2fs\n", "", tMin, w-12, "", tMax)
+	// Legend.
+	var legend []string
+	for i, n := range c.names {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[i%len(glyphs)], n))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "%8s  %s   [@ overlap, y: %s]\n", "", strings.Join(legend, "   "), c.YLabel)
+	return b.String()
+}
+
+func isFinite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

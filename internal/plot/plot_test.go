@@ -1,0 +1,86 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func ramp(n int, slope float64) dist.Series {
+	s := dist.Series{Times: make([]float64, n), Values: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.Times[i] = float64(i)
+		s.Values[i] = slope * float64(i)
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	c := New("sawtooth")
+	c.Add("observed", ramp(100, 1))
+	out := c.Render()
+	if !strings.Contains(out, "sawtooth") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no glyphs drawn")
+	}
+	if !strings.Contains(out, "observed") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + time axis + legend
+	if len(lines) != 1+18+2 {
+		t.Errorf("rendered %d lines", len(lines))
+	}
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	c := New("two")
+	c.Add("a", ramp(50, 1))
+	c.Add("b", ramp(50, 2))
+	out := c.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := New("empty")
+	out := c.Render()
+	if !strings.Contains(out, "no series") {
+		t.Errorf("empty chart rendered %q", out)
+	}
+}
+
+func TestRenderNonFinite(t *testing.T) {
+	c := New("nan")
+	s := ramp(10, 1)
+	s.Values[3] = math.NaN()
+	c.Add("bad", s)
+	if out := c.Render(); !strings.Contains(out, "non-finite") {
+		t.Errorf("NaN series rendered %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := New("flat")
+	s := dist.Series{Times: []float64{0, 1, 2}, Values: []float64{5, 5, 5}}
+	c.Add("flat", s)
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderTinyDimensionsClamped(t *testing.T) {
+	c := New("tiny")
+	c.Width, c.Height = 1, 1
+	c.Add("a", ramp(5, 1))
+	out := c.Render()
+	if len(out) == 0 {
+		t.Error("tiny chart rendered nothing")
+	}
+}

@@ -1,0 +1,104 @@
+package replay
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/trace"
+)
+
+// Closed-loop replay. §3.1 of the paper describes the simulation as: "for
+// each packet received in the collected trace, we execute the candidate
+// handler function, and, based on resulting CWND value, decide whether to
+// send the next packet." The open-loop Synthesize feeds the handler the
+// trace's observed acked-bytes stream regardless of the handler's own
+// window; this variant closes the loop: the bytes acknowledged at each
+// step are ack-clocked from the handler's *own* window, so a handler that
+// grows a larger window sees proportionally more returning ACKs — exactly
+// what would happen if it were driving the connection.
+//
+// The approximation: over the inter-ACK gap dt, a window of W bytes on a
+// path with round-trip time rtt delivers ~W*dt/rtt bytes, capped by the
+// observed bottleneck rate (the path cannot deliver faster than the trace
+// shows it delivering).
+
+// SynthesizeClosedLoop replays the handler with ack-clocked feedback and
+// returns the synthesized CWND series (MSS units).
+func SynthesizeClosedLoop(h *dsl.Node, seg *trace.Segment) (dist.Series, error) {
+	envs := Envs(seg)
+	s := dist.Series{
+		Times:  make([]float64, len(envs)),
+		Values: make([]float64, len(envs)),
+	}
+	if len(envs) == 0 {
+		return s, nil
+	}
+	cwnd := seg.Samples[0].Cwnd
+	if cwnd < seg.MSS {
+		cwnd = seg.MSS
+	}
+	mss := seg.MSS
+	prevT := seg.Samples[0].Time.Seconds()
+	for i := range envs {
+		env := envs[i]
+		t := seg.Samples[i].Time.Seconds()
+		dt := t - prevT
+		prevT = t
+
+		// Ack-clock the delivery: the handler's window drives how much
+		// data returns in this step, bounded by the path's observed
+		// delivery (acked bytes recorded in the trace represent the
+		// bottleneck's capacity over the same interval).
+		if i > 0 && env.RTT > 0 && dt > 0 {
+			selfAcked := cwnd * dt / env.RTT
+			if selfAcked > env.Acked && env.Acked > 0 {
+				selfAcked = env.Acked // cannot outpace the bottleneck
+			}
+			if selfAcked < 0 {
+				selfAcked = 0
+			}
+			env.Acked = selfAcked
+			// The delivery-rate signal follows the handler's own
+			// throughput, again bounded by the observed rate.
+			if env.AckRate > 0 {
+				selfRate := cwnd / env.RTT
+				if selfRate < env.AckRate {
+					env.AckRate = selfRate
+				}
+			}
+		}
+		env.Cwnd = cwnd
+		v, err := h.Eval(&env)
+		if err != nil {
+			return dist.Series{}, ErrDiverged
+		}
+		cwnd = clamp(v, minCwndPkts*mss, maxCwndPkts*mss)
+		s.Times[i] = t
+		s.Values[i] = cwnd / mss
+	}
+	return s, nil
+}
+
+// ClosedLoopDistance scores a handler against a segment under closed-loop
+// replay.
+func ClosedLoopDistance(h *dsl.Node, seg *trace.Segment, m dist.Metric) float64 {
+	synth, err := SynthesizeClosedLoop(h, seg)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return m.Distance(seg.Series(), synth)
+}
+
+// ClosedLoopTotalDistance sums closed-loop distances across segments.
+func ClosedLoopTotalDistance(h *dsl.Node, segs []*trace.Segment, m dist.Metric) float64 {
+	var total float64
+	for _, seg := range segs {
+		d := ClosedLoopDistance(h, seg, m)
+		if math.IsInf(d, 1) {
+			return d
+		}
+		total += d
+	}
+	return total
+}

@@ -1,0 +1,129 @@
+// Package replay executes candidate cwnd-on-ACK handlers against the event
+// stream of a collected trace segment (§3.1 of the paper): for every ACK in
+// the segment, the handler receives the observed congestion signals plus
+// its own evolving window state, and produces the next window. The
+// resulting synthesized CWND series is what the distance metric compares
+// with the observed series.
+package replay
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/trace"
+)
+
+// Window guards: a handler may compute nonsense transiently; the replay
+// clamps rather than aborts so that near-miss candidates stay comparable,
+// and only aborts on non-finite values.
+const (
+	minCwndPkts = 1.0
+	maxCwndPkts = 1 << 20
+)
+
+// ErrDiverged reports that the handler produced a non-finite window.
+var ErrDiverged = errors.New("replay: handler diverged (non-finite window)")
+
+// Envs precomputes the per-ACK evaluation environments of a segment. The
+// Cwnd field is a placeholder — Synthesize overwrites it with the
+// handler's own evolving state at each step.
+func Envs(seg *trace.Segment) []dsl.Env {
+	envs := make([]dsl.Env, len(seg.Samples))
+	for i, s := range seg.Samples {
+		envs[i] = dsl.Env{
+			MSS:           seg.MSS,
+			Acked:         s.Acked,
+			TimeSinceLoss: s.TimeSinceLoss.Seconds(),
+			RTT:           s.RTT.Seconds(),
+			MinRTT:        s.MinRTT.Seconds(),
+			MaxRTT:        s.MaxRTT.Seconds(),
+			AckRate:       s.AckRate,
+			RTTGradient:   s.RTTGradient,
+			WMax:          s.WMax,
+		}
+		if envs[i].RTT == 0 {
+			// Not every ACK carries a fresh RTT sample; fall back to the
+			// running minimum so handlers never divide by zero here.
+			envs[i].RTT = s.MinRTT.Seconds()
+		}
+	}
+	return envs
+}
+
+// Synthesize replays the handler over the segment and returns the
+// synthesized CWND series in MSS units on the segment's time grid. The
+// handler must be fully bound (no holes).
+func Synthesize(h *dsl.Node, seg *trace.Segment) (dist.Series, error) {
+	return SynthesizeEnvs(h, seg, Envs(seg))
+}
+
+// SynthesizeEnvs is Synthesize with pre-computed environments, for callers
+// scoring many handlers against one segment.
+func SynthesizeEnvs(h *dsl.Node, seg *trace.Segment, envs []dsl.Env) (dist.Series, error) {
+	if len(envs) != len(seg.Samples) {
+		return dist.Series{}, errors.New("replay: environment count mismatch")
+	}
+	s := dist.Series{
+		Times:  make([]float64, len(envs)),
+		Values: make([]float64, len(envs)),
+	}
+	// The handler starts from the first observed window, like the paper's
+	// simulation which continues from the trace's state. The expression is
+	// compiled once: it will be evaluated per ACK sample.
+	cwnd := seg.Samples[0].Cwnd
+	if cwnd < seg.MSS {
+		cwnd = seg.MSS
+	}
+	mss := seg.MSS
+	fn := dsl.Compile(h)
+	for i := range envs {
+		env := envs[i]
+		env.Cwnd = cwnd
+		v, ok := fn(&env)
+		if !ok {
+			return dist.Series{}, ErrDiverged
+		}
+		cwnd = clamp(v, minCwndPkts*mss, maxCwndPkts*mss)
+		s.Times[i] = seg.Samples[i].Time.Seconds()
+		s.Values[i] = cwnd / mss
+	}
+	return s, nil
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}
+
+// Distance scores one handler against one segment under the metric: the
+// distance between the observed CWND series and the synthesized one.
+// Diverging handlers score +Inf.
+func Distance(h *dsl.Node, seg *trace.Segment, m dist.Metric) float64 {
+	return DistanceEnvs(h, seg, Envs(seg), seg.Series(), m)
+}
+
+// DistanceEnvs is Distance with pre-computed environments and observed
+// series.
+func DistanceEnvs(h *dsl.Node, seg *trace.Segment, envs []dsl.Env, observed dist.Series, m dist.Metric) float64 {
+	synth, err := SynthesizeEnvs(h, seg, envs)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return m.Distance(observed, synth)
+}
+
+// TotalDistance sums a handler's distance across segments — the score
+// Table 2 reports per CCA (a sum of per-segment DTW distances).
+func TotalDistance(h *dsl.Node, segs []*trace.Segment, m dist.Metric) float64 {
+	var total float64
+	for _, seg := range segs {
+		d := Distance(h, seg, m)
+		if math.IsInf(d, 1) {
+			return d
+		}
+		total += d
+	}
+	return total
+}

@@ -1,0 +1,469 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cca"
+)
+
+// receiver models the data sink: it acknowledges every arriving segment
+// with a cumulative ACK carrying SACK blocks for out-of-order data.
+type receiver struct {
+	sim     *Simulator
+	rcvNxt  uint32
+	pending map[uint32]int // out-of-order segments: seq -> length
+	sendAck func(*segment)
+}
+
+// onData processes an arriving data segment and emits an ACK.
+func (r *receiver) onData(p *segment) {
+	if p.seq >= r.rcvNxt {
+		r.pending[p.seq] = p.length
+	}
+	// Advance over contiguous data.
+	for {
+		l, ok := r.pending[r.rcvNxt]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.rcvNxt)
+		r.rcvNxt += uint32(l)
+	}
+	r.sendAck(&segment{
+		isAck: true,
+		ack:   r.rcvNxt,
+		sack:  r.sackBlocks(p.seq),
+		tsVal: r.sim.nowMicros(),
+		tsEcr: p.tsVal,
+	})
+}
+
+// sackBlocks merges the out-of-order buffer into SACK ranges and reports up
+// to 3, with the block containing the segment that just arrived first — the
+// RFC 2018 rule that guarantees the sender learns about every arrival even
+// when there are more holes than option space.
+func (r *receiver) sackBlocks(latest uint32) [][2]uint32 {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	seqs := make([]uint32, 0, len(r.pending))
+	for s := range r.pending {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	var blocks [][2]uint32
+	latestIdx := -1
+	for _, s := range seqs {
+		end := s + uint32(r.pending[s])
+		if n := len(blocks); n > 0 && blocks[n-1][1] == s {
+			blocks[n-1][1] = end
+		} else {
+			blocks = append(blocks, [2]uint32{s, end})
+		}
+		if s <= latest && latest < end {
+			latestIdx = len(blocks) - 1
+		}
+	}
+	if len(blocks) <= 3 {
+		return blocks
+	}
+	// Rotate so the most recent block comes first, then take 3.
+	if latestIdx > 0 {
+		rotated := make([][2]uint32, 0, len(blocks))
+		rotated = append(rotated, blocks[latestIdx:]...)
+		rotated = append(rotated, blocks[:latestIdx]...)
+		blocks = rotated
+	}
+	return blocks[:3]
+}
+
+// rateEstimator tracks delivered bytes over a sliding time window to
+// estimate the ACK (delivery) rate in bytes/second. Two guards keep it
+// robust to loss-recovery artifacts: cumulative-ACK jumps are capped per
+// sample (the bytes were delivered over several RTTs, not instantaneously),
+// and the averaging span is floored at half the window so a burst of
+// closely-spaced samples cannot fake an enormous rate.
+type rateEstimator struct {
+	samples []rateSample
+	window  time.Duration
+	// sampleCap bounds the bytes credited to one sample; 0 means no cap.
+	sampleCap float64
+}
+
+type rateSample struct {
+	t     time.Duration
+	bytes float64
+}
+
+// add records newly delivered bytes at time t and returns the current rate.
+func (e *rateEstimator) add(t time.Duration, bytes float64) float64 {
+	if e.sampleCap > 0 && bytes > e.sampleCap {
+		bytes = e.sampleCap
+	}
+	e.samples = append(e.samples, rateSample{t: t, bytes: bytes})
+	cutoff := t - e.window
+	i := 0
+	for i < len(e.samples) && e.samples[i].t < cutoff {
+		i++
+	}
+	e.samples = e.samples[i:]
+	return e.rate(t)
+}
+
+// rate returns delivered bytes per second over the window ending at t.
+func (e *rateEstimator) rate(t time.Duration) float64 {
+	if len(e.samples) < 2 {
+		return 0
+	}
+	span := (t - e.samples[0].t).Seconds()
+	if floor := e.window.Seconds() / 2; span < floor {
+		span = floor
+	}
+	var total float64
+	for _, s := range e.samples {
+		total += s.bytes
+	}
+	return total / span
+}
+
+// segMark is the sender's per-segment scoreboard state (RFC 6675-style).
+type segMark struct {
+	sacked    bool
+	retrans   bool          // retransmitted during the current recovery episode
+	retransAt time.Duration // when the retransmission was sent
+}
+
+// sender models a bulk TCP sender: window-clocked transmission, RFC 6298
+// RTT estimation and RTO, SACK-based loss recovery with pipe accounting
+// (RFC 6675, simplified), all driven by the pluggable congestion control
+// algorithm.
+type sender struct {
+	sim  *Simulator
+	alg  cca.Algorithm
+	st   *cca.State
+	mss  int
+	xmit func(*segment)
+
+	sndUna uint32
+	sndNxt uint32
+
+	score      map[uint32]*segMark // seq -> marks, for [sndUna, sndNxt)
+	inRecovery bool
+	recover    uint32
+	// recoveryCap bounds in-network bytes during recovery to what was in
+	// flight at entry (packet conservation). This matters for CCAs that do
+	// not decrease on loss (BBR): without it they would keep blasting into
+	// an already-overflowing queue and drop their own retransmissions.
+	recoveryCap float64
+
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	rtoBackoff   int
+	rtoEpoch     uint64 // invalidates stale timer events
+
+	rateEst rateEstimator
+
+	// Stats
+	fastRetransmits int
+	timeouts        int
+	retransBytes    int
+}
+
+// rto bounds per RFC 6298 (lower bound relaxed for small-RTT simulations).
+const (
+	minRTO = 200 * time.Millisecond
+	maxRTO = 60 * time.Second
+)
+
+// start primes the connection and sends the initial window.
+func (s *sender) start() {
+	s.st.InSlowStart = true
+	s.rto = time.Second
+	s.score = map[uint32]*segMark{}
+	s.alg.Reset(s.st)
+	s.trySend()
+	s.armTimer()
+}
+
+// mark returns (creating if needed) the scoreboard entry for seq.
+func (s *sender) mark(seq uint32) *segMark {
+	m, ok := s.score[seq]
+	if !ok {
+		m = &segMark{}
+		s.score[seq] = m
+	}
+	return m
+}
+
+// highestSacked returns the top edge of SACKed data, or sndUna when none.
+func (s *sender) highestSacked() uint32 {
+	top := s.sndUna
+	for seq, m := range s.score {
+		if m.sacked && seq+uint32(s.mss) > top {
+			top = seq + uint32(s.mss)
+		}
+	}
+	return top
+}
+
+// isLost reports whether an unSACKed segment should be considered lost:
+// at least dupThresh segments of SACKed data lie above it.
+func (s *sender) isLost(seq uint32, highest uint32) bool {
+	const dupThresh = 3
+	return seq+uint32(dupThresh*s.mss) <= highest
+}
+
+// pipe estimates bytes actually in the network: outstanding segments that
+// are neither SACKed nor deemed lost, plus retransmissions in flight.
+func (s *sender) pipe() float64 {
+	highest := s.highestSacked()
+	var p float64
+	for seq := s.sndUna; seq < s.sndNxt; seq += uint32(s.mss) {
+		m := s.score[seq]
+		sacked := m != nil && m.sacked
+		retrans := m != nil && m.retrans
+		if !sacked && !s.isLost(seq, highest) {
+			p += float64(s.mss)
+		}
+		if retrans {
+			p += float64(s.mss)
+		}
+	}
+	return p
+}
+
+// trySend transmits segments while the window allows. Outside recovery this
+// is plain window clocking on bytes outstanding; inside recovery it uses
+// SACK pipe accounting and prioritizes retransmission of lost holes.
+func (s *sender) trySend() {
+	if !s.inRecovery {
+		for float64(s.sndNxt-s.sndUna)+float64(s.mss) <= s.st.Cwnd {
+			s.sendSegment(s.sndNxt, false)
+			s.sndNxt += uint32(s.mss)
+		}
+		return
+	}
+	highest := s.highestSacked()
+	pipe := s.pipe()
+	cwnd := math.Min(s.st.Cwnd, s.recoveryCap)
+	for pipe+float64(s.mss) <= cwnd {
+		if seq, ok := s.nextHole(highest); ok {
+			m := s.mark(seq)
+			m.retrans = true
+			m.retransAt = s.sim.now
+			s.sendSegment(seq, true)
+		} else {
+			s.sendSegment(s.sndNxt, false)
+			s.sndNxt += uint32(s.mss)
+		}
+		pipe += float64(s.mss)
+	}
+}
+
+// nextHole returns the lowest lost segment eligible for (re)transmission. A
+// segment already retransmitted becomes eligible again once a full smoothed
+// RTT has passed without it being SACKed — its retransmission was lost too.
+func (s *sender) nextHole(highest uint32) (uint32, bool) {
+	for seq := s.sndUna; seq < s.sndNxt && seq < highest; seq += uint32(s.mss) {
+		m := s.score[seq]
+		if m != nil && m.sacked {
+			continue
+		}
+		if m != nil && m.retrans && s.sim.now-m.retransAt < s.srtt+10*time.Millisecond {
+			continue
+		}
+		if s.isLost(seq, highest) {
+			return seq, true
+		}
+	}
+	return 0, false
+}
+
+// sendSegment emits one MSS-sized segment starting at seq.
+func (s *sender) sendSegment(seq uint32, retrans bool) {
+	p := &segment{
+		seq:     seq,
+		length:  s.mss,
+		tsVal:   s.sim.nowMicros(),
+		retrans: retrans,
+	}
+	if retrans {
+		s.retransBytes += s.mss
+	}
+	s.xmit(p)
+}
+
+// onAck processes an arriving cumulative ACK with SACK blocks.
+func (s *sender) onAck(p *segment) {
+	now := s.sim.now
+	s.st.Now = now
+
+	// Fold SACK blocks into the scoreboard.
+	newlySacked := false
+	for _, blk := range p.sack {
+		for seq := blk[0]; seq < blk[1]; seq += uint32(s.mss) {
+			m := s.mark(seq)
+			if !m.sacked {
+				m.sacked = true
+				newlySacked = true
+			}
+		}
+	}
+
+	if p.ack > s.sndUna {
+		acked := float64(p.ack - s.sndUna)
+		for seq := s.sndUna; seq < p.ack; seq += uint32(s.mss) {
+			delete(s.score, seq)
+		}
+		s.sndUna = p.ack
+		s.rtoBackoff = 0
+		s.measureRTT(p, now)
+		s.st.AckRate = s.rateEst.add(now, acked)
+		s.st.InFlight = float64(s.sndNxt - s.sndUna)
+		if s.inRecovery && p.ack >= s.recover {
+			// Recovery complete: clear retransmission marks.
+			s.inRecovery = false
+			for _, m := range s.score {
+				m.retrans = false
+			}
+		}
+		if !s.inRecovery {
+			s.hystart()
+			s.st.InSlowStart = s.st.Cwnd < s.st.Ssthresh
+			s.alg.OnAck(s.st, acked)
+			s.sim.recordTruth()
+		}
+		s.armTimer()
+	}
+
+	// Loss detection: enough SACKed data above a hole.
+	if newlySacked && !s.inRecovery {
+		if _, lost := s.nextHole(s.highestSacked()); lost {
+			s.lossEvent(false)
+			s.recover = s.sndNxt
+			s.inRecovery = true
+			s.recoveryCap = math.Max(s.pipe()+float64(s.mss), 2*float64(s.mss))
+			s.fastRetransmits++
+			s.armTimer()
+		}
+	}
+	s.trySend()
+}
+
+// lossEvent informs the CCA of a loss and stamps the loss time.
+func (s *sender) lossEvent(timeout bool) {
+	now := s.sim.now
+	s.st.Now = now
+	s.st.InFlight = float64(s.sndNxt - s.sndUna)
+	s.alg.OnLoss(s.st, timeout)
+	s.st.LastLoss = now
+	s.st.LossCount++
+	s.st.InSlowStart = s.st.Cwnd < s.st.Ssthresh
+	s.sim.recordTruth()
+}
+
+// hystart exits the initial slow start when the RTT has risen markedly
+// above its floor, before the first loss — a simplified HyStart (as in
+// Linux) that avoids catastrophic first-overshoot loss bursts.
+func (s *sender) hystart() {
+	st := s.st
+	if st.LossCount > 0 || !st.InSlowStart || st.MinRTT == 0 || st.Cwnd >= st.Ssthresh {
+		return
+	}
+	thresh := st.MinRTT / 8
+	if thresh < 4*time.Millisecond {
+		thresh = 4 * time.Millisecond
+	}
+	if thresh > 16*time.Millisecond {
+		thresh = 16 * time.Millisecond
+	}
+	if st.LastRTT >= st.MinRTT+thresh {
+		st.Ssthresh = st.Cwnd
+	}
+}
+
+// measureRTT updates the RTT estimators from a timestamp echo.
+func (s *sender) measureRTT(p *segment, now time.Duration) {
+	if p.tsEcr == 0 {
+		return
+	}
+	sample := now - time.Duration(p.tsEcr)*time.Microsecond
+	if sample <= 0 {
+		return
+	}
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < minRTO {
+		s.rto = minRTO
+	}
+	st := s.st
+	st.LastRTT = sample
+	st.SRTT = s.srtt
+	if st.MinRTT == 0 || sample < st.MinRTT {
+		st.MinRTT = sample
+	}
+	if sample > st.MaxRTT {
+		st.MaxRTT = sample
+	}
+	// Size the delivery-rate window to two smoothed RTTs and bound
+	// recovery-time cumulative-ACK jumps to one window's worth of MSS.
+	s.rateEst.window = 2 * s.srtt
+	if s.rateEst.window < 10*time.Millisecond {
+		s.rateEst.window = 10 * time.Millisecond
+	}
+	s.rateEst.sampleCap = 8 * float64(s.mss)
+}
+
+// armTimer (re)schedules the retransmission timeout.
+func (s *sender) armTimer() {
+	s.rtoEpoch++
+	epoch := s.rtoEpoch
+	rto := s.rto << uint(s.rtoBackoff)
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	s.sim.schedule(rto, func() {
+		if epoch != s.rtoEpoch || s.sndNxt == s.sndUna {
+			return
+		}
+		s.onTimeout()
+	})
+}
+
+// onTimeout handles an expired retransmission timer: all scoreboard state
+// is suspect, so it is cleared and the connection restarts from sndUna.
+func (s *sender) onTimeout() {
+	s.timeouts++
+	s.inRecovery = false
+	for _, m := range s.score {
+		m.retrans = false
+	}
+	s.lossEvent(true)
+	s.st.InSlowStart = s.st.Cwnd < s.st.Ssthresh
+	s.sendSegment(s.sndUna, true)
+	if s.rtoBackoff < 6 {
+		s.rtoBackoff++
+	}
+	s.armTimer()
+}
+
+// initState builds the initial congestion control state.
+func initState(mss int) *cca.State {
+	return &cca.State{
+		Cwnd:     float64(4 * mss),
+		Ssthresh: math.Inf(1),
+		MSS:      float64(mss),
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback in the simulation.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker for deterministic ordering
+	fn  func()
+}
+
+// eventQueue is a min-heap of events ordered by (time, insertion sequence).
+type eventQueue struct {
+	events []event
+	nextSq uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.events) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.events[i].at != q.events[j].at {
+		return q.events[i].at < q.events[j].at
+	}
+	return q.events[i].seq < q.events[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.events[i], q.events[j] = q.events[j], q.events[i] }
+
+func (q *eventQueue) Push(x any) { q.events = append(q.events, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.events
+	n := len(old)
+	e := old[n-1]
+	q.events = old[:n-1]
+	return e
+}
+
+// schedule enqueues fn to run at time at.
+func (q *eventQueue) schedule(at time.Duration, fn func()) {
+	q.nextSq++
+	heap.Push(q, event{at: at, seq: q.nextSq, fn: fn})
+}
+
+// next pops the earliest event; ok is false when the queue is empty.
+func (q *eventQueue) next() (event, bool) {
+	if q.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(q).(event), true
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// segment is a packet inside the simulator. Data segments flow
+// sender->receiver; ACK segments flow back.
+type segment struct {
+	seq     uint32      // first payload byte (data) — absolute sequence number
+	length  int         // payload bytes (0 for pure ACKs)
+	ack     uint32      // cumulative ACK (valid on ACK segments)
+	sack    [][2]uint32 // selective-ACK ranges (valid on ACK segments)
+	isAck   bool
+	tsVal   uint32 // sender clock at transmit, microseconds
+	tsEcr   uint32 // echoed timestamp
+	retrans bool   // retransmission (for stats)
+	flow    int    // flow index: 0 = captured foreground flow
+}
+
+// wireSize returns the on-the-wire size of the segment in bytes (IPv4
+// header + TCP header with timestamps + payload).
+func (p *segment) wireSize() int { return 20 + 32 + p.length }
+
+// link models a one-way path: a droptail queue feeding a fixed-rate
+// serializer followed by a propagation delay. Random loss and uniform delay
+// jitter model measurement noise (§2.2 of the paper).
+type link struct {
+	sim *Simulator
+
+	rate       float64 // bytes per second; 0 means infinite (no queueing)
+	propDelay  time.Duration
+	queueCap   int // bytes; only meaningful when rate > 0
+	lossRate   float64
+	jitter     time.Duration
+	rng        *rand.Rand
+	deliver    func(*segment)
+	onDrop     func(*segment)
+	queue      []*segment
+	queueBytes int
+	busy       bool
+
+	// Drops counts packets lost on this link (queue overflow + random).
+	Drops int
+}
+
+// send places a segment on the link at the current simulation time.
+func (l *link) send(p *segment) {
+	if l.lossRate > 0 && l.rng.Float64() < l.lossRate {
+		l.drop(p)
+		return
+	}
+	if l.rate <= 0 {
+		// Infinite-rate link: pure propagation.
+		l.sim.schedule(l.delay(), func() { l.deliver(p) })
+		return
+	}
+	if l.queueBytes+p.wireSize() > l.queueCap {
+		l.drop(p)
+		return
+	}
+	l.queue = append(l.queue, p)
+	l.queueBytes += p.wireSize()
+	if !l.busy {
+		l.busy = true
+		l.transmitHead()
+	}
+}
+
+// transmitHead serializes the head-of-line segment; on completion it
+// schedules delivery after the propagation delay and starts the next
+// transmission.
+func (l *link) transmitHead() {
+	p := l.queue[0]
+	txTime := time.Duration(float64(p.wireSize()) / l.rate * float64(time.Second))
+	l.sim.schedule(txTime, func() {
+		l.queue = l.queue[1:]
+		l.queueBytes -= p.wireSize()
+		l.sim.schedule(l.delay(), func() { l.deliver(p) })
+		if len(l.queue) > 0 {
+			l.transmitHead()
+		} else {
+			l.busy = false
+		}
+	})
+}
+
+// delay returns the propagation delay with jitter applied.
+func (l *link) delay() time.Duration {
+	if l.jitter <= 0 {
+		return l.propDelay
+	}
+	return l.propDelay + time.Duration(l.rng.Int63n(int64(l.jitter)))
+}
+
+// drop records a lost segment.
+func (l *link) drop(p *segment) {
+	l.Drops++
+	if l.onDrop != nil {
+		l.onDrop(p)
+	}
+}

@@ -1,0 +1,327 @@
+// Package sim is a deterministic discrete-event network simulator: a single
+// bulk TCP flow crossing a bottleneck link with a droptail queue. It stands
+// in for the paper's netem/namespace testbed (RTT 10-100ms, bandwidth
+// 5-15 Mbit/s) and produces the packet traces — real pcap bytes captured at
+// the sender's vantage point — that the Abagnale pipeline consumes.
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/wire"
+)
+
+// Config describes one testbed scenario.
+type Config struct {
+	// CCA is the registered name of the congestion control algorithm.
+	CCA string
+	// Algorithm optionally supplies a pre-built instance (overrides CCA),
+	// e.g. a CDG with a specific seed.
+	Algorithm cca.Algorithm
+
+	// Bandwidth is the bottleneck rate in bytes per second.
+	Bandwidth float64
+	// RTT is the two-way propagation delay (excluding queueing).
+	RTT time.Duration
+	// QueueBDP sizes the droptail queue as a multiple of the
+	// bandwidth-delay product; 0 means 2 BDP.
+	QueueBDP float64
+	// MSS is the payload bytes per segment; 0 means 1448.
+	MSS int
+	// Duration is how long the flow runs; 0 means 30 seconds.
+	Duration time.Duration
+	// LossRate adds i.i.d. random loss on the forward path (noise).
+	LossRate float64
+	// Jitter adds uniform [0, Jitter) propagation jitter per packet
+	// (noise).
+	Jitter time.Duration
+	// CrossFlows adds competing background TCP flows (Reno unless
+	// CrossCCA is set) through the same bottleneck — realistic trace
+	// noise: the foreground flow's share of the queue varies over time.
+	CrossFlows int
+	// CrossCCA names the algorithm the background flows run.
+	CrossCCA string
+	// Seed drives all simulator randomness; runs are reproducible.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1448
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.QueueBDP == 0 {
+		c.QueueBDP = 2
+	}
+	if c.CrossCCA == "" {
+		c.CrossCCA = "reno"
+	}
+	return c
+}
+
+// TruthPoint is a ground-truth sample of the sender's congestion window,
+// used only by tests and validation (never by the synthesis pipeline).
+type TruthPoint struct {
+	Time time.Duration
+	Cwnd float64
+}
+
+// Stats summarizes one run.
+type Stats struct {
+	// AckedBytes is total data cumulatively acknowledged.
+	AckedBytes int64
+	// Drops counts packets lost at the bottleneck (overflow + random).
+	Drops int
+	// FastRetransmits and Timeouts count loss-recovery episodes.
+	FastRetransmits int
+	Timeouts        int
+	// Throughput is acked bytes / duration, bytes per second.
+	Throughput float64
+}
+
+// Result is a completed simulation: the pcap capture plus ground truth.
+type Result struct {
+	Config Config
+	// Records is the sender-side capture: outgoing data segments and
+	// incoming ACKs, as raw IPv4/TCP packets.
+	Records []wire.PcapRecord
+	// Truth is the ground-truth cwnd trajectory.
+	Truth []TruthPoint
+	Stats Stats
+}
+
+// WritePcap serializes the capture as a pcap file.
+func (r *Result) WritePcap() ([]byte, error) {
+	var buf bytes.Buffer
+	w := wire.NewPcapWriter(&buf)
+	for _, rec := range r.Records {
+		if err := w.WritePacket(rec.Time, rec.Data); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Simulator runs one scenario.
+type Simulator struct {
+	cfg   Config
+	now   time.Duration
+	queue eventQueue
+	snd   *sender
+	rcv   *receiver
+	fwd   *link // shared bottleneck: all senders -> receivers
+	rev   *link // shared ack path
+
+	// cross holds the background flows' senders (their traffic shares
+	// the bottleneck but is not captured).
+	cross []*sender
+
+	records []wire.PcapRecord
+	truth   []TruthPoint
+
+	senderIP, receiverIP [4]byte
+	ipID                 uint16
+}
+
+// Run simulates the scenario and returns its capture.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Bandwidth <= 0 {
+		return nil, fmt.Errorf("sim: bandwidth must be positive")
+	}
+	if cfg.RTT <= 0 {
+		return nil, fmt.Errorf("sim: RTT must be positive")
+	}
+	alg := cfg.Algorithm
+	if alg == nil {
+		var err error
+		alg, err = cca.New(cfg.CCA)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s := &Simulator{
+		cfg:        cfg,
+		senderIP:   [4]byte{10, 0, 0, 1},
+		receiverIP: [4]byte{10, 0, 0, 2},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	bdp := cfg.Bandwidth * cfg.RTT.Seconds()
+	queueCap := int(cfg.QueueBDP * bdp)
+	if queueCap < 4*(cfg.MSS+52) {
+		queueCap = 4 * (cfg.MSS + 52)
+	}
+
+	s.fwd = &link{
+		sim: s, rate: cfg.Bandwidth, propDelay: cfg.RTT / 2,
+		queueCap: queueCap, lossRate: cfg.LossRate, jitter: cfg.Jitter, rng: rng,
+	}
+	s.rev = &link{sim: s, propDelay: cfg.RTT / 2, jitter: cfg.Jitter, rng: rng}
+
+	s.rcv = &receiver{sim: s, pending: map[uint32]int{}}
+	s.snd = &sender{sim: s, alg: alg, st: initState(cfg.MSS), mss: cfg.MSS}
+
+	// Wire the topology. Segments carry a flow id so the shared links can
+	// demultiplex; the capture tap sits at the foreground sender (flow 0):
+	// it sees every data segment as it is handed to the forward link
+	// (pre-queue) and every ACK as it arrives back.
+	receivers := []*receiver{s.rcv}
+	senders := []*sender{s.snd}
+	s.snd.xmit = func(p *segment) {
+		p.flow = 0
+		s.capture(p)
+		s.fwd.send(p)
+	}
+	s.rcv.sendAck = func(p *segment) {
+		p.flow = 0
+		s.rev.send(p)
+	}
+
+	// Background cross-traffic flows.
+	for i := 0; i < cfg.CrossFlows; i++ {
+		calg, err := cca.New(cfg.CrossCCA)
+		if err != nil {
+			return nil, err
+		}
+		flow := i + 1
+		crcv := &receiver{sim: s, pending: map[uint32]int{}}
+		csnd := &sender{sim: s, alg: calg, st: initState(cfg.MSS), mss: cfg.MSS}
+		csnd.xmit = func(p *segment) {
+			p.flow = flow
+			s.fwd.send(p)
+		}
+		crcv.sendAck = func(p *segment) {
+			p.flow = flow
+			s.rev.send(p)
+		}
+		receivers = append(receivers, crcv)
+		senders = append(senders, csnd)
+		s.cross = append(s.cross, csnd)
+	}
+
+	s.fwd.deliver = func(p *segment) { receivers[p.flow].onData(p) }
+	s.rev.deliver = func(p *segment) {
+		if p.flow == 0 {
+			s.capture(p)
+		}
+		senders[p.flow].onAck(p)
+	}
+
+	// Stagger cross-flow starts by half an RTT each so their slow starts
+	// do not synchronize.
+	for i, cs := range s.cross {
+		cs := cs
+		s.queue.schedule(time.Duration(i+1)*cfg.RTT/2, func() { cs.start() })
+	}
+	s.snd.start()
+	s.recordTruth()
+
+	for {
+		ev, ok := s.queue.next()
+		if !ok || ev.at > cfg.Duration {
+			break
+		}
+		s.now = ev.at
+		ev.fn()
+	}
+
+	res := &Result{
+		Config:  cfg,
+		Records: s.records,
+		Truth:   s.truth,
+		Stats: Stats{
+			AckedBytes:      int64(s.snd.sndUna),
+			Drops:           s.fwd.Drops + s.rev.Drops,
+			FastRetransmits: s.snd.fastRetransmits,
+			Timeouts:        s.snd.timeouts,
+			Throughput:      float64(s.snd.sndUna) / cfg.Duration.Seconds(),
+		},
+	}
+	return res, nil
+}
+
+// schedule enqueues fn after delay d.
+func (s *Simulator) schedule(d time.Duration, fn func()) {
+	s.queue.schedule(s.now+d, fn)
+}
+
+// nowMicros returns the simulation clock in microseconds (TCP timestamp
+// resolution).
+func (s *Simulator) nowMicros() uint32 {
+	return uint32(s.now / time.Microsecond)
+}
+
+// recordTruth appends a ground-truth cwnd sample.
+func (s *Simulator) recordTruth() {
+	s.truth = append(s.truth, TruthPoint{Time: s.now, Cwnd: s.snd.st.Cwnd})
+}
+
+// capture serializes a segment into the pcap record stream.
+func (s *Simulator) capture(p *segment) {
+	s.ipID++
+	ip := &wire.IPv4{TTL: 64, ID: s.ipID}
+	tcp := &wire.TCP{
+		Seq: p.seq, Ack: p.ack, Window: 65535,
+		HasTimestamps: true, TSVal: p.tsVal, TSEcr: p.tsEcr,
+	}
+	var payload []byte
+	if p.isAck {
+		ip.SrcIP, ip.DstIP = s.receiverIP, s.senderIP
+		tcp.SrcPort, tcp.DstPort = 80, 33000
+		tcp.Flags = wire.FlagACK
+		tcp.SACKBlocks = p.sack
+	} else {
+		ip.SrcIP, ip.DstIP = s.senderIP, s.receiverIP
+		tcp.SrcPort, tcp.DstPort = 33000, 80
+		tcp.Flags = wire.FlagACK | wire.FlagPSH
+		payload = zeroPayload(p.length)
+	}
+	raw, err := wire.EncodePacket(ip, tcp, payload)
+	if err != nil {
+		// Encoding our own well-formed segments cannot fail; a failure
+		// here is a programming error.
+		panic("sim: encode: " + err.Error())
+	}
+	s.records = append(s.records, wire.PcapRecord{Time: s.now, Data: raw})
+}
+
+// zeroPayloadBuf backs zeroPayload to avoid re-allocating per packet.
+var zeroPayloadBuf = make([]byte, 9000)
+
+// zeroPayload returns an n-byte all-zero payload.
+func zeroPayload(n int) []byte {
+	if n <= len(zeroPayloadBuf) {
+		return zeroPayloadBuf[:n]
+	}
+	return make([]byte, n)
+}
+
+// DefaultGrid returns the paper's testbed sweep: RTTs from 10 to 100 ms and
+// bottleneck bandwidths from 5 to 15 Mbit/s (§3.2).
+func DefaultGrid(ccaName string, seed int64) []Config {
+	var cfgs []Config
+	rtts := []time.Duration{10 * time.Millisecond, 40 * time.Millisecond, 100 * time.Millisecond}
+	bws := []float64{5e6 / 8, 10e6 / 8, 15e6 / 8} // bytes/sec
+	i := int64(0)
+	for _, rtt := range rtts {
+		for _, bw := range bws {
+			i++
+			cfgs = append(cfgs, Config{
+				CCA:       ccaName,
+				Bandwidth: bw,
+				RTT:       rtt,
+				Seed:      seed + i,
+			})
+		}
+	}
+	return cfgs
+}

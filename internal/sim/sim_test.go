@@ -1,0 +1,457 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func testConfig(ccaName string) Config {
+	return Config{
+		CCA:       ccaName,
+		Bandwidth: 10e6 / 8, // 10 Mbit/s
+		RTT:       40 * time.Millisecond,
+		Duration:  10 * time.Second,
+		Seed:      1,
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{CCA: "reno", RTT: time.Millisecond}); err == nil {
+		t.Error("Run accepted zero bandwidth")
+	}
+	if _, err := Run(Config{CCA: "reno", Bandwidth: 1e6}); err == nil {
+		t.Error("Run accepted zero RTT")
+	}
+	if _, err := Run(Config{CCA: "no-such-cca", Bandwidth: 1e6, RTT: time.Millisecond}); err == nil {
+		t.Error("Run accepted unknown CCA")
+	}
+}
+
+func TestRenoAchievesHighUtilization(t *testing.T) {
+	res, err := Run(testConfig("reno"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := res.Stats.Throughput / res.Config.Bandwidth
+	if util < 0.7 || util > 1.01 {
+		t.Errorf("Reno utilization = %.2f, want within [0.7, 1.01]", util)
+	}
+}
+
+func TestRenoExperiencesPeriodicLoss(t *testing.T) {
+	cfg := testConfig("reno")
+	cfg.Duration = 30 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FastRetransmits < 3 {
+		t.Errorf("fast retransmits = %d, want >= 3 (AIMD sawtooth)", res.Stats.FastRetransmits)
+	}
+	if res.Stats.Drops == 0 {
+		t.Error("no drops at a droptail bottleneck under a loss-based CCA")
+	}
+}
+
+func TestRenoSawtoothShape(t *testing.T) {
+	cfg := testConfig("reno")
+	cfg.Duration = 30 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After slow start (skip first 2s), the cwnd trajectory should rise
+	// and fall repeatedly: count decreases of >= 25%.
+	var drops int
+	var prev float64
+	for _, tp := range res.Truth {
+		if tp.Time < 2*time.Second {
+			continue
+		}
+		if prev > 0 && tp.Cwnd < prev*0.75 {
+			drops++
+		}
+		prev = tp.Cwnd
+	}
+	if drops < 2 {
+		t.Errorf("cwnd multiplicative drops = %d, want >= 2", drops)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	r1, err := Run(testConfig("cubic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testConfig("cubic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Records) != len(r2.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(r1.Records), len(r2.Records))
+	}
+	for i := range r1.Records {
+		if r1.Records[i].Time != r2.Records[i].Time || !bytes.Equal(r1.Records[i].Data, r2.Records[i].Data) {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestCaptureDecodes(t *testing.T) {
+	res, err := Run(testConfig("reno"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no packets captured")
+	}
+	var data, acks int
+	for _, rec := range res.Records {
+		pkt, err := wire.DecodePacket(rec.Data)
+		if err != nil {
+			t.Fatalf("captured packet does not decode: %v", err)
+		}
+		if pkt.PayloadLen() > 0 {
+			data++
+			if !pkt.TCP.HasTimestamps {
+				t.Fatal("data segment missing timestamps option")
+			}
+		} else {
+			acks++
+		}
+	}
+	if data == 0 || acks == 0 {
+		t.Errorf("capture has %d data, %d acks; want both > 0", data, acks)
+	}
+}
+
+func TestWritePcapRoundTrip(t *testing.T) {
+	cfg := testConfig("reno")
+	cfg.Duration = 2 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := res.WritePcap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := wire.NewPcapReader(bytes.NewReader(raw)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(res.Records) {
+		t.Errorf("pcap has %d records, want %d", len(recs), len(res.Records))
+	}
+}
+
+func TestTimestampsAreMonotonic(t *testing.T) {
+	res, err := Run(testConfig("vegas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].Time < res.Records[i-1].Time {
+			t.Fatalf("capture timestamps not monotonic at %d", i)
+		}
+	}
+}
+
+func TestVegasAvoidsLoss(t *testing.T) {
+	// Delay-based Vegas should keep the queue short and suffer far fewer
+	// losses than Reno in the same scenario.
+	reno, err := Run(testConfig("reno"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vegas, err := Run(testConfig("vegas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vegas.Stats.FastRetransmits+vegas.Stats.Timeouts >= reno.Stats.FastRetransmits {
+		t.Errorf("vegas losses (%d) not fewer than reno fast-retransmits (%d)",
+			vegas.Stats.FastRetransmits+vegas.Stats.Timeouts, reno.Stats.FastRetransmits)
+	}
+}
+
+func TestBBRKeepsQueueBounded(t *testing.T) {
+	res, err := Run(testConfig("bbr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := res.Stats.Throughput / res.Config.Bandwidth
+	if util < 0.6 {
+		t.Errorf("BBR utilization = %.2f, want >= 0.6", util)
+	}
+	// BBR's window should hover near a small multiple of the BDP, not
+	// grow without bound.
+	bdp := res.Config.Bandwidth * res.Config.RTT.Seconds()
+	var maxW float64
+	for _, tp := range res.Truth {
+		if tp.Time > 5*time.Second && tp.Cwnd > maxW {
+			maxW = tp.Cwnd
+		}
+	}
+	if maxW > 5*bdp {
+		t.Errorf("BBR max cwnd = %.0f (%.1f BDP), want <= 5 BDP", maxW, maxW/bdp)
+	}
+}
+
+func TestRandomLossInjection(t *testing.T) {
+	cfg := testConfig("reno")
+	cfg.LossRate = 0.05
+	cfg.Duration = 5 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := testConfig("reno")
+	clean.Duration = 5 * time.Second
+	resClean, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Throughput >= resClean.Stats.Throughput {
+		t.Errorf("5%% random loss did not reduce throughput: %.0f vs %.0f",
+			res.Stats.Throughput, resClean.Stats.Throughput)
+	}
+}
+
+func TestJitterStillProgresses(t *testing.T) {
+	cfg := testConfig("cubic")
+	cfg.Jitter = 5 * time.Millisecond
+	cfg.Duration = 5 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.AckedBytes < int64(res.Config.Bandwidth) {
+		t.Errorf("acked only %d bytes in 5s under jitter", res.Stats.AckedBytes)
+	}
+}
+
+func TestAllRegisteredCCAsComplete(t *testing.T) {
+	for _, name := range []string{
+		"reno", "cubic", "bic", "bbr", "vegas", "veno", "nv", "westwood",
+		"scalable", "lp", "hybla", "htcp", "illinois", "yeah", "highspeed",
+		"cdg", "student1", "student2", "student3", "student4", "student5",
+		"student6", "student7",
+	} {
+		cfg := testConfig(name)
+		cfg.Duration = 3 * time.Second
+		res, err := Run(cfg)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Stats.AckedBytes <= 0 {
+			t.Errorf("%s: no progress (acked %d bytes)", name, res.Stats.AckedBytes)
+		}
+		for _, tp := range res.Truth {
+			if math.IsNaN(tp.Cwnd) || tp.Cwnd <= 0 {
+				t.Errorf("%s: invalid cwnd %v at %v", name, tp.Cwnd, tp.Time)
+				break
+			}
+		}
+	}
+}
+
+func TestHigherBandwidthMoreThroughput(t *testing.T) {
+	lo := testConfig("cubic")
+	lo.Bandwidth = 5e6 / 8
+	hi := testConfig("cubic")
+	hi.Bandwidth = 15e6 / 8
+	rLo, err := Run(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHi, err := Run(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rHi.Stats.Throughput <= rLo.Stats.Throughput*1.5 {
+		t.Errorf("3x bandwidth gave %.0f vs %.0f B/s", rHi.Stats.Throughput, rLo.Stats.Throughput)
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	grid := DefaultGrid("reno", 0)
+	if len(grid) != 9 {
+		t.Fatalf("grid size = %d, want 9", len(grid))
+	}
+	seen := map[int64]bool{}
+	for _, cfg := range grid {
+		if cfg.CCA != "reno" {
+			t.Errorf("grid cfg CCA = %q", cfg.CCA)
+		}
+		if seen[cfg.Seed] {
+			t.Errorf("duplicate seed %d in grid", cfg.Seed)
+		}
+		seen[cfg.Seed] = true
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	var got []int
+	q.schedule(3*time.Second, func() { got = append(got, 3) })
+	q.schedule(time.Second, func() { got = append(got, 1) })
+	q.schedule(2*time.Second, func() { got = append(got, 2) })
+	q.schedule(time.Second, func() { got = append(got, 11) }) // same time: FIFO
+	for {
+		ev, ok := q.next()
+		if !ok {
+			break
+		}
+		ev.fn()
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRateEstimator(t *testing.T) {
+	e := rateEstimator{window: time.Second}
+	// 1000 bytes every 10ms -> 100 KB/s.
+	var rate float64
+	for i := 1; i <= 200; i++ {
+		rate = e.add(time.Duration(i)*10*time.Millisecond, 1000)
+	}
+	if math.Abs(rate-100e3)/100e3 > 0.05 {
+		t.Errorf("rate = %.0f, want ~100000", rate)
+	}
+}
+
+func TestRateEstimatorEmpty(t *testing.T) {
+	e := rateEstimator{window: time.Second}
+	if r := e.add(time.Second, 100); r != 0 {
+		t.Errorf("single-sample rate = %v, want 0", r)
+	}
+}
+
+func TestCrossTrafficSharesBottleneck(t *testing.T) {
+	solo := testConfig("reno")
+	solo.Duration = 15 * time.Second
+	rSolo, err := Run(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := solo
+	shared.CrossFlows = 2
+	rShared, err := Run(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two competitors the foreground flow gets a substantially
+	// smaller share than when alone.
+	if rShared.Stats.Throughput > 0.75*rSolo.Stats.Throughput {
+		t.Errorf("cross traffic barely reduced throughput: %.0f vs %.0f",
+			rShared.Stats.Throughput, rSolo.Stats.Throughput)
+	}
+	if rShared.Stats.Throughput < 0.1*rSolo.Stats.Throughput {
+		t.Errorf("foreground flow starved: %.0f vs %.0f",
+			rShared.Stats.Throughput, rSolo.Stats.Throughput)
+	}
+}
+
+func TestCrossTrafficCaptureOnlyForeground(t *testing.T) {
+	cfg := testConfig("reno")
+	cfg.Duration = 5 * time.Second
+	cfg.CrossFlows = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All captured packets belong to the single foreground 5-tuple.
+	for _, rec := range res.Records {
+		pkt, err := wire.DecodePacket(rec.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, dp := pkt.TCP.SrcPort, pkt.TCP.DstPort
+		if !(sp == 33000 && dp == 80) && !(sp == 80 && dp == 33000) {
+			t.Fatalf("captured foreign flow %d->%d", sp, dp)
+		}
+	}
+}
+
+func TestCrossTrafficDeterministic(t *testing.T) {
+	cfg := testConfig("cubic")
+	cfg.Duration = 5 * time.Second
+	cfg.CrossFlows = 1
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Records) != len(r2.Records) {
+		t.Fatalf("cross-traffic runs differ: %d vs %d records", len(r1.Records), len(r2.Records))
+	}
+}
+
+func TestCrossTrafficUnknownCCA(t *testing.T) {
+	cfg := testConfig("reno")
+	cfg.CrossFlows = 1
+	cfg.CrossCCA = "warp-speed"
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown cross CCA accepted")
+	}
+}
+
+// Property: conservation — cumulative acknowledged bytes never exceed
+// bytes sent, acked data is monotone, and both are consistent with the
+// drop count, across CCAs and noise settings.
+func TestQuickConservation(t *testing.T) {
+	f := func(ccaIdx, rttMs, seed uint8) bool {
+		names := []string{"reno", "cubic", "bbr", "vegas", "student2"}
+		cfg := Config{
+			CCA:       names[int(ccaIdx)%len(names)],
+			Bandwidth: 10e6 / 8,
+			RTT:       time.Duration(10+int(rttMs)%90) * time.Millisecond,
+			Duration:  3 * time.Second,
+			LossRate:  0.001,
+			Jitter:    time.Millisecond,
+			Seed:      int64(seed),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		// Parse the capture and verify the ACK stream is monotone and
+		// bounded by what was sent.
+		var maxSeq, maxAck uint32
+		for _, rec := range res.Records {
+			pkt, err := wire.DecodePacket(rec.Data)
+			if err != nil {
+				return false
+			}
+			if pkt.PayloadLen() > 0 {
+				if end := pkt.TCP.Seq + uint32(pkt.PayloadLen()); end > maxSeq {
+					maxSeq = end
+				}
+			} else {
+				if pkt.TCP.Ack < maxAck && maxAck-pkt.TCP.Ack > 1<<30 {
+					return false // wrapped backwards
+				}
+				if pkt.TCP.Ack > maxAck {
+					maxAck = pkt.TCP.Ack
+				}
+			}
+		}
+		return maxAck <= maxSeq && int64(maxAck) == res.Stats.AckedBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// SelectDiverse implements the paper's trace-segment selection strategy
+// (§3.2): to pick n segments, first draw n/2 uniformly at random; then, for
+// each drawn segment, add the not-yet-picked segment at the greatest
+// distance from it. The result favors a diverse set of network conditions
+// and guards against handlers that over-fit one segment.
+//
+// The metric m scores segment dissimilarity (the paper uses its primary
+// DTW distance). Selection is deterministic for a given rng state.
+func SelectDiverse(segs []*Segment, n int, m dist.Metric, rng *rand.Rand) []*Segment {
+	if n <= 0 || len(segs) == 0 {
+		return nil
+	}
+	if n >= len(segs) {
+		out := make([]*Segment, len(segs))
+		copy(out, segs)
+		return out
+	}
+	picked := make([]bool, len(segs))
+	var out []*Segment
+	take := func(i int) {
+		picked[i] = true
+		out = append(out, segs[i])
+	}
+
+	// Phase 1: uniform random half.
+	half := (n + 1) / 2
+	perm := rng.Perm(len(segs))
+	seeds := perm[:half]
+	for _, i := range seeds {
+		take(i)
+	}
+
+	// Phase 2: for each seed, the farthest unpicked segment.
+	series := make([]dist.Series, len(segs))
+	for i, g := range segs {
+		series[i] = g.Series()
+	}
+	for _, si := range seeds {
+		if len(out) >= n {
+			break
+		}
+		best, bestD := -1, -1.0
+		for j := range segs {
+			if picked[j] {
+				continue
+			}
+			d := m.Distance(series[si], series[j])
+			if d > bestD {
+				best, bestD = j, d
+			}
+		}
+		if best >= 0 {
+			take(best)
+		}
+	}
+
+	// Top up with random unpicked segments if rounding left us short.
+	for _, i := range perm {
+		if len(out) >= n {
+			break
+		}
+		if !picked[i] {
+			take(i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,392 @@
+// Package trace turns raw packet captures into the observable signal
+// streams the Abagnale pipeline synthesizes against: the visible congestion
+// window over time plus the congestion signals of the DSL (RTT, min/max
+// RTT, ACK rate, RTT gradient, time since loss). It mirrors what a CCA
+// classifier measures from a sender-side tcpdump (§3.1-3.2 of the paper):
+// no ground-truth CWND is ever read — everything is inferred from seq/ack
+// numbers and TCP timestamps.
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/wire"
+)
+
+// Sample is one per-ACK observation of the connection.
+type Sample struct {
+	// Time is the capture timestamp of the ACK.
+	Time time.Duration
+	// Acked is the number of newly acknowledged bytes.
+	Acked float64
+	// Cwnd is the estimated visible congestion window: bytes in flight
+	// (highest sequence sent minus cumulative ACK) at this instant.
+	Cwnd float64
+	// RTT is the instantaneous RTT sample from the timestamp echo; zero
+	// when unavailable.
+	RTT time.Duration
+	// MinRTT and MaxRTT are running extremes up to this sample.
+	MinRTT time.Duration
+	MaxRTT time.Duration
+	// AckRate is the delivery rate estimate in bytes/second.
+	AckRate float64
+	// RTTGradient is the smoothed d(RTT)/dt (seconds per second).
+	RTTGradient float64
+	// TimeSinceLoss is the time since the last inferred loss event (or
+	// since the connection start before any loss).
+	TimeSinceLoss time.Duration
+	// WMax is the estimated window at the last inferred loss event.
+	WMax float64
+}
+
+// Trace is the analyzed observable record of one connection.
+type Trace struct {
+	// Samples are per-ACK observations in time order.
+	Samples []Sample
+	// MSS is the inferred maximum segment size in bytes.
+	MSS float64
+	// Losses are the times of inferred loss events (triple duplicate ACK).
+	Losses []time.Duration
+	// Label optionally records the ground-truth CCA name for bookkeeping
+	// in experiments; the synthesis pipeline never reads it.
+	Label string
+}
+
+// Series converts the trace's CWND estimates (in MSS units) to a
+// dist.Series for distance computation.
+func (t *Trace) Series() dist.Series {
+	s := dist.Series{Times: make([]float64, len(t.Samples)), Values: make([]float64, len(t.Samples))}
+	for i, smp := range t.Samples {
+		s.Times[i] = smp.Time.Seconds()
+		s.Values[i] = smp.Cwnd / t.MSS
+	}
+	return s
+}
+
+// Segment is a run of samples between inferred loss events (§3.2): the unit
+// Abagnale scores candidate handlers on.
+type Segment struct {
+	// Samples are the segment's observations.
+	Samples []Sample
+	// MSS is copied from the parent trace.
+	MSS float64
+	// Label is copied from the parent trace.
+	Label string
+}
+
+// Series converts the segment's CWND estimates (MSS units) to a
+// dist.Series.
+func (g *Segment) Series() dist.Series {
+	s := dist.Series{Times: make([]float64, len(g.Samples)), Values: make([]float64, len(g.Samples))}
+	for i, smp := range g.Samples {
+		s.Times[i] = smp.Time.Seconds()
+		s.Values[i] = smp.Cwnd / g.MSS
+	}
+	return s
+}
+
+// Duration returns the segment's time span.
+func (g *Segment) Duration() time.Duration {
+	if len(g.Samples) == 0 {
+		return 0
+	}
+	return g.Samples[len(g.Samples)-1].Time - g.Samples[0].Time
+}
+
+// dupThresh is the duplicate-ACK count that infers a loss (the paper's
+// triple-duplicate-ACK rule).
+const dupThresh = 3
+
+// Analyze parses a pcap stream and extracts the observable trace of the
+// single data-bearing TCP flow it contains. Both raw-IP and Ethernet
+// (default tcpdump) link types are supported.
+func Analyze(r io.Reader) (*Trace, error) {
+	pr := wire.NewPcapReader(r)
+	recs, err := pr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return analyzeRecords(recs, pr.LinkType)
+}
+
+// AnalyzeBytes is Analyze over an in-memory pcap file.
+func AnalyzeBytes(pcap []byte) (*Trace, error) {
+	return Analyze(bytes.NewReader(pcap))
+}
+
+// AnalyzeRecords extracts the observable trace from decoded raw-IP pcap
+// records. Records must be in time order, captured at the sender's vantage
+// point (outgoing data segments, incoming ACKs).
+func AnalyzeRecords(recs []wire.PcapRecord) (*Trace, error) {
+	return analyzeRecords(recs, wire.LinkTypeRaw)
+}
+
+func analyzeRecords(recs []wire.PcapRecord, linkType uint32) (*Trace, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: empty capture")
+	}
+	a := newAnalyzer()
+	for _, rec := range recs {
+		pkt, err := wire.DecodePacketLink(linkType, rec.Data)
+		if err != nil {
+			// Tolerate occasional corrupt packets: real captures
+			// contain them.
+			continue
+		}
+		a.observe(rec.Time, pkt)
+	}
+	return a.finish()
+}
+
+// analyzer is the streaming trace reconstruction state machine.
+type analyzer struct {
+	dataFlow   wire.Flow
+	haveFlow   bool
+	maxSeqSent uint32
+	curAck     uint32
+	haveAck    bool
+	dupAcks    int
+
+	// tsSent maps TCP timestamp values to first send time for RTT
+	// estimation via the timestamp echo.
+	tsSent map[uint32]time.Duration
+
+	minRTT, maxRTT time.Duration
+	prevRTT        time.Duration
+	prevRTTTime    time.Duration
+	gradient       float64
+
+	rate rateWindow
+
+	lastLoss  time.Duration
+	losses    []time.Duration
+	wmax      float64
+	mssCounts map[int]int
+
+	samples []Sample
+}
+
+func newAnalyzer() *analyzer {
+	return &analyzer{
+		tsSent:    map[uint32]time.Duration{},
+		mssCounts: map[int]int{},
+	}
+}
+
+// observe processes one captured packet.
+func (a *analyzer) observe(ts time.Duration, pkt *wire.Packet) {
+	if pkt.PayloadLen() > 0 {
+		a.observeData(ts, pkt)
+		return
+	}
+	a.observeAck(ts, pkt)
+}
+
+// observeData handles an outgoing data segment.
+func (a *analyzer) observeData(ts time.Duration, pkt *wire.Packet) {
+	if !a.haveFlow {
+		a.dataFlow = pkt.IP.NetworkFlow()
+		a.haveFlow = true
+	}
+	a.mssCounts[pkt.PayloadLen()]++
+	end := pkt.TCP.Seq + uint32(pkt.PayloadLen())
+	if end > a.maxSeqSent {
+		a.maxSeqSent = end
+	}
+	if pkt.TCP.HasTimestamps {
+		if _, dup := a.tsSent[pkt.TCP.TSVal]; !dup {
+			a.tsSent[pkt.TCP.TSVal] = ts
+		}
+	}
+}
+
+// observeAck handles an incoming ACK.
+func (a *analyzer) observeAck(ts time.Duration, pkt *wire.Packet) {
+	ack := pkt.TCP.Ack
+	if !a.haveAck {
+		a.haveAck = true
+		a.curAck = ack
+		return
+	}
+	if ack == a.curAck {
+		a.dupAcks++
+		if a.dupAcks == dupThresh {
+			a.inferLoss(ts)
+		}
+		return
+	}
+	if ack < a.curAck {
+		return // reordered stale ACK
+	}
+	acked := float64(ack - a.curAck)
+	a.curAck = ack
+	a.dupAcks = 0
+
+	// RTT from the timestamp echo.
+	var rtt time.Duration
+	if pkt.TCP.HasTimestamps {
+		if sent, ok := a.tsSent[pkt.TCP.TSEcr]; ok {
+			rtt = ts - sent
+			delete(a.tsSent, pkt.TCP.TSEcr)
+		}
+	}
+	if rtt > 0 {
+		a.rate.observeRTT(rtt)
+		if a.minRTT == 0 || rtt < a.minRTT {
+			a.minRTT = rtt
+		}
+		if rtt > a.maxRTT {
+			a.maxRTT = rtt
+		}
+		if a.prevRTT > 0 && ts > a.prevRTTTime {
+			g := (rtt - a.prevRTT).Seconds() / (ts - a.prevRTTTime).Seconds()
+			a.gradient = 0.9*a.gradient + 0.1*g
+		}
+		a.prevRTT, a.prevRTTTime = rtt, ts
+	}
+
+	rate := a.rate.add(ts, acked, a.mss())
+
+	cwnd := float64(a.maxSeqSent - a.curAck)
+	sinceLoss := ts - a.lastLoss
+	a.samples = append(a.samples, Sample{
+		Time:          ts,
+		Acked:         acked,
+		Cwnd:          cwnd,
+		RTT:           rtt,
+		MinRTT:        a.minRTT,
+		MaxRTT:        a.maxRTT,
+		AckRate:       rate,
+		RTTGradient:   a.gradient,
+		TimeSinceLoss: sinceLoss,
+		WMax:          a.wmax,
+	})
+}
+
+// inferLoss records a triple-duplicate-ACK loss event.
+func (a *analyzer) inferLoss(ts time.Duration) {
+	a.lastLoss = ts
+	a.losses = append(a.losses, ts)
+	a.wmax = float64(a.maxSeqSent - a.curAck)
+}
+
+// mss returns the most frequent payload size seen so far.
+func (a *analyzer) mss() float64 {
+	best, bestN := 0, 0
+	for sz, n := range a.mssCounts {
+		if n > bestN {
+			best, bestN = sz, n
+		}
+	}
+	if best == 0 {
+		return 1448
+	}
+	return float64(best)
+}
+
+// finish assembles the Trace.
+func (a *analyzer) finish() (*Trace, error) {
+	if len(a.samples) == 0 {
+		return nil, fmt.Errorf("trace: no ACK samples found")
+	}
+	return &Trace{Samples: a.samples, MSS: a.mss(), Losses: a.losses}, nil
+}
+
+// rateWindow estimates delivery rate over a sliding 2x-smoothed-RTT-ish
+// window; like the paper's measurement tooling it works purely from the
+// observed ACK stream. A per-sample cap defuses cumulative-ACK jumps.
+type rateWindow struct {
+	samples []rateSample
+	srtt    time.Duration
+}
+
+type rateSample struct {
+	t     time.Duration
+	bytes float64
+}
+
+// add records acked bytes at time t and returns the current rate estimate.
+func (w *rateWindow) add(t time.Duration, bytes, mss float64) float64 {
+	if limit := 8 * mss; bytes > limit {
+		bytes = limit
+	}
+	w.samples = append(w.samples, rateSample{t: t, bytes: bytes})
+	win := 2 * w.srtt
+	if win < 20*time.Millisecond {
+		win = 20 * time.Millisecond
+	}
+	cutoff := t - win
+	i := 0
+	for i < len(w.samples) && w.samples[i].t < cutoff {
+		i++
+	}
+	w.samples = w.samples[i:]
+	if len(w.samples) < 2 {
+		return 0
+	}
+	span := (t - w.samples[0].t).Seconds()
+	if floor := win.Seconds() / 2; span < floor {
+		span = floor
+	}
+	var total float64
+	for _, s := range w.samples {
+		total += s.bytes
+	}
+	return total / span
+}
+
+// observeRTT lets the analyzer keep the window sized to the path RTT.
+func (w *rateWindow) observeRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if w.srtt == 0 {
+		w.srtt = rtt
+		return
+	}
+	w.srtt = (7*w.srtt + rtt) / 8
+}
+
+// maxSegmentSamples chunks very long loss-free runs: evaluating the
+// distance function costs a fixed amount of work per packet (§3.2's
+// data-volume concern), so a CCA that never loses (Vegas in a deep buffer)
+// must not produce one enormous segment.
+const maxSegmentSamples = 2500
+
+// Split cuts the trace into segments at inferred loss events, dropping
+// segments shorter than minSamples (§3.2: Abagnale scores candidate
+// handlers per between-loss segment). Loss-free runs longer than
+// maxSegmentSamples are chunked.
+func (t *Trace) Split(minSamples int) []*Segment {
+	if minSamples <= 0 {
+		minSamples = 8
+	}
+	var segs []*Segment
+	emit := func(lo, hi int) {
+		for lo < hi {
+			end := lo + maxSegmentSamples
+			if end > hi {
+				end = hi
+			}
+			if end-lo >= minSamples {
+				segs = append(segs, &Segment{Samples: t.Samples[lo:end], MSS: t.MSS, Label: t.Label})
+			}
+			lo = end
+		}
+	}
+	start := 0
+	ci := 0
+	for i, smp := range t.Samples {
+		for ci < len(t.Losses) && smp.Time >= t.Losses[ci] {
+			emit(start, i)
+			start = i
+			ci++
+		}
+	}
+	emit(start, len(t.Samples))
+	return segs
+}

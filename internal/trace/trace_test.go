@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// renoCapture runs a short Reno simulation and returns its capture plus
+// ground truth.
+func renoCapture(t *testing.T, dur time.Duration) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		CCA:       "reno",
+		Bandwidth: 10e6 / 8,
+		RTT:       40 * time.Millisecond,
+		Duration:  dur,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func analyze(t *testing.T, res *sim.Result) *Trace {
+	t.Helper()
+	tr, err := AnalyzeRecords(res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAnalyzeInfersMSS(t *testing.T) {
+	tr := analyze(t, renoCapture(t, 3*time.Second))
+	if tr.MSS != 1448 {
+		t.Errorf("inferred MSS = %v, want 1448", tr.MSS)
+	}
+}
+
+func TestAnalyzeProducesSamples(t *testing.T) {
+	tr := analyze(t, renoCapture(t, 3*time.Second))
+	if len(tr.Samples) < 100 {
+		t.Fatalf("only %d samples from 3s capture", len(tr.Samples))
+	}
+	for i, s := range tr.Samples {
+		if s.Cwnd < 0 || math.IsNaN(s.Cwnd) {
+			t.Fatalf("sample %d has bad cwnd %v", i, s.Cwnd)
+		}
+		if i > 0 && s.Time < tr.Samples[i-1].Time {
+			t.Fatalf("sample %d time goes backwards", i)
+		}
+	}
+}
+
+func TestEstimatedCwndTracksGroundTruth(t *testing.T) {
+	res := renoCapture(t, 10*time.Second)
+	tr := analyze(t, res)
+	// Compare the analyzer's inflight estimate to the sender's true cwnd
+	// at matching times (skip slow start). They differ transiently (the
+	// window isn't always full), so compare time averages.
+	var estSum, truthSum float64
+	var estN, truthN int
+	for _, s := range tr.Samples {
+		if s.Time > 2*time.Second {
+			estSum += s.Cwnd
+			estN++
+		}
+	}
+	for _, tp := range res.Truth {
+		if tp.Time > 2*time.Second {
+			truthSum += tp.Cwnd
+			truthN++
+		}
+	}
+	est := estSum / float64(estN)
+	truth := truthSum / float64(truthN)
+	if ratio := est / truth; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("estimated mean cwnd %.0f vs truth %.0f (ratio %.2f)", est, truth, ratio)
+	}
+}
+
+func TestRTTEstimation(t *testing.T) {
+	tr := analyze(t, renoCapture(t, 5*time.Second))
+	if tr.Samples[len(tr.Samples)-1].MinRTT < 40*time.Millisecond {
+		t.Errorf("min RTT %v below propagation floor", tr.Samples[len(tr.Samples)-1].MinRTT)
+	}
+	if tr.Samples[len(tr.Samples)-1].MinRTT > 60*time.Millisecond {
+		t.Errorf("min RTT %v too far above 40ms floor", tr.Samples[len(tr.Samples)-1].MinRTT)
+	}
+	// Max RTT should reflect queueing above the floor.
+	if tr.Samples[len(tr.Samples)-1].MaxRTT <= tr.Samples[len(tr.Samples)-1].MinRTT {
+		t.Error("max RTT not above min RTT despite a filling queue")
+	}
+}
+
+func TestLossInference(t *testing.T) {
+	res := renoCapture(t, 30*time.Second)
+	tr := analyze(t, res)
+	if len(tr.Losses) == 0 {
+		t.Fatal("no losses inferred from a Reno trace with drops")
+	}
+	// Loss count should be in the ballpark of actual fast retransmit
+	// episodes (not each drop: a burst maps to one event).
+	if len(tr.Losses) < res.Stats.FastRetransmits/2 || len(tr.Losses) > res.Stats.FastRetransmits*3+3 {
+		t.Errorf("inferred %d losses vs %d fast retransmits", len(tr.Losses), res.Stats.FastRetransmits)
+	}
+}
+
+func TestAckRateApproximatesBandwidth(t *testing.T) {
+	tr := analyze(t, renoCapture(t, 10*time.Second))
+	// In steady state the delivery rate should be near the bottleneck
+	// (10 Mbit/s = 1.25 MB/s).
+	var sum float64
+	var n int
+	for _, s := range tr.Samples {
+		if s.Time > 3*time.Second && s.AckRate > 0 {
+			sum += s.AckRate
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	if avg < 0.6*1.25e6 || avg > 1.4*1.25e6 {
+		t.Errorf("mean ack rate = %.0f B/s, want ~1.25e6", avg)
+	}
+}
+
+func TestTimeSinceLossResets(t *testing.T) {
+	tr := analyze(t, renoCapture(t, 30*time.Second))
+	if len(tr.Losses) == 0 {
+		t.Skip("no losses in capture")
+	}
+	// After each loss, TimeSinceLoss must restart below its prior value.
+	var resets int
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].TimeSinceLoss < tr.Samples[i-1].TimeSinceLoss {
+			resets++
+		}
+	}
+	if resets < len(tr.Losses)/2 {
+		t.Errorf("TimeSinceLoss reset %d times for %d losses", resets, len(tr.Losses))
+	}
+}
+
+func TestSplitSegments(t *testing.T) {
+	tr := analyze(t, renoCapture(t, 30*time.Second))
+	segs := tr.Split(8)
+	if len(segs) < 2 {
+		t.Fatalf("only %d segments from a sawtooth trace", len(segs))
+	}
+	var total int
+	for _, g := range segs {
+		if len(g.Samples) < 8 {
+			t.Errorf("segment has %d samples, below minimum", len(g.Samples))
+		}
+		total += len(g.Samples)
+		if g.MSS != tr.MSS {
+			t.Error("segment MSS not inherited")
+		}
+	}
+	if total > len(tr.Samples) {
+		t.Error("segments overlap")
+	}
+}
+
+func TestSplitNoLosses(t *testing.T) {
+	tr := &Trace{MSS: 1448}
+	for i := 0; i < 100; i++ {
+		tr.Samples = append(tr.Samples, Sample{Time: time.Duration(i) * time.Millisecond, Cwnd: 1448})
+	}
+	segs := tr.Split(8)
+	if len(segs) != 1 || len(segs[0].Samples) != 100 {
+		t.Errorf("lossless split = %d segments", len(segs))
+	}
+}
+
+func TestSegmentSeries(t *testing.T) {
+	g := &Segment{MSS: 1448}
+	for i := 0; i < 10; i++ {
+		g.Samples = append(g.Samples, Sample{Time: time.Duration(i) * time.Second, Cwnd: float64(i) * 1448})
+	}
+	s := g.Series()
+	if s.Len() != 10 || s.Values[5] != 5 || s.Times[5] != 5 {
+		t.Errorf("series = %+v", s)
+	}
+	if g.Duration() != 9*time.Second {
+		t.Errorf("duration = %v", g.Duration())
+	}
+}
+
+func TestAnalyzeRejectsEmpty(t *testing.T) {
+	if _, err := AnalyzeRecords(nil); err == nil {
+		t.Error("AnalyzeRecords accepted empty capture")
+	}
+	if _, err := AnalyzeBytes([]byte("garbage")); err == nil {
+		t.Error("AnalyzeBytes accepted garbage")
+	}
+}
+
+func TestAnalyzeToleratesCorruptPackets(t *testing.T) {
+	res := renoCapture(t, 2*time.Second)
+	recs := append([]wire.PcapRecord{}, res.Records...)
+	// Corrupt every 10th packet.
+	for i := 0; i < len(recs); i += 10 {
+		bad := append([]byte{}, recs[i].Data...)
+		bad[len(bad)-1] ^= 0xff
+		recs[i] = wire.PcapRecord{Time: recs[i].Time, Data: bad}
+	}
+	tr, err := AnalyzeRecords(recs)
+	if err != nil {
+		t.Fatalf("analyzer failed on noisy capture: %v", err)
+	}
+	if len(tr.Samples) < 50 {
+		t.Errorf("only %d samples from noisy capture", len(tr.Samples))
+	}
+}
+
+func TestAnalyzePcapRoundTrip(t *testing.T) {
+	res := renoCapture(t, 2*time.Second)
+	raw, err := res.WritePcap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := AnalyzeBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := AnalyzeRecords(res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != len(tr2.Samples) {
+		t.Errorf("pcap path %d samples vs records path %d", len(tr.Samples), len(tr2.Samples))
+	}
+}
+
+func mkSegment(level float64, n int) *Segment {
+	g := &Segment{MSS: 1}
+	for i := 0; i < n; i++ {
+		g.Samples = append(g.Samples, Sample{Time: time.Duration(i) * time.Millisecond, Cwnd: level})
+	}
+	return g
+}
+
+func TestSelectDiverse(t *testing.T) {
+	// 10 near-identical segments at level 10, one outlier at level 100:
+	// diverse selection should almost always include the outlier.
+	var segs []*Segment
+	for i := 0; i < 10; i++ {
+		segs = append(segs, mkSegment(10+float64(i)/10, 50))
+	}
+	outlier := mkSegment(100, 50)
+	segs = append(segs, outlier)
+	rng := rand.New(rand.NewSource(3))
+	got := SelectDiverse(segs, 4, dist.DTW{}, rng)
+	if len(got) != 4 {
+		t.Fatalf("selected %d segments, want 4", len(got))
+	}
+	found := false
+	for _, g := range got {
+		if g == outlier {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("diverse selection missed the outlier segment")
+	}
+}
+
+func TestSelectDiverseBounds(t *testing.T) {
+	segs := []*Segment{mkSegment(1, 10), mkSegment(2, 10)}
+	rng := rand.New(rand.NewSource(1))
+	if got := SelectDiverse(segs, 10, dist.DTW{}, rng); len(got) != 2 {
+		t.Errorf("over-request returned %d", len(got))
+	}
+	if got := SelectDiverse(segs, 0, dist.DTW{}, rng); got != nil {
+		t.Errorf("zero-request returned %v", got)
+	}
+	if got := SelectDiverse(nil, 3, dist.DTW{}, rng); got != nil {
+		t.Errorf("empty input returned %v", got)
+	}
+	if got := SelectDiverse(segs, 1, dist.DTW{}, rng); len(got) != 1 {
+		t.Errorf("n=1 returned %d", len(got))
+	}
+}
+
+func TestSelectDiverseNoDuplicates(t *testing.T) {
+	var segs []*Segment
+	for i := 0; i < 20; i++ {
+		segs = append(segs, mkSegment(float64(i), 30))
+	}
+	rng := rand.New(rand.NewSource(9))
+	got := SelectDiverse(segs, 10, dist.DTW{}, rng)
+	seen := map[*Segment]bool{}
+	for _, g := range got {
+		if seen[g] {
+			t.Fatal("duplicate segment selected")
+		}
+		seen[g] = true
+	}
+}

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EthernetHeaderLen is the length of an untagged Ethernet II header.
+const EthernetHeaderLen = 14
+
+// EtherType values this package understands.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeVLAN = 0x8100
+)
+
+// LinkTypeEthernet is the pcap link type for Ethernet frames (EN10MB) —
+// what a default tcpdump capture uses.
+const LinkTypeEthernet = 1
+
+// Ethernet is a decoded Ethernet II header. 802.1Q VLAN tags are skipped
+// transparently on decode.
+type Ethernet struct {
+	Src, Dst  [6]byte
+	EtherType uint16
+	// VLAN is the 802.1Q tag value when one was present.
+	VLAN    uint16
+	HasVLAN bool
+
+	contents []byte
+	payload  []byte
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// LayerContents implements Layer.
+func (e *Ethernet) LayerContents() []byte { return e.contents }
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// DecodeEthernet parses an Ethernet II frame, skipping one optional 802.1Q
+// tag.
+func DecodeEthernet(data []byte) (*Ethernet, error) {
+	if len(data) < EthernetHeaderLen {
+		return nil, ErrTruncated
+	}
+	e := &Ethernet{}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	off := EthernetHeaderLen
+	if e.EtherType == EtherTypeVLAN {
+		if len(data) < off+4 {
+			return nil, ErrTruncated
+		}
+		e.HasVLAN = true
+		e.VLAN = binary.BigEndian.Uint16(data[off:off+2]) & 0x0fff
+		e.EtherType = binary.BigEndian.Uint16(data[off+2 : off+4])
+		off += 4
+	}
+	e.contents = data[:off]
+	e.payload = data[off:]
+	return e, nil
+}
+
+// Encode serializes the frame around a payload.
+func (e *Ethernet) Encode(payload []byte) []byte {
+	n := EthernetHeaderLen
+	if e.HasVLAN {
+		n += 4
+	}
+	b := make([]byte, n+len(payload))
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	if e.HasVLAN {
+		binary.BigEndian.PutUint16(b[12:14], EtherTypeVLAN)
+		binary.BigEndian.PutUint16(b[14:16], e.VLAN)
+		binary.BigEndian.PutUint16(b[16:18], e.EtherType)
+	} else {
+		binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	}
+	copy(b[n:], payload)
+	e.contents = b[:n]
+	e.payload = b[n:]
+	return b
+}
+
+// DecodePacketLink decodes a packet captured at the given pcap link type:
+// LinkTypeRaw records start at the IPv4 header; LinkTypeEthernet records
+// carry an Ethernet frame around it (the default for real tcpdump
+// captures).
+func DecodePacketLink(linkType uint32, data []byte) (*Packet, error) {
+	switch linkType {
+	case LinkTypeRaw:
+		return DecodePacket(data)
+	case LinkTypeEthernet:
+		eth, err := DecodeEthernet(data)
+		if err != nil {
+			return nil, err
+		}
+		if eth.EtherType != EtherTypeIPv4 {
+			return nil, fmt.Errorf("wire: non-IPv4 ethertype %#04x", eth.EtherType)
+		}
+		return DecodePacket(eth.LayerPayload())
+	default:
+		return nil, fmt.Errorf("wire: unsupported pcap link type %d", linkType)
+	}
+}

@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// IPv4 is a decoded (or to-be-encoded) IPv4 header. Options are not
+// supported; IHL is always 5.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	SrcIP    [4]byte
+	DstIP    [4]byte
+
+	contents []byte
+	payload  []byte
+}
+
+// IP protocol numbers used by this package.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// LayerType implements Layer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// LayerContents implements Layer.
+func (ip *IPv4) LayerContents() []byte { return ip.contents }
+
+// LayerPayload implements Layer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// NetworkFlow returns the (src, dst) IPv4 address flow.
+func (ip *IPv4) NetworkFlow() Flow {
+	return NewFlow(NewEndpoint(LayerTypeIPv4, ip.SrcIP[:]), NewEndpoint(LayerTypeIPv4, ip.DstIP[:]))
+}
+
+// Encode serializes the header followed by payload, computing length and
+// checksum fields.
+func (ip *IPv4) Encode(payload []byte) ([]byte, error) {
+	total := IPv4HeaderLen + len(payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("wire: IPv4 datagram too large (%d bytes)", total)
+	}
+	b := make([]byte, total)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	// flags+fragment offset zero (DF not set; we never fragment).
+	b[8] = ip.TTL
+	b[9] = ip.Protocol
+	copy(b[12:16], ip.SrcIP[:])
+	copy(b[16:20], ip.DstIP[:])
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:IPv4HeaderLen]))
+	copy(b[IPv4HeaderLen:], payload)
+	ip.contents = b[:IPv4HeaderLen]
+	ip.payload = b[IPv4HeaderLen:]
+	return b, nil
+}
+
+// Errors returned by decoders.
+var (
+	ErrTruncated   = errors.New("wire: truncated packet")
+	ErrBadVersion  = errors.New("wire: not an IPv4 packet")
+	ErrBadChecksum = errors.New("wire: checksum mismatch")
+)
+
+// DecodeIPv4 parses an IPv4 header from data. It validates the header
+// checksum and total length.
+func DecodeIPv4(data []byte) (*IPv4, error) {
+	if len(data) < IPv4HeaderLen {
+		return nil, ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(data) < ihl {
+		return nil, ErrTruncated
+	}
+	total := int(binary.BigEndian.Uint16(data[2:4]))
+	if total < ihl || total > len(data) {
+		return nil, ErrTruncated
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	ip := &IPv4{
+		TOS:      data[1],
+		ID:       binary.BigEndian.Uint16(data[4:6]),
+		TTL:      data[8],
+		Protocol: data[9],
+		contents: data[:ihl],
+		payload:  data[ihl:total],
+	}
+	copy(ip.SrcIP[:], data[12:16])
+	copy(ip.DstIP[:], data[16:20])
+	return ip, nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum over data. Computing it
+// over a buffer that already contains a correct checksum yields zero.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the TCP pseudo-header partial sum used in the TCP
+// checksum computation.
+func pseudoHeaderSum(src, dst [4]byte, proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// checksumWithPseudo folds a data checksum together with a pseudo-header sum.
+func checksumWithPseudo(pseudo uint32, data []byte) uint16 {
+	sum := pseudo
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,107 @@
+// Package wire implements a minimal packet layer model — Ethernet, IPv4 and
+// TCP encoding and decoding plus pcap file I/O — sufficient for the traffic
+// the Abagnale pipeline captures and analyzes.
+//
+// The design follows the layered decoding model popularized by gopacket:
+// each protocol is a Layer with typed contents and an opaque payload, and a
+// Packet is decoded top-down from raw bytes. Only the features needed by a
+// single-bottleneck TCP flow are implemented; there is no fragmentation,
+// no IPv6 and no TCP option beyond Timestamps.
+package wire
+
+import "fmt"
+
+// LayerType identifies a protocol layer within a packet.
+type LayerType int
+
+// Known layer types.
+const (
+	LayerTypeEthernet LayerType = iota + 1
+	LayerTypeIPv4
+	LayerTypeTCP
+	LayerTypePayload
+)
+
+// String returns the conventional protocol name.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypePayload:
+		return "Payload"
+	default:
+		return fmt.Sprintf("LayerType(%d)", int(t))
+	}
+}
+
+// Layer is one protocol layer of a decoded packet.
+type Layer interface {
+	// LayerType reports which protocol this layer holds.
+	LayerType() LayerType
+	// LayerContents returns the bytes that make up this layer's header.
+	LayerContents() []byte
+	// LayerPayload returns the bytes this layer carries above itself.
+	LayerPayload() []byte
+}
+
+// Endpoint is a hashable representation of one side of a Flow, e.g. an IPv4
+// address or a TCP port. Endpoints of the same type compare with ==.
+type Endpoint struct {
+	typ LayerType
+	raw string
+}
+
+// NewEndpoint builds an endpoint of the given layer type from raw bytes.
+func NewEndpoint(t LayerType, raw []byte) Endpoint {
+	return Endpoint{typ: t, raw: string(raw)}
+}
+
+// Type reports the layer type the endpoint belongs to.
+func (e Endpoint) Type() LayerType { return e.typ }
+
+// Raw returns the endpoint's raw byte representation.
+func (e Endpoint) Raw() []byte { return []byte(e.raw) }
+
+// String renders the endpoint; IPv4 endpoints render dotted-quad, TCP
+// endpoints render the port number.
+func (e Endpoint) String() string {
+	switch e.typ {
+	case LayerTypeIPv4:
+		if len(e.raw) == 4 {
+			return fmt.Sprintf("%d.%d.%d.%d", e.raw[0], e.raw[1], e.raw[2], e.raw[3])
+		}
+	case LayerTypeTCP:
+		if len(e.raw) == 2 {
+			return fmt.Sprintf("%d", uint16(e.raw[0])<<8|uint16(e.raw[1]))
+		}
+	}
+	return fmt.Sprintf("%x", e.raw)
+}
+
+// Flow is a directed (src, dst) endpoint pair. Flows are comparable and can
+// be used as map keys to group packets of one conversation direction.
+type Flow struct {
+	src, dst Endpoint
+}
+
+// NewFlow builds a flow from two endpoints of the same type.
+func NewFlow(src, dst Endpoint) Flow { return Flow{src: src, dst: dst} }
+
+// Endpoints returns the flow's source and destination.
+func (f Flow) Endpoints() (src, dst Endpoint) { return f.src, f.dst }
+
+// Src returns the flow's source endpoint.
+func (f Flow) Src() Endpoint { return f.src }
+
+// Dst returns the flow's destination endpoint.
+func (f Flow) Dst() Endpoint { return f.dst }
+
+// Reverse returns the same flow in the opposite direction.
+func (f Flow) Reverse() Flow { return Flow{src: f.dst, dst: f.src} }
+
+// String renders "src->dst".
+func (f Flow) String() string { return f.src.String() + "->" + f.dst.String() }

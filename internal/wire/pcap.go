@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Classic libpcap file format (not pcapng): a 24-byte global header followed
+// by 16-byte per-record headers. We write microsecond timestamps with the
+// LINKTYPE_RAW (101) link type, i.e. records start directly at the IPv4
+// header.
+
+const (
+	pcapMagic   = 0xa1b2c3d4
+	pcapVersMaj = 2
+	pcapVersMin = 4
+	// LinkTypeRaw is the pcap link type for raw IP packets.
+	LinkTypeRaw = 101
+	// DefaultSnapLen is the snapshot length written to pcap headers.
+	DefaultSnapLen = 65535
+)
+
+// PcapWriter writes packets to a classic pcap stream.
+type PcapWriter struct {
+	w       io.Writer
+	wroteHd bool
+}
+
+// NewPcapWriter returns a writer that will emit a pcap global header before
+// the first packet.
+func NewPcapWriter(w io.Writer) *PcapWriter { return &PcapWriter{w: w} }
+
+// writeHeader emits the pcap global header.
+func (pw *PcapWriter) writeHeader() error {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(h[4:6], pcapVersMaj)
+	binary.LittleEndian.PutUint16(h[6:8], pcapVersMin)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(h[16:20], DefaultSnapLen)
+	binary.LittleEndian.PutUint32(h[20:24], LinkTypeRaw)
+	_, err := pw.w.Write(h[:])
+	return err
+}
+
+// WritePacket appends one packet with the given capture timestamp.
+func (pw *PcapWriter) WritePacket(ts time.Duration, data []byte) error {
+	if !pw.wroteHd {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+		pw.wroteHd = true
+	}
+	if len(data) > DefaultSnapLen {
+		return fmt.Errorf("wire: packet longer than snaplen (%d bytes)", len(data))
+	}
+	var h [16]byte
+	sec := uint32(ts / time.Second)
+	usec := uint32((ts % time.Second) / time.Microsecond)
+	binary.LittleEndian.PutUint32(h[0:4], sec)
+	binary.LittleEndian.PutUint32(h[4:8], usec)
+	binary.LittleEndian.PutUint32(h[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(len(data)))
+	if _, err := pw.w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(data)
+	return err
+}
+
+// PcapRecord is one captured packet with its timestamp.
+type PcapRecord struct {
+	Time time.Duration
+	Data []byte
+}
+
+// PcapReader reads packets from a classic pcap stream.
+type PcapReader struct {
+	r      io.Reader
+	readHd bool
+	// bigEndian is set when the file was written on a big-endian machine.
+	bigEndian bool
+	order     binary.ByteOrder
+	// LinkType is the link type from the global header, valid after the
+	// first Read.
+	LinkType uint32
+}
+
+// NewPcapReader returns a reader over a pcap stream.
+func NewPcapReader(r io.Reader) *PcapReader { return &PcapReader{r: r} }
+
+// readHeader consumes and validates the global header.
+func (pr *PcapReader) readHeader() error {
+	var h [24]byte
+	if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+		return fmt.Errorf("wire: reading pcap header: %w", err)
+	}
+	switch binary.LittleEndian.Uint32(h[0:4]) {
+	case pcapMagic:
+		pr.order = binary.LittleEndian
+	case 0xd4c3b2a1:
+		pr.order = binary.BigEndian
+		pr.bigEndian = true
+	default:
+		return fmt.Errorf("wire: not a pcap file (magic %x)", h[0:4])
+	}
+	pr.LinkType = pr.order.Uint32(h[20:24])
+	return nil
+}
+
+// Read returns the next record, or io.EOF at end of stream.
+func (pr *PcapReader) Read() (PcapRecord, error) {
+	if !pr.readHd {
+		if err := pr.readHeader(); err != nil {
+			return PcapRecord{}, err
+		}
+		pr.readHd = true
+	}
+	var h [16]byte
+	if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+		if err == io.EOF {
+			return PcapRecord{}, io.EOF
+		}
+		return PcapRecord{}, fmt.Errorf("wire: reading pcap record header: %w", err)
+	}
+	sec := pr.order.Uint32(h[0:4])
+	usec := pr.order.Uint32(h[4:8])
+	capLen := pr.order.Uint32(h[8:12])
+	if capLen > DefaultSnapLen {
+		return PcapRecord{}, fmt.Errorf("wire: pcap record too large (%d bytes)", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return PcapRecord{}, fmt.Errorf("wire: reading pcap record body: %w", err)
+	}
+	ts := time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond
+	return PcapRecord{Time: ts, Data: data}, nil
+}
+
+// ReadAll drains the stream into a slice of records.
+func (pr *PcapReader) ReadAll() ([]PcapRecord, error) {
+	var recs []PcapRecord
+	for {
+		rec, err := pr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

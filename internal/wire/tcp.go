@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCP header flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP is a decoded (or to-be-encoded) TCP segment header. The only option
+// supported is Timestamps (kind 8), which the trace analyzer uses for RTT
+// estimation; all other options are skipped on decode.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+
+	// HasTimestamps reports whether the Timestamps option is present.
+	HasTimestamps bool
+	// TSVal and TSEcr are the Timestamps option values, valid when
+	// HasTimestamps is true.
+	TSVal uint32
+	TSEcr uint32
+
+	// SACKBlocks carries up to 4 selective-acknowledgment ranges
+	// [start, end) when the SACK option (kind 5) is present.
+	SACKBlocks [][2]uint32
+
+	contents []byte
+	payload  []byte
+}
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// LayerContents implements Layer.
+func (t *TCP) LayerContents() []byte { return t.contents }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// TransportFlow returns the (src, dst) port flow.
+func (t *TCP) TransportFlow() Flow {
+	var s, d [2]byte
+	binary.BigEndian.PutUint16(s[:], t.SrcPort)
+	binary.BigEndian.PutUint16(d[:], t.DstPort)
+	return NewFlow(NewEndpoint(LayerTypeTCP, s[:]), NewEndpoint(LayerTypeTCP, d[:]))
+}
+
+// headerLen returns the encoded header length including options and padding.
+func (t *TCP) headerLen() int {
+	n := TCPHeaderLen
+	if t.HasTimestamps {
+		n += 12 // NOP NOP + 10-byte timestamps option
+	}
+	if len(t.SACKBlocks) > 0 {
+		n += 2 + 2 + 8*len(t.SACKBlocks) // NOP NOP + kind/len + blocks
+	}
+	return n
+}
+
+// Encode serializes the segment with payload. src and dst are the IPv4
+// addresses used for the pseudo-header checksum.
+func (t *TCP) Encode(src, dst [4]byte, payload []byte) ([]byte, error) {
+	hl := t.headerLen()
+	if hl > 60 {
+		return nil, fmt.Errorf("wire: TCP options exceed header limit (%d bytes)", hl)
+	}
+	total := hl + len(payload)
+	if total > 0xffff-IPv4HeaderLen {
+		return nil, fmt.Errorf("wire: TCP segment too large (%d bytes)", total)
+	}
+	b := make([]byte, total)
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = uint8(hl/4) << 4
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	off := TCPHeaderLen
+	if t.HasTimestamps {
+		b[off] = 1   // NOP
+		b[off+1] = 1 // NOP
+		b[off+2] = 8 // kind: timestamps
+		b[off+3] = 10
+		binary.BigEndian.PutUint32(b[off+4:off+8], t.TSVal)
+		binary.BigEndian.PutUint32(b[off+8:off+12], t.TSEcr)
+		off += 12
+	}
+	if n := len(t.SACKBlocks); n > 0 {
+		b[off] = 1   // NOP
+		b[off+1] = 1 // NOP
+		b[off+2] = 5 // kind: SACK
+		b[off+3] = uint8(2 + 8*n)
+		off += 4
+		for _, blk := range t.SACKBlocks {
+			binary.BigEndian.PutUint32(b[off:off+4], blk[0])
+			binary.BigEndian.PutUint32(b[off+4:off+8], blk[1])
+			off += 8
+		}
+	}
+	copy(b[hl:], payload)
+	pseudo := pseudoHeaderSum(src, dst, ProtoTCP, total)
+	binary.BigEndian.PutUint16(b[16:18], checksumWithPseudo(pseudo, b))
+	t.contents = b[:hl]
+	t.payload = b[hl:]
+	return b, nil
+}
+
+// DecodeTCP parses a TCP segment. src and dst are the enclosing IPv4
+// addresses; pass verifyChecksum=false to skip checksum validation (useful
+// for deliberately corrupted test inputs).
+func DecodeTCP(data []byte, src, dst [4]byte, verifyChecksum bool) (*TCP, error) {
+	if len(data) < TCPHeaderLen {
+		return nil, ErrTruncated
+	}
+	hl := int(data[12]>>4) * 4
+	if hl < TCPHeaderLen || len(data) < hl {
+		return nil, ErrTruncated
+	}
+	if verifyChecksum {
+		pseudo := pseudoHeaderSum(src, dst, ProtoTCP, len(data))
+		if checksumWithPseudo(pseudo, data) != 0 {
+			return nil, ErrBadChecksum
+		}
+	}
+	t := &TCP{
+		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
+		DstPort:  binary.BigEndian.Uint16(data[2:4]),
+		Seq:      binary.BigEndian.Uint32(data[4:8]),
+		Ack:      binary.BigEndian.Uint32(data[8:12]),
+		Flags:    data[13],
+		Window:   binary.BigEndian.Uint16(data[14:16]),
+		contents: data[:hl],
+		payload:  data[hl:],
+	}
+	if err := t.parseOptions(data[TCPHeaderLen:hl]); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// parseOptions walks the options area, extracting Timestamps and skipping
+// everything else.
+func (t *TCP) parseOptions(opts []byte) error {
+	for i := 0; i < len(opts); {
+		switch opts[i] {
+		case 0: // end of options
+			return nil
+		case 1: // NOP
+			i++
+		case 8: // timestamps
+			if i+10 > len(opts) || opts[i+1] != 10 {
+				return fmt.Errorf("wire: malformed timestamps option")
+			}
+			t.HasTimestamps = true
+			t.TSVal = binary.BigEndian.Uint32(opts[i+2 : i+6])
+			t.TSEcr = binary.BigEndian.Uint32(opts[i+6 : i+10])
+			i += 10
+		case 5: // SACK
+			if i+1 >= len(opts) {
+				return fmt.Errorf("wire: truncated SACK option")
+			}
+			l := int(opts[i+1])
+			if l < 2 || (l-2)%8 != 0 || i+l > len(opts) {
+				return fmt.Errorf("wire: malformed SACK option")
+			}
+			for j := i + 2; j+8 <= i+l; j += 8 {
+				t.SACKBlocks = append(t.SACKBlocks, [2]uint32{
+					binary.BigEndian.Uint32(opts[j : j+4]),
+					binary.BigEndian.Uint32(opts[j+4 : j+8]),
+				})
+			}
+			i += l
+		default:
+			if i+1 >= len(opts) || opts[i+1] < 2 || i+int(opts[i+1]) > len(opts) {
+				return fmt.Errorf("wire: malformed TCP option %d", opts[i])
+			}
+			i += int(opts[i+1])
+		}
+	}
+	return nil
+}
+
+// Packet is a fully decoded IPv4/TCP packet.
+type Packet struct {
+	IP  *IPv4
+	TCP *TCP
+	raw []byte
+}
+
+// Raw returns the packet's original bytes.
+func (p *Packet) Raw() []byte { return p.raw }
+
+// Layers returns the decoded layers in outermost-first order.
+func (p *Packet) Layers() []Layer {
+	return []Layer{p.IP, p.TCP}
+}
+
+// PayloadLen returns the TCP payload length in bytes.
+func (p *Packet) PayloadLen() int { return len(p.TCP.LayerPayload()) }
+
+// DecodePacket decodes an IPv4/TCP packet from raw bytes, verifying both
+// checksums.
+func DecodePacket(data []byte) (*Packet, error) {
+	ip, err := DecodeIPv4(data)
+	if err != nil {
+		return nil, err
+	}
+	if ip.Protocol != ProtoTCP {
+		return nil, fmt.Errorf("wire: unsupported IP protocol %d", ip.Protocol)
+	}
+	tcp, err := DecodeTCP(ip.LayerPayload(), ip.SrcIP, ip.DstIP, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Packet{IP: ip, TCP: tcp, raw: data}, nil
+}
+
+// EncodePacket builds raw bytes for an IPv4/TCP packet with the given
+// payload. The IPv4 ID field is taken from ip; length and checksums are
+// computed.
+func EncodePacket(ip *IPv4, tcp *TCP, payload []byte) ([]byte, error) {
+	ip.Protocol = ProtoTCP
+	if ip.TTL == 0 {
+		ip.TTL = 64
+	}
+	seg, err := tcp.Encode(ip.SrcIP, ip.DstIP, payload)
+	if err != nil {
+		return nil, err
+	}
+	return ip.Encode(seg)
+}

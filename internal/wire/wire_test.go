@@ -1,0 +1,456 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testIP() *IPv4 {
+	return &IPv4{
+		TTL:      64,
+		Protocol: ProtoTCP,
+		SrcIP:    [4]byte{10, 0, 0, 1},
+		DstIP:    [4]byte{10, 0, 0, 2},
+	}
+}
+
+func TestChecksumZeroOverValidHeader(t *testing.T) {
+	ip := testIP()
+	b, err := ip.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Checksum(b[:IPv4HeaderLen]); got != 0 {
+		t.Errorf("checksum over encoded header = %#x, want 0", got)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 worked example header.
+	h := []byte{
+		0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+		0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01,
+		0xc0, 0xa8, 0x00, 0xc7,
+	}
+	if got := Checksum(h); got != 0xb861 {
+		t.Errorf("Checksum = %#x, want 0xb861", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	data := []byte{0x01, 0x02, 0x03}
+	// Manual: 0x0102 + 0x0300 = 0x0402 -> ^0x0402 = 0xfbfd
+	if got := Checksum(data); got != 0xfbfd {
+		t.Errorf("Checksum(odd) = %#x, want 0xfbfd", got)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	ip := testIP()
+	ip.ID = 4242
+	ip.TOS = 0x10
+	payload := []byte("hello world")
+	b, err := ip.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 4242 || got.TOS != 0x10 || got.TTL != 64 || got.Protocol != ProtoTCP {
+		t.Errorf("decoded header fields mismatch: %+v", got)
+	}
+	if got.SrcIP != ip.SrcIP || got.DstIP != ip.DstIP {
+		t.Errorf("addresses mismatch: %v -> %v", got.SrcIP, got.DstIP)
+	}
+	if !bytes.Equal(got.LayerPayload(), payload) {
+		t.Errorf("payload mismatch: %q", got.LayerPayload())
+	}
+}
+
+func TestDecodeIPv4Truncated(t *testing.T) {
+	ip := testIP()
+	b, _ := ip.Encode([]byte("data"))
+	for _, n := range []int{0, 5, 19} {
+		if _, err := DecodeIPv4(b[:n]); err != ErrTruncated {
+			t.Errorf("DecodeIPv4(len=%d) err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestDecodeIPv4BadVersion(t *testing.T) {
+	ip := testIP()
+	b, _ := ip.Encode(nil)
+	b[0] = 0x65 // version 6
+	if _, err := DecodeIPv4(b); err != ErrBadVersion {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeIPv4CorruptChecksum(t *testing.T) {
+	ip := testIP()
+	b, _ := ip.Encode(nil)
+	b[8] ^= 0xff // flip TTL without fixing checksum
+	if _, err := DecodeIPv4(b); err != ErrBadChecksum {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestTCPRoundTripNoOptions(t *testing.T) {
+	tcp := &TCP{SrcPort: 5001, DstPort: 443, Seq: 1000, Ack: 2000, Flags: FlagACK | FlagPSH, Window: 65535}
+	src, dst := [4]byte{1, 2, 3, 4}, [4]byte{5, 6, 7, 8}
+	payload := bytes.Repeat([]byte{0xab}, 100)
+	b, err := tcp.Encode(src, dst, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTCP(b, src, dst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 5001 || got.DstPort != 443 || got.Seq != 1000 || got.Ack != 2000 {
+		t.Errorf("fields mismatch: %+v", got)
+	}
+	if got.Flags != FlagACK|FlagPSH {
+		t.Errorf("flags = %#x", got.Flags)
+	}
+	if got.HasTimestamps {
+		t.Error("unexpected timestamps option")
+	}
+	if !bytes.Equal(got.LayerPayload(), payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestTCPRoundTripTimestamps(t *testing.T) {
+	tcp := &TCP{SrcPort: 1, DstPort: 2, Seq: 7, Ack: 9, Flags: FlagACK, Window: 100,
+		HasTimestamps: true, TSVal: 123456, TSEcr: 654321}
+	src, dst := [4]byte{9, 9, 9, 9}, [4]byte{8, 8, 8, 8}
+	b, err := tcp.Encode(src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTCP(b, src, dst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasTimestamps || got.TSVal != 123456 || got.TSEcr != 654321 {
+		t.Errorf("timestamps mismatch: %+v", got)
+	}
+}
+
+func TestTCPChecksumDetectsCorruption(t *testing.T) {
+	tcp := &TCP{SrcPort: 1, DstPort: 2, Seq: 7, Flags: FlagACK}
+	src, dst := [4]byte{9, 9, 9, 9}, [4]byte{8, 8, 8, 8}
+	b, _ := tcp.Encode(src, dst, []byte("payload"))
+	b[len(b)-1] ^= 0x01
+	if _, err := DecodeTCP(b, src, dst, true); err != ErrBadChecksum {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+	// Skipping verification should succeed.
+	if _, err := DecodeTCP(b, src, dst, false); err != nil {
+		t.Errorf("unverified decode err = %v", err)
+	}
+}
+
+func TestTCPSkipsUnknownOptions(t *testing.T) {
+	// Build a header with an MSS option (kind 2 len 4) by hand, then a
+	// timestamps option.
+	tcp := &TCP{SrcPort: 1, DstPort: 2, HasTimestamps: true, TSVal: 11, TSEcr: 22}
+	src, dst := [4]byte{}, [4]byte{}
+	b, _ := tcp.Encode(src, dst, nil)
+	// Replace the two leading NOPs with nothing harmful: keep as is, then
+	// verify option parsing over a synthetic options slice directly.
+	var parsed TCP
+	opts := []byte{2, 4, 0x05, 0xb4, 1, 1, 8, 10, 0, 0, 0, 1, 0, 0, 0, 2}
+	if err := parsed.parseOptions(opts); err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.HasTimestamps || parsed.TSVal != 1 || parsed.TSEcr != 2 {
+		t.Errorf("parsed = %+v", parsed)
+	}
+	_ = b
+}
+
+func TestTCPMalformedOptions(t *testing.T) {
+	var parsed TCP
+	for _, opts := range [][]byte{
+		{8, 10, 0, 0},               // truncated timestamps
+		{8, 9, 0, 0, 0, 0, 0, 0, 0}, // wrong length byte
+		{2},                         // option kind with no length
+		{2, 0},                      // zero length
+		{2, 40, 0},                  // length beyond buffer
+	} {
+		if err := parsed.parseOptions(opts); err == nil {
+			t.Errorf("parseOptions(%v) succeeded, want error", opts)
+		}
+	}
+}
+
+func TestPacketEncodeDecode(t *testing.T) {
+	ip := testIP()
+	tcp := &TCP{SrcPort: 33000, DstPort: 80, Seq: 1, Ack: 1, Flags: FlagACK,
+		HasTimestamps: true, TSVal: 5, TSEcr: 6}
+	raw, err := EncodePacket(ip, tcp, bytes.Repeat([]byte{1}, 1448))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := DecodePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.PayloadLen() != 1448 {
+		t.Errorf("payload len = %d, want 1448", pkt.PayloadLen())
+	}
+	if got := pkt.TCP.TransportFlow().String(); got != "33000->80" {
+		t.Errorf("transport flow = %q", got)
+	}
+	if got := pkt.IP.NetworkFlow().String(); got != "10.0.0.1->10.0.0.2" {
+		t.Errorf("network flow = %q", got)
+	}
+	if len(pkt.Layers()) != 2 {
+		t.Errorf("layers = %d, want 2", len(pkt.Layers()))
+	}
+}
+
+func TestDecodePacketRejectsUDP(t *testing.T) {
+	ip := testIP()
+	ip.Protocol = ProtoUDP
+	b, _ := ip.Encode(make([]byte, 8))
+	if _, err := DecodePacket(b); err == nil {
+		t.Error("DecodePacket accepted UDP")
+	}
+}
+
+func TestFlowReverse(t *testing.T) {
+	f := NewFlow(NewEndpoint(LayerTypeIPv4, []byte{1, 1, 1, 1}), NewEndpoint(LayerTypeIPv4, []byte{2, 2, 2, 2}))
+	r := f.Reverse()
+	if r.Src() != f.Dst() || r.Dst() != f.Src() {
+		t.Error("Reverse did not swap endpoints")
+	}
+	if r.Reverse() != f {
+		t.Error("double Reverse != identity")
+	}
+	if f.String() != "1.1.1.1->2.2.2.2" {
+		t.Errorf("flow string = %q", f.String())
+	}
+}
+
+func TestEndpointAsMapKey(t *testing.T) {
+	m := map[Endpoint]int{}
+	e1 := NewEndpoint(LayerTypeTCP, []byte{0x1f, 0x90})
+	e2 := NewEndpoint(LayerTypeTCP, []byte{0x1f, 0x90})
+	m[e1] = 1
+	if m[e2] != 1 {
+		t.Error("equal endpoints do not hash equal")
+	}
+	if e1.String() != "8080" {
+		t.Errorf("endpoint string = %q", e1.String())
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	ip := testIP()
+	var want []PcapRecord
+	for i := 0; i < 10; i++ {
+		tcp := &TCP{SrcPort: 1000, DstPort: 80, Seq: uint32(i * 1448), Flags: FlagACK}
+		raw, err := EncodePacket(ip, tcp, make([]byte, i*10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := time.Duration(i) * 123 * time.Millisecond
+		if err := w.WritePacket(ts, raw); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, PcapRecord{Time: ts, Data: raw})
+	}
+	r := NewPcapReader(bytes.NewReader(buf.Bytes()))
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeRaw {
+		t.Errorf("link type = %d, want %d", r.LinkType, LinkTypeRaw)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Time != want[i].Time {
+			t.Errorf("record %d time = %v, want %v", i, got[i].Time, want[i].Time)
+		}
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("record %d data mismatch", i)
+		}
+	}
+}
+
+func TestPcapReaderBigEndian(t *testing.T) {
+	// Hand-build a big-endian pcap with one empty-payload record.
+	var buf bytes.Buffer
+	var h [24]byte
+	binary.BigEndian.PutUint32(h[0:4], pcapMagic)
+	binary.BigEndian.PutUint16(h[4:6], pcapVersMaj)
+	binary.BigEndian.PutUint16(h[6:8], pcapVersMin)
+	binary.BigEndian.PutUint32(h[16:20], DefaultSnapLen)
+	binary.BigEndian.PutUint32(h[20:24], LinkTypeRaw)
+	buf.Write(h[:])
+	var rh [16]byte
+	binary.BigEndian.PutUint32(rh[0:4], 3)      // 3 s
+	binary.BigEndian.PutUint32(rh[4:8], 500000) // .5 s
+	binary.BigEndian.PutUint32(rh[8:12], 4)
+	binary.BigEndian.PutUint32(rh[12:16], 4)
+	buf.Write(rh[:])
+	buf.Write([]byte{1, 2, 3, 4})
+	r := NewPcapReader(&buf)
+	rec, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Time != 3*time.Second+500*time.Millisecond {
+		t.Errorf("time = %v", rec.Time)
+	}
+	if !bytes.Equal(rec.Data, []byte{1, 2, 3, 4}) {
+		t.Errorf("data = %v", rec.Data)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("second read err = %v, want EOF", err)
+	}
+}
+
+func TestPcapReaderRejectsGarbage(t *testing.T) {
+	r := NewPcapReader(bytes.NewReader([]byte("this is not a pcap file at all!!")))
+	if _, err := r.Read(); err == nil {
+		t.Error("Read accepted garbage magic")
+	}
+}
+
+// Property: encode→decode is the identity on header fields for arbitrary
+// field values and payload sizes.
+func TestQuickTCPRoundTrip(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, window uint16, plen uint8, tsval, tsecr uint32, hasTS bool) bool {
+		tcp := &TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack,
+			Flags: FlagACK, Window: window, HasTimestamps: hasTS, TSVal: tsval, TSEcr: tsecr}
+		src, dst := [4]byte{1, 2, 3, 4}, [4]byte{4, 3, 2, 1}
+		payload := make([]byte, int(plen))
+		rand.New(rand.NewSource(int64(seq))).Read(payload)
+		b, err := tcp.Encode(src, dst, payload)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTCP(b, src, dst, true)
+		if err != nil {
+			return false
+		}
+		ok := got.SrcPort == srcPort && got.DstPort == dstPort && got.Seq == seq &&
+			got.Ack == ack && got.Window == window && got.HasTimestamps == hasTS &&
+			bytes.Equal(got.LayerPayload(), payload)
+		if hasTS {
+			ok = ok && got.TSVal == tsval && got.TSEcr == tsecr
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Internet checksum of any buffer with its own checksum
+// appended at the right spot verifies to zero (self-inverse under fold-in).
+func TestQuickChecksumSelfVerifies(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		sum := Checksum(data)
+		buf := append(append([]byte{}, data...), byte(sum>>8), byte(sum))
+		return Checksum(buf) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	eth := &Ethernet{
+		Src:       [6]byte{2, 0, 0, 0, 0, 1},
+		Dst:       [6]byte{2, 0, 0, 0, 0, 2},
+		EtherType: EtherTypeIPv4,
+	}
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	frame := eth.Encode(payload)
+	got, err := DecodeEthernet(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != eth.Src || got.Dst != eth.Dst || got.EtherType != EtherTypeIPv4 {
+		t.Errorf("fields mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.LayerPayload(), payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestEthernetVLAN(t *testing.T) {
+	eth := &Ethernet{EtherType: EtherTypeIPv4, HasVLAN: true, VLAN: 42}
+	frame := eth.Encode([]byte{1})
+	got, err := DecodeEthernet(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasVLAN || got.VLAN != 42 || got.EtherType != EtherTypeIPv4 {
+		t.Errorf("vlan decode: %+v", got)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	if _, err := DecodeEthernet(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("err = %v", err)
+	}
+	// VLAN tag promised but missing.
+	short := make([]byte, 14)
+	binary.BigEndian.PutUint16(short[12:14], EtherTypeVLAN)
+	if _, err := DecodeEthernet(short); err != ErrTruncated {
+		t.Errorf("vlan err = %v", err)
+	}
+}
+
+func TestDecodePacketLink(t *testing.T) {
+	ip := testIP()
+	tcp := &TCP{SrcPort: 1, DstPort: 2, Flags: FlagACK}
+	raw, err := EncodePacket(ip, tcp, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw link type: bytes as-is.
+	if _, err := DecodePacketLink(LinkTypeRaw, raw); err != nil {
+		t.Errorf("raw link decode: %v", err)
+	}
+	// Ethernet link type: framed.
+	eth := &Ethernet{EtherType: EtherTypeIPv4}
+	framed := eth.Encode(raw)
+	pkt, err := DecodePacketLink(LinkTypeEthernet, framed)
+	if err != nil {
+		t.Fatalf("ethernet link decode: %v", err)
+	}
+	if pkt.TCP.SrcPort != 1 {
+		t.Error("inner TCP lost")
+	}
+	// Non-IPv4 ethertype rejected.
+	arp := &Ethernet{EtherType: 0x0806}
+	if _, err := DecodePacketLink(LinkTypeEthernet, arp.Encode(raw)); err == nil {
+		t.Error("ARP ethertype accepted")
+	}
+	// Unknown link type rejected.
+	if _, err := DecodePacketLink(999, raw); err == nil {
+		t.Error("unknown link type accepted")
+	}
+}
