@@ -1,0 +1,23 @@
+# Developer entry points. `make bench` appends to the bench/ directory so
+# benchmark trajectories (BENCH_* files) accumulate across PRs and can be
+# diffed by future performance work.
+
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	@mkdir -p bench
+	$(GO) test -bench=. -benchmem -run='^$$' . | tee bench/BENCH_$$(date -u +%Y%m%d-%H%M%S).txt

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dsl"
 	"repro/internal/enum"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -279,6 +280,65 @@ func BenchmarkAblationDesignChoices(b *testing.B) {
 				b.ReportMetric(r.Distance, "baseline-dist")
 			}
 		}
+	}
+}
+
+// --- Observability fast-path micro-benchmarks ---------------------------
+//
+// The obs layer's contract is that instrumentation left permanently in hot
+// paths costs almost nothing when observability is off (nil handles). These
+// benchmarks pin that: the disabled counter increment and disabled span
+// must stay in the single-digit ns/op range.
+
+// benchNilCounter and friends live at package scope so the compiler cannot
+// prove the handles nil and delete the benchmark loop bodies outright.
+var (
+	benchNilCounter  *obs.Counter
+	benchNilRegistry *obs.Registry
+	benchSpanSink    *obs.Span
+)
+
+// BenchmarkObsDisabledCounter measures Counter.Add on a nil handle — the
+// cost every instrumented hot path pays when no registry is attached.
+func BenchmarkObsDisabledCounter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchNilCounter.Add(1)
+	}
+}
+
+// BenchmarkObsDisabledSpan measures a StartSpan/End pair on a nil registry.
+func BenchmarkObsDisabledSpan(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := benchNilRegistry.StartSpan("bench")
+		benchSpanSink = sp
+		sp.End()
+	}
+}
+
+// BenchmarkObsEnabledCounter measures the live atomic increment, for
+// comparison with the disabled path.
+func BenchmarkObsEnabledCounter(b *testing.B) {
+	c := obs.New().Counter("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("count mismatch")
+	}
+}
+
+// BenchmarkObsEnabledSpanNoSink measures a span round-trip on a live
+// registry with no sink attached (phase accounting only).
+func BenchmarkObsEnabledSpanNoSink(b *testing.B) {
+	r := obs.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("bench").End()
 	}
 }
 

@@ -6,9 +6,15 @@
 //
 //	abagnale -dsl vegas traces/*.pcap
 //	abagnale -dsl reno -budget 50000 -metric dtw -seed 1 traces/reno-*.pcap
+//	abagnale -dsl cubic -v -metrics-json run-report.json traces/cubic-*.pcap
 //
 // Without -dsl the tool requires -hint-cca to look up the family mapping,
 // or defaults to the vegas DSL (the broadest).
+//
+// Observability: -v streams live search progress to stderr, -events writes
+// the span/metric stream as JSONL, -metrics-json writes the end-of-run
+// report (counters, wall-clock per phase, per-iteration bucket ranks), and
+// -cpuprofile/-memprofile capture pprof profiles.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dsl"
 	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/replay"
 	"repro/internal/trace"
 )
 
@@ -32,21 +40,34 @@ func main() {
 		budget  = flag.Int("budget", 120000, "max concrete handlers to score")
 		minSeg  = flag.Int("min-segment", 16, "minimum ACK samples per trace segment")
 		seed    = flag.Int64("seed", 1, "random seed")
-		verbose = flag.Bool("v", false, "print per-iteration search progress")
+		of      obs.Flags
 	)
+	of.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "abagnale: no pcap files given")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dslName, *hintCCA, *metric, *budget, *minSeg, *seed, *verbose, flag.Args()); err != nil {
+	reg, done, err := of.Setup()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "abagnale:", err)
+		os.Exit(1)
+	}
+	// Route the process-wide replay/metric instruments to this run.
+	replay.Observe(reg)
+	dist.Observe(reg)
+	runErr := run(*dslName, *hintCCA, *metric, *budget, *minSeg, *seed, reg, flag.Args())
+	if err := done(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "abagnale:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, verbose bool, files []string) error {
+func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, reg *obs.Registry, files []string) error {
 	if dslName == "" {
 		if hintCCA != "" {
 			dslName = expr.DSLHint(hintCCA)
@@ -64,6 +85,7 @@ func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, ve
 	}
 
 	var segs []*trace.Segment
+	asp := reg.StartSpan("abagnale.analyze")
 	for _, f := range files {
 		raw, err := os.ReadFile(f)
 		if err != nil {
@@ -78,9 +100,11 @@ func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, ve
 			f, len(tr.Samples), len(tr.Losses), len(ss))
 		segs = append(segs, ss...)
 	}
+	asp.End()
 	if len(segs) == 0 {
 		return fmt.Errorf("no usable trace segments (try lowering -min-segment)")
 	}
+	reg.Progressf("searching %s DSL over %d segments (budget %d handlers)", dslName, len(segs), budget)
 
 	start := time.Now()
 	res, err := core.Synthesize(segs, core.Options{
@@ -88,12 +112,14 @@ func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, ve
 		Metric:      m,
 		MaxHandlers: budget,
 		Seed:        seed,
+		Obs:         reg,
 	})
 	if err != nil {
 		return err
 	}
+	handler := dsl.Simplify(res.Handler)
 	fmt.Printf("\nsynthesized handler (%s-DSL, %s distance, %v):\n  cwnd <- %s\n",
-		dslName, metricName, time.Since(start).Round(time.Millisecond), dsl.Simplify(res.Handler))
+		dslName, metricName, time.Since(start).Round(time.Millisecond), handler)
 	fmt.Printf("summed distance over %d segments: %.2f\n", len(segs), res.Distance)
 	fmt.Printf("search: %d handlers from %d sketches across %d buckets, %d iterations\n",
 		res.Stats.HandlersScored, res.Stats.SketchesScored,
@@ -101,11 +127,12 @@ func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, ve
 	if res.Stats.BudgetExhausted {
 		fmt.Println("note: handler budget exhausted; result is best-so-far (paper's timeout behavior)")
 	}
-	if verbose {
-		for _, it := range res.Stats.Iterations {
-			fmt.Printf("  iteration %d: N=%d over %d segments, %d handlers, kept %d/%d buckets\n",
-				it.Index, it.SamplesPerBucket, it.Segments, it.HandlersScored, it.Kept, len(it.Ranking))
-		}
-	}
+	reg.Record("abagnale.result", map[string]any{
+		"dsl":      dslName,
+		"metric":   metricName,
+		"handler":  handler.String(),
+		"distance": res.Distance,
+		"segments": len(segs),
+	})
 	return nil
 }

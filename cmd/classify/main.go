@@ -18,7 +18,10 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/replay"
 	"repro/internal/trace"
 )
 
@@ -28,24 +31,38 @@ func main() {
 		bwMbps = flag.Float64("bw", 10, "trace scenario bottleneck bandwidth, Mbit/s")
 		margin = flag.Float64("margin", 2.5, "Unknown-threshold margin over intra-CCA distance")
 		seed   = flag.Int64("seed", 1, "reference library seed")
+		of     obs.Flags
 	)
+	of.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "classify: no pcap files given")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*rtt, *bwMbps*1e6/8, *margin, *seed, flag.Args()); err != nil {
+	reg, done, err := of.Setup()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+	replay.Observe(reg)
+	dist.Observe(reg)
+	runErr := run(*rtt, *bwMbps*1e6/8, *margin, *seed, reg, flag.Args())
+	if err := done(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "classify:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(rtt time.Duration, bwBps, margin float64, seed int64, files []string) error {
+func run(rtt time.Duration, bwBps, margin float64, seed int64, reg *obs.Registry, files []string) error {
 	scale := experiments.FullScale()
 	scale.Seed = seed
 	scale.RTTs = []time.Duration{rtt}
 	scale.Bandwidths = []float64{bwBps}
+	scale.Obs = reg
 	fmt.Println("building reference library (kernel CCAs)...")
 	cls, err := experiments.BuildClassifier(scale)
 	if err != nil {

@@ -27,14 +27,19 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/replay"
 )
 
 func main() {
 	var (
 		quick = flag.Bool("quick", false, "reduced trace volume and search budget")
 		seed  = flag.Int64("seed", 1, "random seed")
+		of    obs.Flags
 	)
+	of.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
@@ -46,10 +51,23 @@ func main() {
 	}
 	scale.Seed = *seed
 
+	reg, done, err := of.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	scale.Obs = reg
+	replay.Observe(reg)
+	dist.Observe(reg)
+
 	name := flag.Arg(0)
 	args := flag.Args()[1:]
-	if err := run(name, args, scale); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	runErr := run(name, args, scale)
+	if err := done(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }

@@ -24,13 +24,29 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/dsl"
 	"repro/internal/enum"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
+
+// Observability instruments emitted when Options.Obs is set:
+//
+//	counters   core.handlers_scored, core.sketches_scored,
+//	           core.completions_sampled, core.worker_busy_ns
+//	gauges     core.best_distance (trajectory, also a metric event),
+//	           core.workers
+//	phases     core.synthesize, core.iteration, core.select_segments,
+//	           core.score, core.final_distance
+//	records    core.iteration — one IterationReport per refinement
+//	           iteration (bucket ranking included)
+//
+// Worker utilization for the scoring phase is
+// worker_busy_ns / (workers * phases["core.score"].TotalSec * 1e9).
 
 // Options configures a synthesis run. Zero values select the paper's
 // defaults.
@@ -73,6 +89,10 @@ type Options struct {
 	NoBucketPruning bool
 	// Seed drives all sampling; runs are reproducible.
 	Seed int64
+	// Obs receives the run's metrics, spans, per-iteration records and
+	// progress stream. Nil disables instrumentation at near-zero cost
+	// (nil-receiver no-ops); it never changes search behavior.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -142,6 +162,45 @@ func (s *IterationStats) RankOf(ops dsl.OpSet) int {
 	return 0
 }
 
+// IterationReport is the JSON shape of one "core.iteration" obs record. It
+// is derived from IterationStats by iterationReport — the single source of
+// truth for per-iteration accounting is the IterationStats value appended
+// to SearchStats; the run report re-renders that same value rather than
+// keeping parallel books.
+type IterationReport struct {
+	Index            int                `json:"index"`
+	SamplesPerBucket int                `json:"samples_per_bucket"`
+	Segments         int                `json:"segments"`
+	HandlersScored   int                `json:"handlers_scored"`
+	Kept             int                `json:"kept"`
+	BestDistance     float64            `json:"best_distance"`
+	Ranking          []BucketRankReport `json:"ranking"`
+}
+
+// BucketRankReport is one ranked bucket in an IterationReport, with the
+// operator set rendered readably.
+type BucketRankReport struct {
+	Ops   string  `json:"ops"`
+	Score float64 `json:"score"`
+}
+
+// iterationReport renders an IterationStats for the obs record stream.
+func iterationReport(it IterationStats, best float64) IterationReport {
+	rep := IterationReport{
+		Index:            it.Index,
+		SamplesPerBucket: it.SamplesPerBucket,
+		Segments:         it.Segments,
+		HandlersScored:   it.HandlersScored,
+		Kept:             it.Kept,
+		BestDistance:     best,
+		Ranking:          make([]BucketRankReport, len(it.Ranking)),
+	}
+	for i, r := range it.Ranking {
+		rep.Ranking[i] = BucketRankReport{Ops: r.Ops.String(), Score: r.Score}
+	}
+	return rep
+}
+
 // SearchStats aggregates a run's exploration record (§6.1).
 type SearchStats struct {
 	// SpaceBuckets is the number of non-empty buckets at the start.
@@ -182,7 +241,15 @@ func Synthesize(segs []*trace.Segment, opts Options) (*Result, error) {
 		opts: opts,
 		segs: segs,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
+		obsv: opts.Obs,
 	}
+	// Hot-path handles are resolved once; each is a nil no-op when
+	// observability is off.
+	run.cHandlers = opts.Obs.Counter("core.handlers_scored")
+	run.cSketches = opts.Obs.Counter("core.sketches_scored")
+	run.cCompletions = opts.Obs.Counter("core.completions_sampled")
+	run.cBusyNS = opts.Obs.Counter("core.worker_busy_ns")
+	opts.Obs.Gauge("core.workers").Set(float64(opts.Workers))
 	return run.run()
 }
 
@@ -196,6 +263,12 @@ type runState struct {
 	scored  int // handlers scored so far (budget)
 	best    scoredHandler
 	buckets []*bucket
+
+	obsv         *obs.Registry
+	cHandlers    *obs.Counter
+	cSketches    *obs.Counter
+	cCompletions *obs.Counter
+	cBusyNS      *obs.Counter
 }
 
 // scoredHandler is a candidate with its score at evaluation time.
@@ -254,7 +327,11 @@ func (b *bucket) release() {
 
 // run executes Algorithm 1.
 func (r *runState) run() (*Result, error) {
+	root := r.obsv.StartSpan("core.synthesize")
+	defer root.End()
+
 	e := enum.New(r.opts.DSL)
+	e.Obs = r.obsv
 	for _, ops := range e.Buckets() {
 		r.buckets = append(r.buckets, &bucket{ops: ops, score: math.Inf(1)})
 	}
@@ -273,6 +350,8 @@ func (r *runState) run() (*Result, error) {
 	live := r.buckets
 	for {
 		iterIdx++
+		isp := root.Child("core.iteration")
+		ssp := isp.Child("core.select_segments")
 		var segs []*trace.Segment
 		if r.opts.RandomSegments {
 			segs = randomSegments(r.segs, nseg, r.rng)
@@ -280,8 +359,11 @@ func (r *runState) run() (*Result, error) {
 			segs = trace.SelectDiverse(r.segs, nseg, r.opts.Metric, r.rng)
 		}
 		prep := prepareSegments(segs)
+		ssp.End()
 
+		scsp := isp.Child("core.score")
 		handlers := r.scoreBuckets(live, n, prep)
+		scsp.End()
 
 		// Drop buckets that turned out empty, then rank.
 		nonEmpty := live[:0:0]
@@ -327,7 +409,7 @@ func (r *runState) run() (*Result, error) {
 			kept = live[:idx]
 		}
 		it.Kept = len(kept)
-		r.stats.Iterations = append(r.stats.Iterations, it)
+		r.endIteration(isp, it)
 		live = kept
 
 		if r.scored >= r.opts.MaxHandlers {
@@ -358,7 +440,9 @@ func (r *runState) run() (*Result, error) {
 		return nil, errors.New("core: no viable handler found (all candidates diverged)")
 	}
 	// Report the final handler's distance over the full segment set.
+	fsp := root.Child("core.final_distance")
 	final := replay.TotalDistance(r.best.handler, r.segs, r.opts.Metric)
+	fsp.End()
 	r.stats.HandlersScored = r.scored
 	return &Result{
 		Handler:  r.best.handler,
@@ -366,6 +450,23 @@ func (r *runState) run() (*Result, error) {
 		Distance: final,
 		Stats:    r.stats,
 	}, nil
+}
+
+// endIteration is the one place per-iteration accounting leaves the loop:
+// it appends the IterationStats to SearchStats, re-renders the same value
+// as the run report's "core.iteration" record, emits the progress line, and
+// closes the iteration span. SearchStats and the obs report can therefore
+// never disagree.
+func (r *runState) endIteration(sp *obs.Span, it IterationStats) {
+	r.stats.Iterations = append(r.stats.Iterations, it)
+	if r.obsv != nil {
+		r.obsv.Record("core.iteration", iterationReport(it, r.best.distance))
+		r.obsv.Progressf("iteration %d: N=%d over %d segments, %d handlers, kept %d/%d buckets, best %.2f",
+			it.Index, it.SamplesPerBucket, it.Segments, it.HandlersScored,
+			it.Kept, len(it.Ranking), r.best.distance)
+		sp.SetAttr("index", it.Index).SetAttr("handlers", it.HandlersScored)
+	}
+	sp.End()
 }
 
 // randomSegments draws n segments uniformly without replacement.
@@ -417,7 +518,10 @@ func (r *runState) scoreBuckets(live []*bucket, n int, prep []preparedSegment) i
 		go func(b *bucket) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			sketches := b.take(n, r.opts.BucketCap, r.opts.ScanBudget, enum.New(r.opts.DSL))
+			busy := time.Now()
+			en := enum.New(r.opts.DSL)
+			en.Obs = r.obsv
+			sketches := b.take(n, r.opts.BucketCap, r.opts.ScanBudget, en)
 			handlers := 0
 			for _, sk := range sketches {
 				if handlers >= perBkt {
@@ -430,11 +534,13 @@ func (r *runState) scoreBuckets(live []*bucket, n int, prep []preparedSegment) i
 					b.best = scoredHandler{handler: h, sketch: sk, distance: d}
 				}
 			}
+			r.cBusyNS.Add(time.Since(busy).Nanoseconds())
 			mu.Lock()
 			total += handlers
 			sketchN += len(sketches)
 			if b.best.handler != nil && b.best.distance < r.best.distance {
 				r.best = b.best
+				r.obsv.Metric("core.best_distance", b.best.distance)
 			}
 			mu.Unlock()
 		}(b)
@@ -442,6 +548,8 @@ func (r *runState) scoreBuckets(live []*bucket, n int, prep []preparedSegment) i
 	wg.Wait()
 	r.scored += total
 	r.stats.SketchesScored += sketchN
+	r.cHandlers.Add(int64(total))
+	r.cSketches.Add(int64(sketchN))
 	return total
 }
 
@@ -467,6 +575,7 @@ func (r *runState) scoreSketch(sk *dsl.Node, prep []preparedSegment) (*dsl.Node,
 	}
 	pool := r.opts.DSL.Constants
 	assignments := completions(sk, pool, holes, r.opts.MaxCompletions, r.opts.Seed)
+	r.cCompletions.Add(int64(len(assignments)))
 	bestD := math.Inf(1)
 	var bestH *dsl.Node
 	for _, vals := range assignments {

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/dsl"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -166,6 +169,111 @@ func TestStatsAreCoherent(t *testing.T) {
 			t.Errorf("segment count shrank: %d -> %d", it0.Segments, it1.Segments)
 		}
 	}
+}
+
+// TestObsReportMatchesStats is the single-source-of-truth check: the obs
+// run report's iteration records, counters and phase counts must agree
+// exactly with the SearchStats the same run returned — both derive from the
+// one bookkeeping path in endIteration.
+func TestObsReportMatchesStats(t *testing.T) {
+	segs := segmentsFor(t, "reno")
+	reg := obs.New()
+	opts := quickOpts(dsl.Reno())
+	opts.Obs = reg
+	res, err := Synthesize(segs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reg.Report()
+
+	recs := rep.Records["core.iteration"]
+	if len(recs) != len(res.Stats.Iterations) {
+		t.Fatalf("report has %d iteration records, SearchStats has %d",
+			len(recs), len(res.Stats.Iterations))
+	}
+	for i, raw := range recs {
+		ir, ok := raw.(IterationReport)
+		if !ok {
+			t.Fatalf("record %d is %T, want IterationReport", i, raw)
+		}
+		it := res.Stats.Iterations[i]
+		if ir.Index != it.Index || ir.HandlersScored != it.HandlersScored ||
+			ir.Kept != it.Kept || len(ir.Ranking) != len(it.Ranking) {
+			t.Errorf("iteration %d: record %+v disagrees with stats %+v", i, ir, it)
+		}
+		for j, r := range it.Ranking {
+			if ir.Ranking[j].Ops != r.Ops.String() || ir.Ranking[j].Score != r.Score {
+				t.Errorf("iteration %d rank %d: %+v vs %+v", i, j, ir.Ranking[j], r)
+				break
+			}
+		}
+	}
+	if got := rep.Counters["core.handlers_scored"]; got != int64(res.Stats.HandlersScored) {
+		t.Errorf("handlers counter = %d, stats = %d", got, res.Stats.HandlersScored)
+	}
+	if got := rep.Counters["core.sketches_scored"]; got != int64(res.Stats.SketchesScored) {
+		t.Errorf("sketches counter = %d, stats = %d", got, res.Stats.SketchesScored)
+	}
+	if got := rep.Phases["core.iteration"].Count; got != int64(len(res.Stats.Iterations)) {
+		t.Errorf("iteration phase count = %d, stats = %d", got, len(res.Stats.Iterations))
+	}
+	for _, phase := range []string{"core.synthesize", "core.select_segments", "core.score", "core.final_distance"} {
+		if rep.Phases[phase].Count == 0 {
+			t.Errorf("phase %s missing from report", phase)
+		}
+	}
+	// The gauge tracks the best scoring-time distance (over the sampled
+	// segments), so it need not equal res.Distance (full set) — but it must
+	// be a positive finite trajectory endpoint.
+	if g := rep.Gauges["core.best_distance"]; !(g > 0) || math.IsInf(g, 0) {
+		t.Errorf("best distance gauge = %v", g)
+	}
+	if rep.Counters["core.completions_sampled"] == 0 {
+		t.Error("completions counter empty")
+	}
+	if rep.Counters["core.worker_busy_ns"] == 0 {
+		t.Error("worker busy-time counter empty")
+	}
+	if rep.Counters["enum.candidates"] == 0 || rep.Counters["enum.sketches"] == 0 {
+		t.Error("enum counters empty — enumerators not threaded")
+	}
+}
+
+// TestObsProgressStream checks that an attached progress sink sees one line
+// per refinement iteration (the tools' -v path).
+func TestObsProgressStream(t *testing.T) {
+	segs := segmentsFor(t, "reno")
+	reg := obs.New()
+	var buf syncBuffer
+	reg.Attach(obs.NewProgressSink(&buf))
+	opts := quickOpts(dsl.Reno())
+	opts.Obs = reg
+	res, err := Synthesize(segs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Count(buf.String(), "iteration ")
+	if got != len(res.Stats.Iterations) {
+		t.Errorf("progress lines = %d, iterations = %d:\n%s", got, len(res.Stats.Iterations), buf.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for sink output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 func TestBudgetExhaustionStillReturns(t *testing.T) {

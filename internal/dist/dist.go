@@ -13,7 +13,30 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// Package-level observability hooks, installed process-wide (metrics are
+// stateless values, so there is no per-run object to hang a registry on).
+// Nil counters (no registry installed) no-op.
+var (
+	cDTWCalls atomic.Pointer[obs.Counter]
+	cDTWCells atomic.Pointer[obs.Counter]
+)
+
+// Observe routes the package's instruments to the registry:
+//
+//	counters  dist.dtw_calls (DTW distance computations),
+//	          dist.dtw_cells (DTW dynamic-programming cells filled —
+//	          the metric's actual work, proportional to band width)
+//
+// Passing nil uninstalls them. Call once at tool startup.
+func Observe(r *obs.Registry) {
+	cDTWCalls.Store(r.Counter("dist.dtw_calls"))
+	cDTWCells.Store(r.Counter("dist.dtw_cells"))
+}
 
 // Series is a time series of observations at increasing times.
 type Series struct {
@@ -153,6 +176,8 @@ func dtwBanded(x, y []float64, band int) float64 {
 		prev[j] = inf
 	}
 	prev[0] = 0
+	cDTWCalls.Load().Inc()
+	cells := 0
 	for i := 1; i <= n; i++ {
 		for j := range cur {
 			cur[j] = inf
@@ -164,6 +189,7 @@ func dtwBanded(x, y []float64, band int) float64 {
 		if hi > m {
 			hi = m
 		}
+		cells += hi - lo + 1
 		for j := lo; j <= hi; j++ {
 			cost := math.Abs(x[i-1] - y[j-1])
 			best := prev[j] // insertion
@@ -177,6 +203,7 @@ func dtwBanded(x, y []float64, band int) float64 {
 		}
 		prev, cur = cur, prev
 	}
+	cDTWCells.Load().Add(int64(cells))
 	return prev[m]
 }
 

@@ -15,12 +15,22 @@ import (
 	"sort"
 
 	"repro/internal/dsl"
+	"repro/internal/obs"
 )
 
 // Enumerator generates the sketch space of one sub-DSL.
 type Enumerator struct {
 	// D is the sub-DSL whose space is enumerated.
 	D *dsl.DSL
+	// Obs, when set, receives the enumerator's instruments:
+	//
+	//	counters  enum.candidates (every candidate root constructed —
+	//	          the scan-budget currency), enum.sketches (admissible
+	//	          sketches yielded), enum.scan_budget_exhausted
+	//	          (enumerations cut short by their scan budget)
+	//
+	// Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // New returns an enumerator for the sub-DSL.
@@ -85,7 +95,16 @@ func (e *Enumerator) enumerateLimited(allowed dsl.OpSet, scanLimit int, filter f
 	if budget <= 0 {
 		budget = 1 << 20
 	}
-	g := &gen{dsl: e.D, allowed: allowed, limit: scanLimit}
+	cSketches := e.Obs.Counter("enum.sketches")
+	g := &gen{
+		dsl: e.D, allowed: allowed, limit: scanLimit,
+		candidates: e.Obs.Counter("enum.candidates"),
+	}
+	defer func() {
+		if g.budgetHit {
+			e.Obs.Counter("enum.scan_budget_exhausted").Inc()
+		}
+	}()
 	for depth := 1; depth <= e.D.MaxDepth; depth++ {
 		want := depth
 		ok := g.genNum(depth, budget, func(n *dsl.Node) bool {
@@ -105,6 +124,7 @@ func (e *Enumerator) enumerateLimited(allowed dsl.OpSet, scanLimit int, filter f
 					return false
 				}
 			}
+			cSketches.Inc()
 			return yield(n.Clone())
 		})
 		if !ok {
@@ -199,20 +219,27 @@ func (e *Enumerator) Buckets() []dsl.OpSet {
 // against it, so the budget bounds the generator's actual work; spent
 // reports how much has been used.
 type gen struct {
-	dsl     *dsl.DSL
-	allowed dsl.OpSet
-	limit   int
-	spent   int
+	dsl        *dsl.DSL
+	allowed    dsl.OpSet
+	limit      int
+	spent      int
+	candidates *obs.Counter // nil no-op when unobserved
+	budgetHit  bool
 }
 
 // charge consumes budget for one constructed candidate; it reports false
 // when the budget is exhausted.
 func (g *gen) charge() bool {
+	g.candidates.Inc()
 	if g.limit <= 0 {
 		return true
 	}
 	g.spent++
-	return g.spent <= g.limit
+	if g.spent > g.limit {
+		g.budgetHit = true
+		return false
+	}
+	return true
 }
 
 // hasOp reports whether the operator may be used.

@@ -77,6 +77,7 @@ func Ablation(ccaName string, s Scale) ([]AblationRow, error) {
 		MaxHandlers: s.MaxHandlers,
 		ScanBudget:  s.ScanBudget,
 		Seed:        s.Seed,
+		Obs:         s.Obs,
 	}
 	var rows []AblationRow
 	for _, v := range ablationVariants(base) {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cca"
 	"repro/internal/classify"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -41,6 +42,10 @@ type Scale struct {
 	MinSegment int
 	// Seed drives everything.
 	Seed int64
+	// Obs, when set, is threaded into every simulation and synthesis run
+	// the experiment performs (metrics, spans, progress). Nil disables
+	// instrumentation.
+	Obs *obs.Registry
 }
 
 // FullScale is the paper-like configuration.
@@ -89,6 +94,7 @@ func (s Scale) Grid(ccaName string) []sim.Config {
 				Jitter:    s.Jitter,
 				LossRate:  s.LossRate,
 				Seed:      s.Seed*1000 + i,
+				Obs:       s.Obs,
 			})
 		}
 	}
@@ -126,6 +132,7 @@ func Collect(ccaName string, s Scale) (*Dataset, error) {
 	}
 	ds := &Dataset{CCA: ccaName}
 	for _, cfg := range s.Grid(ccaName) {
+		s.Obs.Progressf("collect %s: rtt=%v bw=%.1fMbit/s", ccaName, cfg.RTT, cfg.Bandwidth*8/1e6)
 		res, err := sim.Run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: simulating %s: %w", ccaName, err)
@@ -159,6 +166,7 @@ func Collect(ccaName string, s Scale) (*Dataset, error) {
 func BuildClassifier(s Scale) (*classify.Classifier, error) {
 	c := classify.New(nil)
 	for _, name := range cca.KernelNames() {
+		s.Obs.Progressf("classifier library: simulating %s", name)
 		for _, cfg := range s.Grid(name) {
 			for rep := int64(0); rep < 2; rep++ {
 				run := cfg

@@ -189,6 +189,7 @@ func Fig6(s Scale, students []string) ([]Fig6Row, error) {
 				MaxHandlers: s.MaxHandlers,
 				ScanBudget:  s.ScanBudget,
 				Seed:        s.Seed,
+				Obs:         s.Obs,
 			})
 			row := Fig6Row{CCA: st, DSLLabel: label}
 			if err != nil {
@@ -251,6 +252,7 @@ func Efficiency(s Scale) (*EfficiencyResult, error) {
 		MaxHandlers: s.MaxHandlers,
 		ScanBudget:  s.ScanBudget,
 		Seed:        s.Seed,
+		Obs:         s.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -86,11 +86,13 @@ func table2Row(name string, s Scale, cls *classify.Classifier) (Table2Row, error
 	if err != nil {
 		return Table2Row{}, err
 	}
+	s.Obs.Progressf("table2 %s: synthesizing over %d segments (%s DSL)", name, len(ds.Segments), dslName)
 	res, err := core.Synthesize(ds.Segments, core.Options{
 		DSL:         d,
 		MaxHandlers: s.MaxHandlers,
 		ScanBudget:  s.ScanBudget,
 		Seed:        s.Seed,
+		Obs:         s.Obs,
 	})
 	row := Table2Row{CCA: name, DSLName: dslName, Segments: len(ds.Segments)}
 	if err != nil {

@@ -50,6 +50,7 @@ func Table4(ccas []string, s Scale) ([]Table4Row, error) {
 			DSL:         d,
 			MaxHandlers: s.MaxHandlers,
 			Seed:        s.Seed,
+			Obs:         s.Obs,
 		})
 		if err != nil {
 			return rows, err

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags bundles the observability command-line surface shared by every
+// tool: -v (live progress), -events (JSONL event stream), -metrics-json
+// (end-of-run report), -cpuprofile and -memprofile (pprof).
+//
+// Usage:
+//
+//	var of obs.Flags
+//	of.Register(flag.CommandLine)
+//	flag.Parse()
+//	reg, done, err := of.Setup()
+//	// ... run with reg (possibly nil) ...
+//	err = done()
+type Flags struct {
+	// MetricsJSON is the path the final Report is written to ("" = off).
+	MetricsJSON string
+	// Events is the path the JSONL event stream is written to ("" = off).
+	Events string
+	// CPUProfile and MemProfile are pprof output paths ("" = off).
+	CPUProfile string
+	MemProfile string
+	// Verbose attaches a progress sink on stderr.
+	Verbose bool
+}
+
+// Register declares the flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.MetricsJSON, "metrics-json", "", "write the end-of-run metrics report (JSON) to this `file`")
+	fs.StringVar(&f.Events, "events", "", "stream span/metric events (JSONL) to this `file`")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this `file`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this `file`")
+	fs.BoolVar(&f.Verbose, "v", false, "print live progress to stderr")
+}
+
+// Setup builds the registry the flags ask for and starts profiling. The
+// registry is nil (observability fully disabled) when no metric-consuming
+// flag is set. The returned done func stops profiles, writes the report,
+// and closes sinks; it must be called even on error paths.
+func (f *Flags) Setup() (*Registry, func() error, error) {
+	var (
+		reg     *Registry
+		cpuOn   bool
+		closers []func() error
+	)
+	fail := func(err error) (*Registry, func() error, error) {
+		if cpuOn {
+			pprof.StopCPUProfile()
+		}
+		return nil, func() error { return nil }, err
+	}
+
+	if f.CPUProfile != "" {
+		cf, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return fail(err)
+		}
+		cpuOn = true
+		closers = append(closers, func() error {
+			pprof.StopCPUProfile()
+			return cf.Close()
+		})
+	}
+
+	if f.MetricsJSON != "" || f.Events != "" || f.Verbose {
+		reg = New()
+	}
+	if f.Verbose {
+		reg.Attach(NewProgressSink(os.Stderr))
+	}
+	if f.Events != "" {
+		ef, err := os.Create(f.Events)
+		if err != nil {
+			return fail(err)
+		}
+		reg.Attach(NewJSONLSink(ef))
+	}
+	// The report file is opened up front so a bad path fails before the
+	// run rather than after it.
+	var reportFile *os.File
+	if f.MetricsJSON != "" {
+		rf, err := os.Create(f.MetricsJSON)
+		if err != nil {
+			return fail(err)
+		}
+		reportFile = rf
+	}
+
+	done := func() error {
+		var first error
+		keep := func(err error) {
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, c := range closers {
+			keep(c())
+		}
+		if reportFile != nil {
+			keep(reg.Report().Encode(reportFile))
+			keep(reportFile.Close())
+		}
+		keep(reg.Close())
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				keep(err)
+			} else {
+				runtime.GC() // settle allocations before the heap snapshot
+				keep(pprof.WriteHeapProfile(mf))
+				keep(mf.Close())
+			}
+		}
+		if first != nil {
+			return fmt.Errorf("obs: %w", first)
+		}
+		return nil
+	}
+	return reg, done, nil
+}

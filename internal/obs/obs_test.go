@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryNoOps exercises the entire disabled surface: every call on
+// a nil registry, nil handles, and nil spans must be safe and free of
+// side effects.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(5)
+	r.Counter("x").Inc()
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Max(9)
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("nil gauge value = %v", got)
+	}
+	r.Histogram("h").Observe(1)
+	if s := r.Histogram("h").Stats(); s.Count != 0 {
+		t.Errorf("nil histogram count = %d", s.Count)
+	}
+	sp := r.StartSpan("root")
+	child := sp.Child("child").SetAttr("k", "v")
+	if d := child.End(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	sp.End()
+	r.Metric("m", 1)
+	r.Progressf("unseen %d", 1)
+	r.Record("rec", 42)
+	if got := r.Records("rec"); got != nil {
+		t.Errorf("nil records = %v", got)
+	}
+	r.Attach(NewProgressSink(&bytes.Buffer{}))
+	if rep := r.Report(); rep != nil {
+		t.Errorf("nil report = %+v", rep)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("nil close = %v", err)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines; run under -race this is the registry's thread-safety proof.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Handles resolved inside the goroutine: registry maps must
+			// tolerate concurrent get-or-create too.
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Max(float64(w*perWorker + i))
+				h.Observe(float64(i%100) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != workers*perWorker-1 {
+		t.Errorf("gauge max = %v, want %v", got, workers*perWorker-1)
+	}
+	hs := r.Histogram("h").Stats()
+	if hs.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", hs.Count, workers*perWorker)
+	}
+	if hs.Min != 0.5 || hs.Max != 99.5 {
+		t.Errorf("histogram min/max = %v/%v, want 0.5/99.5", hs.Min, hs.Max)
+	}
+	wantSum := float64(workers*perWorker) * 50 // mean of (i%100)+0.5 over full centuries
+	if math.Abs(hs.Sum-wantSum)/wantSum > 1e-9 {
+		t.Errorf("histogram sum = %v, want %v", hs.Sum, wantSum)
+	}
+}
+
+// TestConcurrentSpansAndRecords drives the span/record/emit paths from many
+// goroutines with a sink attached (race coverage of the emit path).
+func TestConcurrentSpansAndRecords(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&safeWriter{w: &buf})
+	r.Attach(sink)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := r.StartSpan("work")
+				sp.Child("inner").End()
+				sp.End()
+				r.Record("item", w)
+				r.Metric("val", float64(i))
+				r.Progressf("worker %d step %d", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Records("item")); got != 8*200 {
+		t.Errorf("records = %d, want %d", got, 8*200)
+	}
+	rep := r.Report()
+	if rep.Phases["work"].Count != 8*200 || rep.Phases["inner"].Count != 8*200 {
+		t.Errorf("phase counts = %+v", rep.Phases)
+	}
+}
+
+// safeWriter serializes writes: bytes.Buffer is not itself goroutine-safe
+// and the JSONL sink only guards its encoder.
+type safeWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *safeWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestJSONLRoundTrip checks every event kind survives encoding/json both
+// ways through the JSONL sink.
+func TestJSONLRoundTrip(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.Attach(NewJSONLSink(&buf))
+
+	sp := r.StartSpan("phase")
+	child := sp.Child("sub")
+	time.Sleep(time.Millisecond)
+	child.SetAttr("n", 3).End()
+	sp.End()
+	r.Metric("best", 41.5)
+	r.Progressf("step %d of %d", 2, 7)
+	r.Record("ranking", map[string]any{"ops": "add", "score": 1.25})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	wantKinds := []string{
+		KindSpanStart, KindSpanStart, KindSpanEnd, KindSpanEnd,
+		KindMetric, KindProgress, KindRecord,
+	}
+	if len(lines) != len(wantKinds) {
+		t.Fatalf("got %d events, want %d: %v", len(lines), len(wantKinds), lines)
+	}
+	var events []Event
+	for i, ln := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, ln)
+		}
+		if ev.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %q, want %q", i, ev.Kind, wantKinds[i])
+		}
+		if ev.T < 0 {
+			t.Errorf("event %d has negative timestamp", i)
+		}
+		events = append(events, ev)
+	}
+	// The child's end event precedes the parent's and carries its attr,
+	// duration and parent linkage.
+	childEnd := events[2]
+	if childEnd.Name != "sub" || childEnd.Parent == 0 || childEnd.DurMS <= 0 {
+		t.Errorf("child end event malformed: %+v", childEnd)
+	}
+	if got := childEnd.Attrs["n"]; got != float64(3) {
+		t.Errorf("child attr n = %v", got)
+	}
+	if events[3].Name != "phase" || events[3].Parent != 0 {
+		t.Errorf("root end event malformed: %+v", events[3])
+	}
+	if events[4].Value != 41.5 {
+		t.Errorf("metric value = %v", events[4].Value)
+	}
+	if events[5].Msg != "step 2 of 7" {
+		t.Errorf("progress msg = %q", events[5].Msg)
+	}
+	if data, ok := events[6].Data.(map[string]any); !ok || data["score"] != 1.25 {
+		t.Errorf("record data = %#v", events[6].Data)
+	}
+}
+
+// TestReportRoundTrip builds a populated registry and round-trips the
+// report through encoding/json.
+func TestReportRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("core.handlers_scored").Add(123)
+	r.Gauge("core.best_distance").Set(7.5)
+	r.Histogram("lat").Observe(0.5)
+	r.Histogram("lat").Observe(2.0)
+	sp := r.StartSpan("core.iteration")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	r.Record("core.iteration", map[string]any{"index": 1})
+
+	var buf bytes.Buffer
+	if err := r.Report().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if back.Counters["core.handlers_scored"] != 123 {
+		t.Errorf("counter = %d", back.Counters["core.handlers_scored"])
+	}
+	if back.Gauges["core.best_distance"] != 7.5 {
+		t.Errorf("gauge = %v", back.Gauges["core.best_distance"])
+	}
+	if back.Histograms["lat"].Count != 2 || back.Histograms["lat"].Sum != 2.5 {
+		t.Errorf("histogram = %+v", back.Histograms["lat"])
+	}
+	ph := back.Phases["core.iteration"]
+	if ph.Count != 1 || ph.TotalSec <= 0 {
+		t.Errorf("phase = %+v", ph)
+	}
+	if len(back.Records["core.iteration"]) != 1 {
+		t.Errorf("records = %+v", back.Records)
+	}
+	if back.DurationSec <= 0 {
+		t.Error("duration missing")
+	}
+}
+
+// TestProgressSinkOutput checks the -v rendering and that non-progress
+// events stay out of the stream.
+func TestProgressSinkOutput(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.Attach(NewProgressSink(&buf))
+	sp := r.StartSpan("noise")
+	sp.End()
+	r.Metric("noise", 1)
+	r.Progressf("iteration %d: best %.2f", 3, 1.5)
+	out := buf.String()
+	if !strings.Contains(out, "iteration 3: best 1.50") {
+		t.Errorf("progress line missing: %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("non-progress events leaked into progress stream: %q", out)
+	}
+}
+
+// TestHistogramQuantiles sanity-checks the bucketed quantile estimates:
+// each estimate must be an upper bound within 2x of the true quantile.
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("q")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Stats()
+	checks := []struct {
+		got, exact float64
+	}{{s.P50, 500}, {s.P90, 900}, {s.P99, 990}}
+	for _, c := range checks {
+		if c.got < c.exact || c.got > 2*c.exact {
+			t.Errorf("quantile estimate %v outside [%v, %v]", c.got, c.exact, 2*c.exact)
+		}
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+// TestBucketOf pins the bucket mapping's edge cases.
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {math.NaN(), 0},
+		{1, 33}, {1.5, 33}, {2, 34}, {0.5, 32},
+		{math.MaxFloat64, histBuckets - 1},
+		{math.SmallestNonzeroFloat64, 0},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestAttachDuringRun ensures events emitted before any sink is attached
+// are simply unobserved, and sinks attached later see subsequent events.
+func TestAttachDuringRun(t *testing.T) {
+	r := New()
+	r.Progressf("before") // no sink: dropped
+	var buf bytes.Buffer
+	r.Attach(NewProgressSink(&buf))
+	r.Progressf("after")
+	if out := buf.String(); strings.Contains(out, "before") || !strings.Contains(out, "after") {
+		t.Errorf("sink saw %q", out)
+	}
+}

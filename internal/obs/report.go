@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+// PhaseStats is the wall-clock aggregate of one span name.
+type PhaseStats struct {
+	// Count is how many spans of this name completed.
+	Count int64 `json:"count"`
+	// TotalSec is the summed wall-clock across those spans. Nested spans
+	// overlap their parents, so phase totals are per-name, not a partition
+	// of the run.
+	TotalSec float64 `json:"total_sec"`
+}
+
+// Report is the end-of-run snapshot of everything a registry accumulated —
+// the run-report.json artifact future perf PRs diff against.
+type Report struct {
+	// DurationSec is wall-clock from registry creation to snapshot.
+	DurationSec float64 `json:"duration_sec"`
+	// Counters, Gauges and Histograms hold every named instrument.
+	Counters   map[string]int64     `json:"counters,omitempty"`
+	Gauges     map[string]float64   `json:"gauges,omitempty"`
+	Histograms map[string]HistStats `json:"histograms,omitempty"`
+	// Phases is wall-clock per span name.
+	Phases map[string]PhaseStats `json:"phases,omitempty"`
+	// Records holds the structured payloads retained via Record, in
+	// emission order per name (e.g. "core.iteration" ranking detail).
+	Records map[string][]any `json:"records,omitempty"`
+}
+
+// Report snapshots the registry. Instruments updated after the snapshot are
+// not reflected. A nil registry returns nil.
+func (r *Registry) Report() *Report {
+	if r == nil {
+		return nil
+	}
+	rep := &Report{DurationSec: time.Since(r.start).Seconds()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		rep.Counters = make(map[string]int64, len(r.counters))
+		for _, k := range sortedKeys(r.counters) {
+			rep.Counters[k] = r.counters[k].Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		rep.Gauges = make(map[string]float64, len(r.gauges))
+		for _, k := range sortedKeys(r.gauges) {
+			rep.Gauges[k] = r.gauges[k].Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		rep.Histograms = make(map[string]HistStats, len(r.hists))
+		for _, k := range sortedKeys(r.hists) {
+			rep.Histograms[k] = r.hists[k].Stats()
+		}
+	}
+	if len(r.phases) > 0 {
+		rep.Phases = make(map[string]PhaseStats, len(r.phases))
+		for _, k := range sortedKeys(r.phases) {
+			p := r.phases[k]
+			rep.Phases[k] = PhaseStats{
+				Count:    p.count.Load(),
+				TotalSec: time.Duration(p.totalNS.Load()).Seconds(),
+			}
+		}
+	}
+	if len(r.records) > 0 {
+		rep.Records = make(map[string][]any, len(r.records))
+		for _, k := range r.recOrder {
+			rep.Records[k] = append([]any(nil), r.records[k]...)
+		}
+	}
+	return rep
+}
+
+// Encode writes the report as indented JSON.
+func (rep *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteFile writes the report to path, replacing any existing file.
+func (rep *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sink receives the registry's event stream. Implementations must be safe
+// for concurrent Emit calls.
+type Sink interface {
+	// Emit delivers one event.
+	Emit(Event)
+	// Close flushes and releases the sink.
+	Close() error
+}
+
+// ProgressSink renders progress events as human-readable lines — the layer
+// every tool's -v flag is built on. Other event kinds are ignored, so a
+// progress stream stays readable even when span/metric events are flowing
+// to a JSONL sink at the same time.
+type ProgressSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgressSink writes progress lines to w (conventionally os.Stderr, so
+// -v output never corrupts a tool's stdout results).
+func NewProgressSink(w io.Writer) *ProgressSink { return &ProgressSink{w: w} }
+
+// Emit implements Sink.
+func (s *ProgressSink) Emit(ev Event) {
+	if ev.Kind != KindProgress {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "[%8.3fs] %s\n", ev.T, ev.Msg)
+}
+
+// Close implements Sink.
+func (s *ProgressSink) Close() error { return nil }
+
+// JSONLSink streams every event as one JSON object per line — the -events
+// format, suitable for jq pipelines and for replaying a run's timeline.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewJSONLSink streams events to w. When w is also an io.Closer (a file),
+// Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{enc: json.NewEncoder(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink. Encoding errors are dropped: observability must
+// never fail the run it observes.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(ev)
+}
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error {
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event kinds emitted to sinks.
+const (
+	KindSpanStart = "span_start"
+	KindSpanEnd   = "span_end"
+	KindMetric    = "metric"
+	KindProgress  = "progress"
+	KindRecord    = "record"
+)
+
+// Event is one observation streamed to sinks. T is seconds since the
+// registry's start; fields beyond Kind/T are kind-specific.
+type Event struct {
+	T      float64        `json:"t"`
+	Kind   string         `json:"kind"`
+	Name   string         `json:"name,omitempty"`
+	Span   uint64         `json:"span,omitempty"`
+	Parent uint64         `json:"parent,omitempty"`
+	DurMS  float64        `json:"dur_ms,omitempty"`
+	Value  float64        `json:"value,omitempty"`
+	Msg    string         `json:"msg,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+	Data   any            `json:"data,omitempty"`
+}
+
+// Span is one timed region of a run. Spans nest via Child, stream
+// start/end events to sinks, and accumulate into the registry's per-name
+// phase totals (the "wall-clock per phase" section of the report). A nil
+// *Span (from a nil registry) no-ops everywhere.
+type Span struct {
+	r      *Registry
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	attrs  map[string]any
+}
+
+// StartSpan opens a root span. Nil registries return nil spans.
+func (r *Registry) StartSpan(name string) *Span {
+	return r.startSpan(name, 0)
+}
+
+func (r *Registry) startSpan(name string, parent uint64) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{r: r, name: name, id: r.spanID.Add(1), parent: parent, start: time.Now()}
+	if r.hasSinks() {
+		r.emit(Event{T: r.since(), Kind: KindSpanStart, Name: name, Span: s.id, Parent: parent})
+	}
+	return s
+}
+
+// Child opens a sub-span of s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.r.startSpan(name, s.id)
+}
+
+// SetAttr attaches a key/value to the span's end event. Not safe for
+// concurrent use on one span; returns s for chaining.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+	return s
+}
+
+// End closes the span, folds its duration into the per-name phase totals,
+// and emits the end event. It returns the span's duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	p := s.r.phase(s.name)
+	p.count.Add(1)
+	p.totalNS.Add(int64(d))
+	if s.r.hasSinks() {
+		s.r.emit(Event{
+			T: s.r.since(), Kind: KindSpanEnd, Name: s.name,
+			Span: s.id, Parent: s.parent,
+			DurMS: float64(d) / float64(time.Millisecond),
+			Attrs: s.attrs,
+		})
+	}
+	return d
+}
+
+// Metric emits a named scalar observation to sinks and mirrors it into the
+// registry's gauge of the same name — use it for trajectories (best score
+// over time) where both the stream and the final value matter.
+func (r *Registry) Metric(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.Gauge(name).Set(v)
+	if r.hasSinks() {
+		r.emit(Event{T: r.since(), Kind: KindMetric, Name: name, Value: v})
+	}
+}
+
+// Progressf emits a human-oriented progress line. The format step is
+// skipped entirely when no sink is attached, so verbose-style callers may
+// leave Progressf calls unconditionally in place.
+func (r *Registry) Progressf(format string, args ...any) {
+	if r == nil || !r.hasSinks() {
+		return
+	}
+	r.emit(Event{T: r.since(), Kind: KindProgress, Msg: fmt.Sprintf(format, args...)})
+}

@@ -9,11 +9,33 @@ package replay
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/dsl"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+// Package-level observability hooks. Replay sits below core's Options
+// plumbing (metrics are free functions), so instruments are installed
+// process-wide; the atomic pointers make installation safe against
+// concurrent replays, and a nil counter (no registry installed) no-ops.
+var (
+	cReplays  atomic.Pointer[obs.Counter]
+	cDiverged atomic.Pointer[obs.Counter]
+)
+
+// Observe routes the package's instruments to the registry:
+//
+//	counters  replay.replays (handler replays executed),
+//	          replay.diverged (replays aborted on non-finite windows)
+//
+// Passing nil uninstalls them. Process-wide; call once at tool startup.
+func Observe(r *obs.Registry) {
+	cReplays.Store(r.Counter("replay.replays"))
+	cDiverged.Store(r.Counter("replay.diverged"))
+}
 
 // Window guards: a handler may compute nonsense transiently; the replay
 // clamps rather than aborts so that near-miss candidates stay comparable,
@@ -65,6 +87,7 @@ func SynthesizeEnvs(h *dsl.Node, seg *trace.Segment, envs []dsl.Env) (dist.Serie
 	if len(envs) != len(seg.Samples) {
 		return dist.Series{}, errors.New("replay: environment count mismatch")
 	}
+	cReplays.Load().Inc()
 	s := dist.Series{
 		Times:  make([]float64, len(envs)),
 		Values: make([]float64, len(envs)),
@@ -83,6 +106,7 @@ func SynthesizeEnvs(h *dsl.Node, seg *trace.Segment, envs []dsl.Env) (dist.Serie
 		env.Cwnd = cwnd
 		v, ok := fn(&env)
 		if !ok {
+			cDiverged.Load().Inc()
 			return dist.Series{}, ErrDiverged
 		}
 		cwnd = clamp(v, minCwndPkts*mss, maxCwndPkts*mss)

@@ -62,6 +62,7 @@ func (l *link) send(p *segment) {
 	}
 	l.queue = append(l.queue, p)
 	l.queueBytes += p.wireSize()
+	l.sim.gQueue.Max(float64(l.queueBytes))
 	if !l.busy {
 		l.busy = true
 		l.transmitHead()
@@ -97,6 +98,7 @@ func (l *link) delay() time.Duration {
 // drop records a lost segment.
 func (l *link) drop(p *segment) {
 	l.Drops++
+	l.sim.cDrops.Inc()
 	if l.onDrop != nil {
 		l.onDrop(p)
 	}

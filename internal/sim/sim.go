@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cca"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -47,6 +48,15 @@ type Config struct {
 	CrossCCA string
 	// Seed drives all simulator randomness; runs are reproducible.
 	Seed int64
+	// Obs, when set, receives the run's instruments:
+	//
+	//	counters  sim.events (scheduler events processed),
+	//	          sim.drops (packets lost at either link),
+	//	          sim.packets_captured (pcap records written)
+	//	gauges    sim.max_queue_bytes (peak bottleneck queue depth)
+	//
+	// Nil disables instrumentation; it never changes simulation behavior.
+	Obs *obs.Registry
 }
 
 // withDefaults fills zero fields.
@@ -128,6 +138,12 @@ type Simulator struct {
 
 	senderIP, receiverIP [4]byte
 	ipID                 uint16
+
+	// Observability handles (nil no-ops when Config.Obs is unset).
+	cEvents  *obs.Counter
+	cDrops   *obs.Counter
+	cCapture *obs.Counter
+	gQueue   *obs.Gauge
 }
 
 // Run simulates the scenario and returns its capture.
@@ -152,6 +168,10 @@ func Run(cfg Config) (*Result, error) {
 		cfg:        cfg,
 		senderIP:   [4]byte{10, 0, 0, 1},
 		receiverIP: [4]byte{10, 0, 0, 2},
+		cEvents:    cfg.Obs.Counter("sim.events"),
+		cDrops:     cfg.Obs.Counter("sim.drops"),
+		cCapture:   cfg.Obs.Counter("sim.packets_captured"),
+		gQueue:     cfg.Obs.Gauge("sim.max_queue_bytes"),
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -231,6 +251,7 @@ func Run(cfg Config) (*Result, error) {
 			break
 		}
 		s.now = ev.at
+		s.cEvents.Inc()
 		ev.fn()
 	}
 
@@ -291,6 +312,7 @@ func (s *Simulator) capture(p *segment) {
 		// here is a programming error.
 		panic("sim: encode: " + err.Error())
 	}
+	s.cCapture.Inc()
 	s.records = append(s.records, wire.PcapRecord{Time: s.now, Data: raw})
 }
 
