@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,12 @@ vet:
 bench:
 	@mkdir -p bench
 	$(GO) test -bench=. -benchmem -run='^$$' . | tee bench/BENCH_$$(date -u +%Y%m%d-%H%M%S).txt
+
+# bench-compare runs the fast component micro-benchmarks (scoring, DTW,
+# obs), records them as bench/BENCH_*.json, and diffs ns/op, B/op,
+# allocs/op, and cells/op against the previous snapshot — exiting nonzero
+# when any cost metric regresses by more than 20%.
+bench-compare:
+	@mkdir -p bench
+	$(GO) test -bench='ScoreHandler|DTWDistance|TraceAnalysis|Obs' -benchmem -run='^$$' . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchdiff -record -dir bench

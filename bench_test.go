@@ -20,6 +20,7 @@ import (
 	"repro/internal/enum"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -282,6 +283,74 @@ func BenchmarkAblationDesignChoices(b *testing.B) {
 		}
 	}
 }
+
+// --- Scoring fast-path micro-benchmarks ---------------------------------
+//
+// BenchmarkScoreHandler pins the threshold-aware scoring path: one op is a
+// sweep of representative handlers scored through replay.Scorer against real
+// Reno segments. The Exact variant scores with no cutoff (the pre-fast-path
+// cost); the Cutoff variant holds the cutoff at the best handler's score, the
+// steady state of a search whose bucket best is already good — most other
+// candidates abandon early. cells/op (DTW cells consumed per sweep) is
+// reported from the dist counters so bench diffs catch pruning regressions
+// that ns/op noise would hide.
+
+// benchScorerHandlers is the fixed candidate sweep, spanning near-optimal,
+// mediocre, wild, and diverging handlers.
+var benchScorerHandlers = []string{
+	"cwnd + reno-inc",
+	"cwnd + 0.5*reno-inc",
+	"cwnd + 0.1*reno-inc",
+	"cwnd + mss",
+	"mss",
+	"cwnd + cwnd",
+}
+
+func benchmarkScoreHandler(b *testing.B, withCutoff bool) {
+	res, err := sim.Run(sim.Config{
+		CCA: "reno", Bandwidth: 10e6 / 8, RTT: 40 * time.Millisecond,
+		Duration: 30 * time.Second, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.AnalyzeRecords(res.Records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	segs := tr.Split(16)
+	sc := replay.NewScorer(segs, dist.DTW{})
+	handlers := make([]*dsl.Node, len(benchScorerHandlers))
+	for i, src := range benchScorerHandlers {
+		handlers[i] = dsl.MustParse(src)
+	}
+	cutoff := math.Inf(1)
+	if withCutoff {
+		// The best candidate's exact score: every worse handler must prove
+		// it cannot beat it, the common case mid-search.
+		cutoff, _ = sc.Score(handlers[0], math.Inf(1))
+	}
+	reg := obs.New()
+	dist.Observe(reg)
+	defer dist.Observe(nil)
+	cellsBefore := reg.Report().Counters["dist.dtw_cells"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, h := range handlers {
+			sc.Score(h, cutoff)
+		}
+	}
+	b.StopTimer()
+	cells := reg.Report().Counters["dist.dtw_cells"] - cellsBefore
+	b.ReportMetric(float64(cells)/float64(b.N), "cells/op")
+}
+
+// BenchmarkScoreHandlerExact is the no-cutoff baseline.
+func BenchmarkScoreHandlerExact(b *testing.B) { benchmarkScoreHandler(b, false) }
+
+// BenchmarkScoreHandlerCutoff is the pruned steady state.
+func BenchmarkScoreHandlerCutoff(b *testing.B) { benchmarkScoreHandler(b, true) }
 
 // --- Observability fast-path micro-benchmarks ---------------------------
 //

@@ -18,9 +18,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -57,7 +60,11 @@ func main() {
 	// Route the process-wide replay/metric instruments to this run.
 	replay.Observe(reg)
 	dist.Observe(reg)
-	runErr := run(*dslName, *hintCCA, *metric, *budget, *minSeg, *seed, reg, flag.Args())
+	// SIGINT/SIGTERM cancel the search gracefully: the best handler found
+	// so far is still printed and the run report (via done()) still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runErr := run(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed, reg, flag.Args())
 	if err := done(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -67,7 +74,7 @@ func main() {
 	}
 }
 
-func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, reg *obs.Registry, files []string) error {
+func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, reg *obs.Registry, files []string) error {
 	if dslName == "" {
 		if hintCCA != "" {
 			dslName = expr.DSLHint(hintCCA)
@@ -107,7 +114,7 @@ func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, re
 	reg.Progressf("searching %s DSL over %d segments (budget %d handlers)", dslName, len(segs), budget)
 
 	start := time.Now()
-	res, err := core.Synthesize(segs, core.Options{
+	res, err := core.Synthesize(ctx, segs, core.Options{
 		DSL:         d,
 		Metric:      m,
 		MaxHandlers: budget,
@@ -116,6 +123,9 @@ func run(dslName, hintCCA, metricName string, budget, minSeg int, seed int64, re
 	})
 	if err != nil {
 		return err
+	}
+	if res.Stats.Interrupted {
+		fmt.Println("\ninterrupted — reporting best handler found so far")
 	}
 	handler := dsl.Simplify(res.Handler)
 	fmt.Printf("\nsynthesized handler (%s-DSL, %s distance, %v):\n  cwnd <- %s\n",

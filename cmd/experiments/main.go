@@ -22,9 +22,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/dist"
@@ -60,9 +63,19 @@ func main() {
 	replay.Observe(reg)
 	dist.Observe(reg)
 
+	// SIGINT/SIGTERM cancel in-flight synthesis runs gracefully: partial
+	// results already computed are still printed and the run report (via
+	// done()) is still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	scale.Ctx = ctx
+
 	name := flag.Arg(0)
 	args := flag.Args()[1:]
 	runErr := run(name, args, scale)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted — results above are best-so-far")
+	}
 	if err := done(); err != nil && runErr == nil {
 		runErr = err
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -82,7 +83,7 @@ func main() {
 	// Lotus uses rate and delay signals, so search the delay DSL — in a
 	// real investigation the classifier's hint would pick this.
 	fmt.Printf("\nsynthesizing over %d segments in the delay DSL...\n", len(segs))
-	res, err := core.Synthesize(segs, core.Options{
+	res, err := core.Synthesize(context.Background(), segs, core.Options{
 		DSL:         dsl.Delay(),
 		MaxHandlers: 15000,
 		Seed:        1,

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -56,7 +57,7 @@ func main() {
 	// Step 4: synthesize within the Reno-family DSL.
 	fmt.Println("searching the Reno-DSL sketch space...")
 	start := time.Now()
-	res, err := core.Synthesize(segments, core.Options{
+	res, err := core.Synthesize(context.Background(), segments, core.Options{
 		DSL:         dsl.Reno(),
 		MaxHandlers: 20000,
 		Seed:        1,

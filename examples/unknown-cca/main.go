@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -78,7 +79,7 @@ func main() {
 		segs = []*trace.Segment{{Samples: tr.Samples, MSS: tr.MSS}}
 	}
 	fmt.Printf("synthesizing over %d trace segments...\n", len(segs))
-	out, err := core.Synthesize(segs, core.Options{
+	out, err := core.Synthesize(context.Background(), segs, core.Options{
 		DSL:         d,
 		MaxHandlers: 15000,
 		Seed:        1,

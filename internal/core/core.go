@@ -15,6 +15,9 @@
 package core
 
 import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -24,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dist"
@@ -37,7 +41,8 @@ import (
 // Observability instruments emitted when Options.Obs is set:
 //
 //	counters   core.handlers_scored, core.sketches_scored,
-//	           core.completions_sampled, core.worker_busy_ns
+//	           core.completions_sampled, core.worker_busy_ns,
+//	           core.score_cache_hits, core.score_cache_misses
 //	gauges     core.best_distance (trajectory, also a metric event),
 //	           core.workers
 //	phases     core.synthesize, core.iteration, core.select_segments,
@@ -87,6 +92,20 @@ type Options struct {
 	// buckets stay live every iteration — an ablation knob quantifying
 	// what bucket prioritization buys.
 	NoBucketPruning bool
+	// ExactScoring disables the threshold-aware fast path (lower-bound
+	// pruning, early abandoning, and the canonical-handler memo cache):
+	// every candidate pays the full metric computation. The fast path is
+	// exact — for a fixed seed both modes return the identical result —
+	// so this is a debugging/differential-testing knob, not an accuracy
+	// one.
+	ExactScoring bool
+	// GreedyPruning additionally lets scoring workers use the global
+	// best-so-far distance (an atomic shared across buckets) as their
+	// cutoff instead of only bucket-local state. This prunes deeper but
+	// the extra abandons depend on cross-bucket timing, so bucket
+	// rankings — and therefore which handler wins — may differ between
+	// runs of the same seed. Off by default to keep runs reproducible.
+	GreedyPruning bool
 	// Seed drives all sampling; runs are reproducible.
 	Seed int64
 	// Obs receives the run's metrics, spans, per-iteration records and
@@ -173,15 +192,31 @@ type IterationReport struct {
 	Segments         int                `json:"segments"`
 	HandlersScored   int                `json:"handlers_scored"`
 	Kept             int                `json:"kept"`
-	BestDistance     float64            `json:"best_distance"`
+	BestDistance     ReportFloat        `json:"best_distance"`
 	Ranking          []BucketRankReport `json:"ranking"`
 }
 
 // BucketRankReport is one ranked bucket in an IterationReport, with the
 // operator set rendered readably.
 type BucketRankReport struct {
-	Ops   string  `json:"ops"`
-	Score float64 `json:"score"`
+	Ops   string      `json:"ops"`
+	Score ReportFloat `json:"score"`
+}
+
+// ReportFloat is a float64 that marshals non-finite values as JSON null.
+// Bucket scores and the best distance are +Inf until a bucket scores its
+// first viable handler — reachable in a report when a run is cancelled
+// during its first iteration — and encoding/json rejects non-finite
+// float64s outright, which would silently lose the whole report.
+type ReportFloat float64
+
+// MarshalJSON renders NaN/±Inf as null and everything else as a number.
+func (f ReportFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
 }
 
 // iterationReport renders an IterationStats for the obs record stream.
@@ -192,11 +227,11 @@ func iterationReport(it IterationStats, best float64) IterationReport {
 		Segments:         it.Segments,
 		HandlersScored:   it.HandlersScored,
 		Kept:             it.Kept,
-		BestDistance:     best,
+		BestDistance:     ReportFloat(best),
 		Ranking:          make([]BucketRankReport, len(it.Ranking)),
 	}
 	for i, r := range it.Ranking {
-		rep.Ranking[i] = BucketRankReport{Ops: r.Ops.String(), Score: r.Score}
+		rep.Ranking[i] = BucketRankReport{Ops: r.Ops.String(), Score: ReportFloat(r.Score)}
 	}
 	return rep
 }
@@ -213,6 +248,9 @@ type SearchStats struct {
 	SketchesScored int
 	// BudgetExhausted reports whether MaxHandlers stopped the loop early.
 	BudgetExhausted bool
+	// Interrupted reports that context cancellation stopped the loop;
+	// the Result still carries the best handler seen up to that point.
+	Interrupted bool
 }
 
 // Result is a completed synthesis.
@@ -228,8 +266,15 @@ type Result struct {
 	Stats SearchStats
 }
 
-// Synthesize runs the pipeline over the given trace segments.
-func Synthesize(segs []*trace.Segment, opts Options) (*Result, error) {
+// Synthesize runs the pipeline over the given trace segments. The context
+// is checked between iterations and inside the scoring workers: on
+// cancellation the search winds down gracefully and still returns the
+// best-so-far Result (with Stats.Interrupted set) when one exists, or
+// ctx.Err() when nothing viable was found yet.
+func Synthesize(ctx context.Context, segs []*trace.Segment, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if opts.DSL == nil {
 		return nil, errors.New("core: Options.DSL is required")
@@ -238,10 +283,16 @@ func Synthesize(segs []*trace.Segment, opts Options) (*Result, error) {
 		return nil, errors.New("core: no trace segments")
 	}
 	run := &runState{
-		opts: opts,
-		segs: segs,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
-		obsv: opts.Obs,
+		ctx:    ctx,
+		opts:   opts,
+		segs:   segs,
+		segIdx: make(map[*trace.Segment]int, len(segs)),
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		cache:  newScoreCache(0),
+		obsv:   opts.Obs,
+	}
+	for i, s := range segs {
+		run.segIdx[s] = i
 	}
 	// Hot-path handles are resolved once; each is a nil no-op when
 	// observability is off.
@@ -249,27 +300,41 @@ func Synthesize(segs []*trace.Segment, opts Options) (*Result, error) {
 	run.cSketches = opts.Obs.Counter("core.sketches_scored")
 	run.cCompletions = opts.Obs.Counter("core.completions_sampled")
 	run.cBusyNS = opts.Obs.Counter("core.worker_busy_ns")
+	run.cCacheHits = opts.Obs.Counter("core.score_cache_hits")
+	run.cCacheMisses = opts.Obs.Counter("core.score_cache_misses")
 	opts.Obs.Gauge("core.workers").Set(float64(opts.Workers))
 	return run.run()
 }
 
 // runState carries one synthesis run.
 type runState struct {
-	opts Options
-	segs []*trace.Segment
-	rng  *rand.Rand
+	ctx    context.Context
+	opts   Options
+	segs   []*trace.Segment
+	segIdx map[*trace.Segment]int
+	rng    *rand.Rand
 
 	stats   SearchStats
 	scored  int // handlers scored so far (budget)
 	best    scoredHandler
 	buckets []*bucket
 
+	cache      *scoreCache
+	atomicBest atomic.Uint64 // Float64bits of best.distance, for GreedyPruning readers
+
 	obsv         *obs.Registry
 	cHandlers    *obs.Counter
 	cSketches    *obs.Counter
 	cCompletions *obs.Counter
 	cBusyNS      *obs.Counter
+	cCacheHits   *obs.Counter
+	cCacheMisses *obs.Counter
 }
+
+// loadBest and storeBest shuttle the global best distance through the
+// atomic (stored as IEEE bits; the value only ever decreases).
+func (r *runState) loadBest() float64   { return math.Float64frombits(r.atomicBest.Load()) }
+func (r *runState) storeBest(d float64) { r.atomicBest.Store(math.Float64bits(d)) }
 
 // scoredHandler is a candidate with its score at evaluation time.
 type scoredHandler struct {
@@ -341,6 +406,7 @@ func (r *runState) run() (*Result, error) {
 		}
 	}()
 	r.best.distance = math.Inf(1)
+	r.storeBest(math.Inf(1))
 
 	n := r.opts.InitialSamples
 	k := r.opts.InitialKeep
@@ -358,11 +424,12 @@ func (r *runState) run() (*Result, error) {
 		} else {
 			segs = trace.SelectDiverse(r.segs, nseg, r.opts.Metric, r.rng)
 		}
-		prep := prepareSegments(segs)
+		scorer := replay.NewScorer(segs, r.opts.Metric)
+		setID := r.segmentSetID(segs)
 		ssp.End()
 
 		scsp := isp.Child("core.score")
-		handlers := r.scoreBuckets(live, n, prep)
+		handlers := r.scoreBuckets(live, n, scorer, setID)
 		scsp.End()
 
 		// Drop buckets that turned out empty, then rank.
@@ -412,6 +479,10 @@ func (r *runState) run() (*Result, error) {
 		r.endIteration(isp, it)
 		live = kept
 
+		if r.ctx.Err() != nil {
+			r.stats.Interrupted = true
+			break
+		}
 		if r.scored >= r.opts.MaxHandlers {
 			r.stats.BudgetExhausted = true
 			break
@@ -437,6 +508,9 @@ func (r *runState) run() (*Result, error) {
 	}
 
 	if r.best.handler == nil {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, errors.New("core: no viable handler found (all candidates diverged)")
 	}
 	// Report the final handler's distance over the full segment set.
@@ -484,25 +558,32 @@ func randomSegments(segs []*trace.Segment, n int, rng *rand.Rand) []*trace.Segme
 	return out
 }
 
-// preparedSegment caches the per-segment data scoring needs.
-type preparedSegment struct {
-	seg      *trace.Segment
-	envs     []dsl.Env
-	observed dist.Series
-}
-
-func prepareSegments(segs []*trace.Segment) []preparedSegment {
-	out := make([]preparedSegment, len(segs))
-	for i, s := range segs {
-		out[i] = preparedSegment{seg: s, envs: replay.Envs(s), observed: s.Series()}
+// segmentSetID fingerprints an iteration's segment subset (by index into
+// the run's full segment list) so memoized scores can never leak between
+// different subsets.
+func (r *runState) segmentSetID(segs []*trace.Segment) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, s := range segs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.segIdx[s]))
+		h.Write(buf[:])
 	}
-	return out
+	return h.Sum64()
 }
 
 // scoreBuckets samples and scores n sketches from every live bucket in
 // parallel, updating bucket scores and the global best. It returns the
 // number of handlers scored.
-func (r *runState) scoreBuckets(live []*bucket, n int, prep []preparedSegment) int {
+//
+// Cutoff discipline: each bucket's workers prune against bucket-local
+// state only (the bucket's best score so far, tightened by exact sketch
+// results) unless GreedyPruning opts into the shared atomic best. Pruned
+// (inexact) scores never update bucket or global bests — the exact flag
+// guards every comparison — which is what makes the fast path return the
+// identical result as ExactScoring for a fixed seed: a candidate is only
+// abandoned once its true score provably cannot improve the bucket, so
+// the sequence of bucket-best updates is the same in both modes.
+func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, setID uint64) int {
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -527,9 +608,12 @@ func (r *runState) scoreBuckets(live []*bucket, n int, prep []preparedSegment) i
 				if handlers >= perBkt {
 					break
 				}
-				h, d, hn := r.scoreSketch(sk, prep)
+				if r.ctx.Err() != nil {
+					break
+				}
+				h, d, exact, hn := r.scoreSketch(sk, scorer, setID, b.score)
 				handlers += hn
-				if d < b.score {
+				if exact && d < b.score {
 					b.score = d
 					b.best = scoredHandler{handler: h, sketch: sk, distance: d}
 				}
@@ -540,6 +624,7 @@ func (r *runState) scoreBuckets(live []*bucket, n int, prep []preparedSegment) i
 			sketchN += len(sketches)
 			if b.best.handler != nil && b.best.distance < r.best.distance {
 				r.best = b.best
+				r.storeBest(b.best.distance)
 				r.obsv.Metric("core.best_distance", b.best.distance)
 			}
 			mu.Unlock()
@@ -553,55 +638,93 @@ func (r *runState) scoreBuckets(live []*bucket, n int, prep []preparedSegment) i
 	return total
 }
 
-// budgetShare splits the remaining handler budget across buckets.
+// budgetShare splits the remaining handler budget across buckets. Ceiling
+// division so every bucket — the last one included — gets a nonzero share
+// whenever any budget remains, even with budget < buckets; a depleted (or
+// overdrawn) budget yields 0 for everyone.
 func budgetShare(budget, buckets int) int {
-	if buckets == 0 {
+	if buckets <= 0 || budget <= 0 {
 		return 0
 	}
-	share := budget / buckets
-	if share < 1 {
-		share = 1
+	return (budget + buckets - 1) / buckets
+}
+
+// cutoff adjusts a bucket-local pruning threshold for the run's mode:
+// ExactScoring disables pruning outright, GreedyPruning tightens it with
+// the cross-bucket atomic best.
+func (r *runState) cutoff(c float64) float64 {
+	if r.opts.ExactScoring {
+		return math.Inf(1)
 	}
-	return share
+	if r.opts.GreedyPruning {
+		if g := r.loadBest(); g < c {
+			c = g
+		}
+	}
+	return c
 }
 
 // scoreSketch concretizes a sketch's holes from the constant pool and
-// returns the best handler, its distance, and the number of handlers
-// evaluated. Sampling is deterministic per (sketch, seed).
-func (r *runState) scoreSketch(sk *dsl.Node, prep []preparedSegment) (*dsl.Node, float64, int) {
+// returns the best handler, its distance (with its exactness flag), and
+// the number of handlers evaluated. Sampling is deterministic per
+// (sketch, seed). The pruning cutoff starts at the bucket's best and is
+// tightened only by exact results within the sketch, so an abandoned
+// candidate is always one whose true score could not have updated either
+// the sketch-best or the bucket-best.
+func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64, bucketBest float64) (*dsl.Node, float64, bool, int) {
 	holes := sk.Holes()
 	if holes == 0 {
-		return sk, r.scoreHandler(sk, prep), 1
+		d, exact := r.scoreHandler(sk, scorer, setID, r.cutoff(bucketBest))
+		return sk, d, exact, 1
 	}
 	pool := r.opts.DSL.Constants
 	assignments := completions(sk, pool, holes, r.opts.MaxCompletions, r.opts.Seed)
 	r.cCompletions.Add(int64(len(assignments)))
 	bestD := math.Inf(1)
+	bestExact := false
 	var bestH *dsl.Node
 	for _, vals := range assignments {
 		h, err := sk.Bind(vals)
 		if err != nil {
 			continue
 		}
-		if d := r.scoreHandler(h, prep); d < bestD {
-			bestD = d
-			bestH = h
+		cut := bucketBest
+		if bestExact && bestD < cut {
+			cut = bestD
+		}
+		d, exact := r.scoreHandler(h, scorer, setID, r.cutoff(cut))
+		if d < bestD {
+			bestD, bestH, bestExact = d, h, exact
 		}
 	}
-	return bestH, bestD, len(assignments)
+	return bestH, bestD, bestExact, len(assignments)
 }
 
-// scoreHandler sums the handler's distance over the prepared segments.
-func (r *runState) scoreHandler(h *dsl.Node, prep []preparedSegment) float64 {
-	var total float64
-	for i := range prep {
-		d := replay.DistanceEnvs(h, prep[i].seg, prep[i].envs, prep[i].observed, r.opts.Metric)
-		if math.IsInf(d, 1) {
-			return d
-		}
-		total += d
+// scoreHandler scores one concrete handler over the iteration's segment
+// set, going through the canonical-handler memo cache. Exact cache hits
+// return the true distance; lower-bound entries may only settle lookups
+// they already dominate (entry >= cutoff), otherwise the handler is
+// rescored under the caller's cutoff and the cache entry improves.
+func (r *runState) scoreHandler(h *dsl.Node, scorer *replay.Scorer, setID uint64, cutoff float64) (float64, bool) {
+	if r.opts.ExactScoring {
+		d, _ := scorer.Score(h, math.Inf(1))
+		return d, true
 	}
-	return total
+	key := handlerKey(h, setID)
+	if e, ok := r.cache.get(key); ok {
+		if e.exact {
+			r.cCacheHits.Inc()
+			return e.d, true
+		}
+		if e.d >= cutoff {
+			r.cCacheHits.Inc()
+			return e.d, false
+		}
+	}
+	r.cCacheMisses.Inc()
+	d, exact := scorer.Score(h, cutoff)
+	r.cache.put(key, d, exact)
+	return d, exact
 }
 
 // completions returns the constant assignments to try for a sketch: the

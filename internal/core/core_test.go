@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -62,7 +63,7 @@ func quickOpts(d *dsl.DSL) Options {
 
 func TestSynthesizeRenoFindsRenoShape(t *testing.T) {
 	segs := segmentsFor(t, "reno")
-	res, err := Synthesize(segs, quickOpts(dsl.Reno()))
+	res, err := Synthesize(context.Background(), segs, quickOpts(dsl.Reno()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestSynthesizeRenoFindsRenoShape(t *testing.T) {
 
 func TestSynthesizeDeterministic(t *testing.T) {
 	segs := segmentsFor(t, "reno")
-	r1, err := Synthesize(segs, quickOpts(dsl.Reno()))
+	r1, err := Synthesize(context.Background(), segs, quickOpts(dsl.Reno()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Synthesize(segs, quickOpts(dsl.Reno()))
+	r2, err := Synthesize(context.Background(), segs, quickOpts(dsl.Reno()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +105,11 @@ func TestSynthesizeSeedChangesSampling(t *testing.T) {
 	segs := segmentsFor(t, "reno")
 	o1, o2 := quickOpts(dsl.Reno()), quickOpts(dsl.Reno())
 	o2.Seed = 99
-	r1, err := Synthesize(segs, o1)
+	r1, err := Synthesize(context.Background(), segs, o1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Synthesize(segs, o2)
+	r2, err := Synthesize(context.Background(), segs, o2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,17 +121,17 @@ func TestSynthesizeSeedChangesSampling(t *testing.T) {
 
 func TestSynthesizeValidation(t *testing.T) {
 	segs := segmentsFor(t, "reno")
-	if _, err := Synthesize(segs, Options{}); err == nil {
+	if _, err := Synthesize(context.Background(), segs, Options{}); err == nil {
 		t.Error("missing DSL accepted")
 	}
-	if _, err := Synthesize(nil, quickOpts(dsl.Reno())); err == nil {
+	if _, err := Synthesize(context.Background(), nil, quickOpts(dsl.Reno())); err == nil {
 		t.Error("empty segments accepted")
 	}
 }
 
 func TestStatsAreCoherent(t *testing.T) {
 	segs := segmentsFor(t, "reno")
-	res, err := Synthesize(segs, quickOpts(dsl.Reno()))
+	res, err := Synthesize(context.Background(), segs, quickOpts(dsl.Reno()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestObsReportMatchesStats(t *testing.T) {
 	reg := obs.New()
 	opts := quickOpts(dsl.Reno())
 	opts.Obs = reg
-	res, err := Synthesize(segs, opts)
+	res, err := Synthesize(context.Background(), segs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestObsReportMatchesStats(t *testing.T) {
 			t.Errorf("iteration %d: record %+v disagrees with stats %+v", i, ir, it)
 		}
 		for j, r := range it.Ranking {
-			if ir.Ranking[j].Ops != r.Ops.String() || ir.Ranking[j].Score != r.Score {
+			if ir.Ranking[j].Ops != r.Ops.String() || float64(ir.Ranking[j].Score) != r.Score {
 				t.Errorf("iteration %d rank %d: %+v vs %+v", i, j, ir.Ranking[j], r)
 				break
 			}
@@ -248,7 +249,7 @@ func TestObsProgressStream(t *testing.T) {
 	reg.Attach(obs.NewProgressSink(&buf))
 	opts := quickOpts(dsl.Reno())
 	opts.Obs = reg
-	res, err := Synthesize(segs, opts)
+	res, err := Synthesize(context.Background(), segs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestBudgetExhaustionStillReturns(t *testing.T) {
 	segs := segmentsFor(t, "reno")
 	opts := quickOpts(dsl.Reno())
 	opts.MaxHandlers = 300 // tiny budget: stop after iteration 1
-	res, err := Synthesize(segs, opts)
+	res, err := Synthesize(context.Background(), segs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestVegasTraceGetsVegasStructure(t *testing.T) {
 	opts := quickOpts(dsl.Vegas())
 	opts.MaxHandlers = 6000
 	opts.ScanBudget = 15000 // the vegas DSL is the largest; keep the test quick
-	res, err := Synthesize(segs, opts)
+	res, err := Synthesize(context.Background(), segs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,5 +378,22 @@ func TestBudgetShare(t *testing.T) {
 	}
 	if budgetShare(100, 0) != 0 {
 		t.Error("zero buckets")
+	}
+	// Regression: ceiling division — an uneven split must never round a
+	// bucket's share down to a value that starves the tail of the budget,
+	// and every bucket keeps a nonzero share whenever budget remains.
+	if got := budgetShare(7, 3); got != 3 {
+		t.Errorf("budgetShare(7,3) = %d, want 3 (ceiling)", got)
+	}
+	if got := budgetShare(1, 7); got != 1 {
+		t.Errorf("budgetShare(1,7) = %d, want 1", got)
+	}
+	// Regression: a depleted or overdrawn budget must yield 0, not a
+	// phantom per-bucket allowance of 1.
+	if got := budgetShare(0, 5); got != 0 {
+		t.Errorf("budgetShare(0,5) = %d, want 0", got)
+	}
+	if got := budgetShare(-3, 5); got != 0 {
+		t.Errorf("budgetShare(-3,5) = %d, want 0", got)
 	}
 }

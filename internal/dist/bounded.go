@@ -1,0 +1,417 @@
+// Threshold-aware ("bounded") variants of the four metrics. The search in
+// internal/core only cares whether a candidate beats the best distance seen
+// so far; once a computation can prove its result is >= that cutoff, the
+// rest of the work is wasted. This file implements the classic time-series
+// pruning toolkit — cascading lower bounds (LB_Kim endpoints, LB_Keogh
+// envelopes) and early abandoning — behind a small extension interface, so
+// scoring loops can hand their best-so-far down into the metric kernels.
+//
+// Exactness contract: every bounded computation returns either the exact
+// distance, or a value that is both >= cutoff and a lower bound on the
+// exact distance. Callers that receive a value < cutoff may rely on it
+// bit-for-bit equaling Metric.Distance; the plain Distance methods share
+// these kernels (with cutoff=+Inf) so the two paths cannot drift apart.
+package dist
+
+import "math"
+
+// BoundedMetric extends Metric with a threshold-aware distance: once the
+// true distance is provably >= cutoff the computation may stop early and
+// return any lower bound of the true distance that is >= cutoff. A result
+// < cutoff is the exact distance. All four built-in metrics implement it.
+type BoundedMetric interface {
+	Metric
+	// DistanceWithin computes Distance(a, b), but may abandon early with
+	// a value >= cutoff once the result is provably >= cutoff.
+	DistanceWithin(a, b Series, cutoff float64) float64
+}
+
+// DistanceWithin dispatches to m's bounded implementation when it has one,
+// falling back to the full Distance for plain metrics. The result obeys
+// the BoundedMetric contract either way.
+func DistanceWithin(m Metric, a, b Series, cutoff float64) float64 {
+	if bm, ok := m.(BoundedMetric); ok {
+		return bm.DistanceWithin(a, b, cutoff)
+	}
+	return m.Distance(a, b)
+}
+
+// DistanceWithin implements BoundedMetric.
+func (d DTW) DistanceWithin(a, b Series, cutoff float64) float64 {
+	v, _ := PreparedDistanceWithin(d, Prepare(d, a), b, cutoff, NewScratch())
+	return v
+}
+
+// DistanceWithin implements BoundedMetric.
+func (e Euclidean) DistanceWithin(a, b Series, cutoff float64) float64 {
+	v, _ := PreparedDistanceWithin(e, Prepare(e, a), b, cutoff, NewScratch())
+	return v
+}
+
+// DistanceWithin implements BoundedMetric.
+func (mn Manhattan) DistanceWithin(a, b Series, cutoff float64) float64 {
+	v, _ := PreparedDistanceWithin(mn, Prepare(mn, a), b, cutoff, NewScratch())
+	return v
+}
+
+// DistanceWithin implements BoundedMetric.
+func (f Frechet) DistanceWithin(a, b Series, cutoff float64) float64 {
+	v, _ := PreparedDistanceWithin(f, Prepare(f, a), b, cutoff, NewScratch())
+	return v
+}
+
+// Envelope is the running min/max of a grid over a sliding +-band window —
+// the LB_Keogh envelope. Any banded warping path matches grid point j of
+// the other series against some point of this series within the window, so
+// sum_j max(y[j]-Upper[j], Lower[j]-y[j], 0) lower-bounds the raw DTW cost.
+type Envelope struct {
+	Lower []float64
+	Upper []float64
+}
+
+// NewEnvelope computes the +-band sliding-window envelope of xs in O(n)
+// using monotonic index deques.
+func NewEnvelope(xs []float64, band int) *Envelope {
+	n := len(xs)
+	if band < 0 {
+		band = 0
+	}
+	e := &Envelope{Lower: make([]float64, n), Upper: make([]float64, n)}
+	up := make([]int, 0, n) // indices of decreasing values (front = window max)
+	lo := make([]int, 0, n) // indices of increasing values (front = window min)
+	j := 0
+	for i := 0; i < n; i++ {
+		hi := i + band
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for ; j <= hi; j++ {
+			for len(up) > 0 && xs[up[len(up)-1]] <= xs[j] {
+				up = up[:len(up)-1]
+			}
+			up = append(up, j)
+			for len(lo) > 0 && xs[lo[len(lo)-1]] >= xs[j] {
+				lo = lo[:len(lo)-1]
+			}
+			lo = append(lo, j)
+		}
+		low := i - band
+		for up[0] < low {
+			up = up[1:]
+		}
+		for lo[0] < low {
+			lo = lo[1:]
+		}
+		e.Upper[i] = xs[up[0]]
+		e.Lower[i] = xs[lo[0]]
+	}
+	return e
+}
+
+// PreparedSeries is one side of a distance computation, resampled (and for
+// DTW, enveloped) once so it can be scored against many candidates.
+type PreparedSeries struct {
+	src  Series
+	grid []float64
+	env  *Envelope
+	band int
+	ok   bool
+}
+
+// Grid exposes the resampled grid (nil when the series was unusable).
+func (p *PreparedSeries) Grid() []float64 { return p.grid }
+
+// Prepare validates and resamples s onto the common grid. When m is DTW it
+// additionally precomputes the LB_Keogh envelope for m's band. A malformed
+// or non-finite series yields a PreparedSeries that scores +Inf against
+// everything, mirroring Metric.Distance.
+func Prepare(m Metric, s Series) *PreparedSeries {
+	p := &PreparedSeries{src: s}
+	if s.validate() != nil || s.Len() == 0 {
+		return p
+	}
+	p.grid = Resample(s, ResampleN)
+	if !finite(p.grid) {
+		p.grid = nil
+		return p
+	}
+	p.ok = true
+	if d, isDTW := m.(DTW); isDTW {
+		p.band = d.Band
+		if p.band <= 0 {
+			p.band = ResampleN / 10
+		}
+		p.env = NewEnvelope(p.grid, p.band)
+	}
+	return p
+}
+
+// Scratch holds the per-computation buffers (candidate resample grid, DP
+// rows) so scoring loops can reuse them across calls instead of allocating.
+// A Scratch must not be used concurrently.
+type Scratch struct {
+	grid []float64
+	prev []float64
+	cur  []float64
+}
+
+// NewScratch returns buffers sized for the common resample grid.
+func NewScratch() *Scratch {
+	return &Scratch{
+		grid: make([]float64, ResampleN),
+		prev: make([]float64, ResampleN+1),
+		cur:  make([]float64, ResampleN+1),
+	}
+}
+
+func (sc *Scratch) rows(n int) (prev, cur []float64) {
+	if cap(sc.prev) < n {
+		sc.prev = make([]float64, n)
+		sc.cur = make([]float64, n)
+	}
+	return sc.prev[:n], sc.cur[:n]
+}
+
+// PreparedDistanceWithin scores candidate b against a prepared series under
+// the BoundedMetric contract, reusing sc's buffers. The second result
+// reports exactness: true means the value is exactly m.Distance(a, b);
+// false means it is a lower bound that is >= cutoff. Unknown metric types
+// fall back to their own Distance/DistanceWithin on the original series.
+func PreparedDistanceWithin(m Metric, p *PreparedSeries, b Series, cutoff float64, sc *Scratch) (float64, bool) {
+	switch m.(type) {
+	case DTW, Euclidean, Manhattan, Frechet:
+	default:
+		if bm, ok := m.(BoundedMetric); ok {
+			v := bm.DistanceWithin(p.src, b, cutoff)
+			return v, v < cutoff
+		}
+		return m.Distance(p.src, b), true
+	}
+	if !p.ok || b.validate() != nil || b.Len() == 0 {
+		return math.Inf(1), true
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	y := sc.grid[:ResampleN]
+	resampleInto(b, y)
+	if !finite(y) {
+		return math.Inf(1), true
+	}
+	x := p.grid
+	switch m := m.(type) {
+	case DTW:
+		band := p.band
+		if band <= 0 {
+			band = m.Band
+		}
+		prev, cur := sc.rows(len(y) + 1)
+		return dtwWithin(x, y, p.env, band, cutoff, prev, cur)
+	case Euclidean:
+		return euclideanWithin(x, y, cutoff)
+	case Manhattan:
+		return manhattanWithin(x, y, cutoff)
+	default: // Frechet
+		prev, cur := sc.rows(len(y) + 1)
+		return frechetWithin(x, y, cutoff, prev[:len(y)], cur[:len(y)])
+	}
+}
+
+// lbKeoghSafety deflates the LB_Keogh sum by a hair before comparing it to
+// the cutoff. The envelope bound is exact in real arithmetic but its
+// floating-point sum is accumulated in a different order than the DTW DP's;
+// the 1e-12 relative margin dwarfs the ~n*eps worst-case discrepancy and
+// keeps a 1-ulp rounding difference from ever pruning a candidate whose
+// true distance is a hair under the cutoff.
+const lbKeoghSafety = 1 - 1e-12
+
+// dtwWithin is the banded DTW kernel shared by DTW.Distance (cutoff=+Inf)
+// and the bounded path. With a finite cutoff it first tries the LB_Kim
+// endpoint bound, then the LB_Keogh envelope bound (when env covers y's
+// grid), then runs the DP with per-row early abandoning: every banded
+// warping path crosses every row, so the row minimum lower-bounds the final
+// accumulated cost. Returns (value, exact).
+func dtwWithin(x, y []float64, env *Envelope, band int, cutoff float64, prev, cur []float64) (float64, bool) {
+	n, m := len(x), len(y)
+	norm := float64(n + m)
+	cDTWCalls.Load().Inc()
+	if cutoff <= 0 {
+		// Distances are non-negative: 0 is a lower bound >= cutoff.
+		return 0, false
+	}
+	if band <= 0 {
+		band = ResampleN / 10
+	}
+	abandon := !math.IsInf(cutoff, 1)
+	if abandon && n > 0 && m > 0 {
+		// LB_Kim: the first and last grid points are matched by every
+		// warping path (once each when the path has more than one cell).
+		var lbKim float64
+		if n+m > 2 {
+			lbKim = math.Abs(x[0]-y[0]) + math.Abs(x[n-1]-y[m-1])
+		} else {
+			lbKim = math.Abs(x[0] - y[0])
+		}
+		if lbKim/norm >= cutoff {
+			cLBPrunes.Load().Inc()
+			return lbKim / norm, false
+		}
+		if env != nil && n == m && len(env.Lower) == m {
+			var s float64
+			for j := 0; j < m; j++ {
+				v := y[j]
+				if v > env.Upper[j] {
+					s += v - env.Upper[j]
+				} else if v < env.Lower[j] {
+					s += env.Lower[j] - v
+				}
+			}
+			lbk := s * lbKeoghSafety
+			if lbk/norm >= cutoff {
+				cLBPrunes.Load().Inc()
+				return lbk / norm, false
+			}
+		}
+	}
+	inf := math.Inf(1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	cells := 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo, hi := i-band, i+band
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > m {
+			hi = m
+		}
+		cells += hi - lo + 1
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := math.Abs(x[i-1] - y[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			v := cost + best
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if abandon && rowMin/norm >= cutoff {
+			cDTWCells.Load().Add(int64(cells))
+			cEarlyAbandons.Load().Inc()
+			return rowMin / norm, false
+		}
+		prev, cur = cur, prev
+	}
+	cDTWCells.Load().Add(int64(cells))
+	return prev[m] / norm, true
+}
+
+// euclideanWithin accumulates squared differences with running-sum
+// abandoning. The raw-units threshold is only a cheap filter; the
+// authoritative comparison happens in final (normalized, sqrt'd) units so
+// unit conversion can never flip an exact result into a pruned one.
+func euclideanWithin(x, y []float64, cutoff float64) (float64, bool) {
+	n := len(x)
+	if cutoff <= 0 {
+		return 0, false
+	}
+	raw := cutoff * cutoff * float64(n)
+	var sum float64
+	last := n - 1
+	for i := 0; i < n; i++ {
+		d := x[i] - y[i]
+		sum += d * d
+		if sum >= raw && i < last {
+			part := math.Sqrt(sum / float64(n))
+			if part >= cutoff {
+				cEarlyAbandons.Load().Inc()
+				return part, false
+			}
+		}
+	}
+	return math.Sqrt(sum / float64(n)), true
+}
+
+// manhattanWithin accumulates absolute differences with running-sum
+// abandoning, confirming in final units like euclideanWithin.
+func manhattanWithin(x, y []float64, cutoff float64) (float64, bool) {
+	n := len(x)
+	if cutoff <= 0 {
+		return 0, false
+	}
+	raw := cutoff * float64(n)
+	var sum float64
+	last := n - 1
+	for i := 0; i < n; i++ {
+		sum += math.Abs(x[i] - y[i])
+		if sum >= raw && i < last {
+			part := sum / float64(n)
+			if part >= cutoff {
+				cEarlyAbandons.Load().Inc()
+				return part, false
+			}
+		}
+	}
+	return sum / float64(n), true
+}
+
+// frechetWithin is the discrete Fréchet kernel shared by Frechet.Distance
+// (cutoff=+Inf) and the bounded path. The DP value at any cell on the
+// optimal traversal is <= the final minimax value and every traversal
+// crosses every row, so the row minimum is a valid lower bound; the
+// endpoint costs are as well (minimax includes both ends).
+func frechetWithin(x, y []float64, cutoff float64, prev, cur []float64) (float64, bool) {
+	n, m := len(x), len(y)
+	if cutoff <= 0 {
+		return 0, false
+	}
+	abandon := !math.IsInf(cutoff, 1)
+	if abandon && n > 0 && m > 0 {
+		lb := math.Abs(x[0] - y[0])
+		if e := math.Abs(x[n-1] - y[m-1]); e > lb {
+			lb = e
+		}
+		if lb >= cutoff {
+			cLBPrunes.Load().Inc()
+			return lb, false
+		}
+	}
+	inf := math.Inf(1)
+	for i := 0; i < n; i++ {
+		rowMin := inf
+		for j := 0; j < m; j++ {
+			d := math.Abs(x[i] - y[j])
+			switch {
+			case i == 0 && j == 0:
+				cur[j] = d
+			case i == 0:
+				cur[j] = math.Max(cur[j-1], d)
+			case j == 0:
+				cur[j] = math.Max(prev[j], d)
+			default:
+				cur[j] = math.Max(math.Min(math.Min(prev[j], prev[j-1]), cur[j-1]), d)
+			}
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if abandon && rowMin >= cutoff {
+			cEarlyAbandons.Load().Inc()
+			return rowMin, false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1], true
+}

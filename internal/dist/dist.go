@@ -22,20 +22,28 @@ import (
 // stateless values, so there is no per-run object to hang a registry on).
 // Nil counters (no registry installed) no-op.
 var (
-	cDTWCalls atomic.Pointer[obs.Counter]
-	cDTWCells atomic.Pointer[obs.Counter]
+	cDTWCalls      atomic.Pointer[obs.Counter]
+	cDTWCells      atomic.Pointer[obs.Counter]
+	cLBPrunes      atomic.Pointer[obs.Counter]
+	cEarlyAbandons atomic.Pointer[obs.Counter]
 )
 
 // Observe routes the package's instruments to the registry:
 //
 //	counters  dist.dtw_calls (DTW distance computations),
 //	          dist.dtw_cells (DTW dynamic-programming cells filled —
-//	          the metric's actual work, proportional to band width)
+//	          the metric's actual work, proportional to band width),
+//	          dist.lb_prunes (bounded computations settled by a lower
+//	          bound — LB_Kim/LB_Keogh — before any DP work),
+//	          dist.early_abandons (bounded computations abandoned
+//	          mid-scan once the running value proved >= the cutoff)
 //
 // Passing nil uninstalls them. Call once at tool startup.
 func Observe(r *obs.Registry) {
 	cDTWCalls.Store(r.Counter("dist.dtw_calls"))
 	cDTWCells.Store(r.Counter("dist.dtw_cells"))
+	cLBPrunes.Store(r.Counter("dist.lb_prunes"))
+	cEarlyAbandons.Store(r.Counter("dist.early_abandons"))
 }
 
 // Series is a time series of observations at increasing times.
@@ -70,14 +78,25 @@ const ResampleN = 200
 // constant (or zero) vector.
 func Resample(s Series, n int) []float64 {
 	out := make([]float64, n)
+	resampleInto(s, out)
+	return out
+}
+
+// resampleInto is Resample writing into a caller-provided buffer, for
+// scoring loops that reuse scratch space across candidates.
+func resampleInto(s Series, out []float64) {
+	n := len(out)
 	if len(s.Values) == 0 {
-		return out
+		for i := range out {
+			out[i] = 0
+		}
+		return
 	}
 	if len(s.Values) == 1 || s.Times[len(s.Times)-1] <= s.Times[0] {
 		for i := range out {
 			out[i] = s.Values[0]
 		}
-		return out
+		return
 	}
 	t0, t1 := s.Times[0], s.Times[len(s.Times)-1]
 	j := 0
@@ -102,7 +121,6 @@ func Resample(s Series, n int) []float64 {
 		}
 		out[i] = va + frac*(vb-va)
 	}
-	return out
 }
 
 // Metric measures how far apart two congestion-window traces are. Lower is
@@ -162,49 +180,10 @@ func (d DTW) Distance(a, b Series) float64 {
 	if band <= 0 {
 		band = ResampleN / 10
 	}
-	return dtwBanded(x, y, band) / float64(len(x)+len(y))
-}
-
-// dtwBanded computes the classic DTW accumulated cost with |.| local cost
-// and a band constraint.
-func dtwBanded(x, y []float64, band int) float64 {
-	n, m := len(x), len(y)
-	inf := math.Inf(1)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
-	for j := range prev {
-		prev[j] = inf
-	}
-	prev[0] = 0
-	cDTWCalls.Load().Inc()
-	cells := 0
-	for i := 1; i <= n; i++ {
-		for j := range cur {
-			cur[j] = inf
-		}
-		lo, hi := i-band, i+band
-		if lo < 1 {
-			lo = 1
-		}
-		if hi > m {
-			hi = m
-		}
-		cells += hi - lo + 1
-		for j := lo; j <= hi; j++ {
-			cost := math.Abs(x[i-1] - y[j-1])
-			best := prev[j] // insertion
-			if prev[j-1] < best {
-				best = prev[j-1] // match
-			}
-			if cur[j-1] < best {
-				best = cur[j-1] // deletion
-			}
-			cur[j] = cost + best
-		}
-		prev, cur = cur, prev
-	}
-	cDTWCells.Load().Add(int64(cells))
-	return prev[m]
+	prev := make([]float64, len(y)+1)
+	cur := make([]float64, len(y)+1)
+	v, _ := dtwWithin(x, y, nil, band, math.Inf(1), prev, cur)
+	return v
 }
 
 // Euclidean is the point-wise L2 distance on the resampled grid, normalized
@@ -220,12 +199,8 @@ func (Euclidean) Distance(a, b Series) float64 {
 	if !ok {
 		return math.Inf(1)
 	}
-	var sum float64
-	for i := range x {
-		d := x[i] - y[i]
-		sum += d * d
-	}
-	return math.Sqrt(sum / float64(len(x)))
+	v, _ := euclideanWithin(x, y, math.Inf(1))
+	return v
 }
 
 // Manhattan is the point-wise mean absolute difference on the resampled
@@ -241,11 +216,8 @@ func (Manhattan) Distance(a, b Series) float64 {
 	if !ok {
 		return math.Inf(1)
 	}
-	var sum float64
-	for i := range x {
-		sum += math.Abs(x[i] - y[i])
-	}
-	return sum / float64(len(x))
+	v, _ := manhattanWithin(x, y, math.Inf(1))
+	return v
 }
 
 // Frechet is the discrete Fréchet distance: the minimax "dog leash" length
@@ -261,26 +233,10 @@ func (Frechet) Distance(a, b Series) float64 {
 	if !ok {
 		return math.Inf(1)
 	}
-	n, m := len(x), len(y)
-	prev := make([]float64, m)
-	cur := make([]float64, m)
-	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			d := math.Abs(x[i] - y[j])
-			switch {
-			case i == 0 && j == 0:
-				cur[j] = d
-			case i == 0:
-				cur[j] = math.Max(cur[j-1], d)
-			case j == 0:
-				cur[j] = math.Max(prev[j], d)
-			default:
-				cur[j] = math.Max(math.Min(math.Min(prev[j], prev[j-1]), cur[j-1]), d)
-			}
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m-1]
+	prev := make([]float64, len(y))
+	cur := make([]float64, len(y))
+	v, _ := frechetWithin(x, y, math.Inf(1), prev, cur)
+	return v
 }
 
 // Metrics returns one instance of every metric, DTW first (the default).

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -81,7 +82,7 @@ func Ablation(ccaName string, s Scale) ([]AblationRow, error) {
 	}
 	var rows []AblationRow
 	for _, v := range ablationVariants(base) {
-		res, err := core.Synthesize(ds.Segments, v.opts)
+		res, err := core.Synthesize(s.context(), ds.Segments, v.opts)
 		row := AblationRow{Variant: v.name}
 		if err != nil {
 			row.Err = err
@@ -103,7 +104,8 @@ func Ablation(ccaName string, s Scale) ([]AblationRow, error) {
 
 // rescoreDTW re-evaluates a result under the common DTW yardstick.
 func rescoreDTW(res *core.Result, ds *Dataset) float64 {
-	return replay.TotalDistance(res.Handler, ds.Segments, dist.DTW{})
+	d, _ := replay.NewScorer(ds.Segments, dist.DTW{}).Score(res.Handler, math.Inf(1))
+	return d
 }
 
 // FormatAblation renders the comparison.

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -42,6 +43,10 @@ type Scale struct {
 	MinSegment int
 	// Seed drives everything.
 	Seed int64
+	// Ctx, when set, is threaded into every synthesis run so SIGINT (or
+	// any cancellation) winds experiments down gracefully; nil means
+	// context.Background().
+	Ctx context.Context
 	// Obs, when set, is threaded into every simulation and synthesis run
 	// the experiment performs (metrics, spans, progress). Nil disables
 	// instrumentation.
@@ -77,6 +82,14 @@ func QuickScale() Scale {
 		MinSegment:  16,
 		Seed:        1,
 	}
+}
+
+// context returns the scale's context, defaulting to Background.
+func (s Scale) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // Grid expands the scale into simulator scenarios for one CCA.

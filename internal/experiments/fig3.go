@@ -92,10 +92,14 @@ func Fig3(s Scale) ([]Fig3Point, error) {
 	handlers := Fig3Handlers()
 	var points []Fig3Point
 	for _, m := range dist.Metrics() {
+		// One scorer per metric: the steady-segment envs, resampled
+		// observed series and (for DTW) LB envelopes are shared across the
+		// whole error sweep instead of being rebuilt per cell.
+		scorer := replay.NewScorer(steady, m)
 		for _, f := range Fig3ErrorFactors() {
 			p := Fig3Point{Metric: m.Name(), Error: f, Distances: map[string]float64{}}
 			for name, h := range handlers {
-				p.Distances[name] = replay.TotalDistance(ScaleConstants(h, f), steady, m)
+				p.Distances[name], _ = scorer.Score(ScaleConstants(h, f), math.Inf(1))
 			}
 			bbrD := p.Distances["bbr"]
 			p.Correct = true

@@ -51,9 +51,10 @@ func Fig4(s Scale) (*Fig4Result, error) {
 	m := dist.DTW{}
 	res := &Fig4Result{Synth: Fig4SynthesizedBBR, Fine: fine.Source}
 	bestSynthGap, bestFineGap := math.Inf(-1), math.Inf(-1)
-	for _, seg := range ds.Segments {
-		sd := replay.Distance(synthH, seg, m)
-		fd := replay.Distance(fineH, seg, m)
+	scorer := replay.NewScorer(ds.Segments, m)
+	for i := range ds.Segments {
+		sd, _ := scorer.SegmentScore(synthH, i, math.Inf(1))
+		fd, _ := scorer.SegmentScore(fineH, i, math.Inf(1))
 		if math.IsInf(sd, 1) || math.IsInf(fd, 1) {
 			continue
 		}
@@ -116,9 +117,9 @@ func Fig5(s Scale) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := dist.DTW{}
-	reno := replay.TotalDistance(dsl.MustParse("cwnd + reno-inc"), ds.Segments, m)
-	fd := replay.TotalDistance(fine.Handler(), ds.Segments, m)
+	scorer := replay.NewScorer(ds.Segments, dist.DTW{})
+	reno, _ := scorer.Score(dsl.MustParse("cwnd + reno-inc"), math.Inf(1))
+	fd, _ := scorer.Score(fine.Handler(), math.Inf(1))
 	return &Fig5Result{
 		RenoDistance: reno,
 		FineDistance: fd,
@@ -184,7 +185,7 @@ func Fig6(s Scale, students []string) ([]Fig6Row, error) {
 			return rows, err
 		}
 		for _, label := range Fig6Labels() {
-			res, err := core.Synthesize(ds.Segments, core.Options{
+			res, err := core.Synthesize(s.context(), ds.Segments, core.Options{
 				DSL:         fig6DSL(label),
 				MaxHandlers: s.MaxHandlers,
 				ScanBudget:  s.ScanBudget,
@@ -247,7 +248,7 @@ func Efficiency(s Scale) (*EfficiencyResult, error) {
 	}
 	d := dsl.Reno()
 	space := enum.New(d).Count()
-	res, err := core.Synthesize(ds.Segments, core.Options{
+	res, err := core.Synthesize(s.context(), ds.Segments, core.Options{
 		DSL:         d,
 		MaxHandlers: s.MaxHandlers,
 		ScanBudget:  s.ScanBudget,

@@ -87,7 +87,7 @@ func table2Row(name string, s Scale, cls *classify.Classifier) (Table2Row, error
 		return Table2Row{}, err
 	}
 	s.Obs.Progressf("table2 %s: synthesizing over %d segments (%s DSL)", name, len(ds.Segments), dslName)
-	res, err := core.Synthesize(ds.Segments, core.Options{
+	res, err := core.Synthesize(s.context(), ds.Segments, core.Options{
 		DSL:         d,
 		MaxHandlers: s.MaxHandlers,
 		ScanBudget:  s.ScanBudget,
@@ -105,7 +105,7 @@ func table2Row(name string, s Scale, cls *classify.Classifier) (Table2Row, error
 	row.SynthDistance = res.Distance
 	if f, err := expr.Lookup(name); err == nil {
 		row.FineTuned = f.Source
-		row.FineDistance = replay.TotalDistance(f.Handler(), ds.Segments, dist.DTW{})
+		row.FineDistance, _ = replay.NewScorer(ds.Segments, dist.DTW{}).Score(f.Handler(), math.Inf(1))
 	} else {
 		row.FineDistance = math.NaN()
 	}

@@ -46,7 +46,7 @@ func Table4(ccas []string, s Scale) ([]Table4Row, error) {
 		if err != nil {
 			return rows, err
 		}
-		res, err := core.Synthesize(ds.Segments, core.Options{
+		res, err := core.Synthesize(s.context(), ds.Segments, core.Options{
 			DSL:         d,
 			MaxHandlers: s.MaxHandlers,
 			Seed:        s.Seed,

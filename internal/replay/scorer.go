@@ -1,0 +1,154 @@
+package replay
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/trace"
+)
+
+// Scorer scores candidate handlers against a fixed segment set. It is
+// built once per segment set and owns everything that is invariant across
+// candidates: the per-ACK evaluation environments, the observed series
+// resampled onto the metric grid, and (for DTW) the LB_Keogh envelopes.
+// Per-candidate buffers — the synthesized series and the metric DP rows —
+// come from a sync.Pool, so concurrent scoring workers neither allocate
+// per call nor contend.
+//
+// Score is threshold-aware: segments accumulate into a running total and
+// both the per-segment metric kernels and the cross-segment sum abandon
+// once the total is provably >= the cutoff. The exactness flag — not a
+// comparison against cutoff — tells the caller which case occurred.
+type Scorer struct {
+	metric   dist.Metric
+	segs     []*trace.Segment
+	envs     [][]dsl.Env
+	prepared []*dist.PreparedSeries
+	pool     sync.Pool
+}
+
+// scorerScratch is one worker's reusable buffers.
+type scorerScratch struct {
+	times  []float64
+	values []float64
+	dist   *dist.Scratch
+}
+
+// NewScorer prepares a scorer for the segment set under the metric (nil
+// means DTW, matching core's default).
+func NewScorer(segs []*trace.Segment, m dist.Metric) *Scorer {
+	if m == nil {
+		m = dist.DTW{}
+	}
+	s := &Scorer{
+		metric:   m,
+		segs:     segs,
+		envs:     make([][]dsl.Env, len(segs)),
+		prepared: make([]*dist.PreparedSeries, len(segs)),
+	}
+	for i, seg := range segs {
+		s.envs[i] = Envs(seg)
+		s.prepared[i] = dist.Prepare(m, seg.Series())
+	}
+	s.pool.New = func() any { return &scorerScratch{dist: dist.NewScratch()} }
+	return s
+}
+
+// Metric returns the metric the scorer was built with.
+func (s *Scorer) Metric() dist.Metric { return s.metric }
+
+// Segments returns the segment set the scorer was built over.
+func (s *Scorer) Segments() []*trace.Segment { return s.segs }
+
+// Score sums the handler's per-segment distances — the same value as the
+// deprecated TotalDistance — abandoning once the running total is provably
+// >= cutoff. The second result reports exactness: true means the value is
+// exactly the full sum; false means the computation stopped early and the
+// value is a lower bound on the full sum (and, up to one rounding ulp, >=
+// cutoff — rely on the flag, not a comparison). Score is safe for
+// concurrent use.
+func (s *Scorer) Score(h *dsl.Node, cutoff float64) (float64, bool) {
+	sc := s.pool.Get().(*scorerScratch)
+	defer s.pool.Put(sc)
+	fn := dsl.Compile(h)
+	var total float64
+	last := len(s.segs) - 1
+	for i := range s.segs {
+		// The sub-cutoff over-approximates cutoff-total by a ulp so a
+		// segment is never abandoned when the true total is < cutoff.
+		segCut := math.Nextafter(cutoff-total, math.Inf(1))
+		d, exact := s.segmentScore(fn, i, segCut, sc)
+		if !exact {
+			return total + d, false
+		}
+		total += d
+		if math.IsInf(total, 1) {
+			return total, true
+		}
+		if total >= cutoff && i < last {
+			return total, false
+		}
+	}
+	return total, true
+}
+
+// SegmentScore scores the handler against segment i alone, under the same
+// contract as Score. Callers needing per-segment distances (Figure 4's
+// per-segment breakdown) use this instead of re-preparing the segment.
+func (s *Scorer) SegmentScore(h *dsl.Node, i int, cutoff float64) (float64, bool) {
+	sc := s.pool.Get().(*scorerScratch)
+	defer s.pool.Put(sc)
+	return s.segmentScore(dsl.Compile(h), i, cutoff, sc)
+}
+
+func (s *Scorer) segmentScore(fn dsl.EvalFunc, i int, cutoff float64, sc *scorerScratch) (float64, bool) {
+	synth, ok := s.synthesize(fn, i, sc)
+	if !ok {
+		return math.Inf(1), true
+	}
+	return dist.PreparedDistanceWithin(s.metric, s.prepared[i], synth, cutoff, sc.dist)
+}
+
+// synthesize replays the compiled handler over segment i into sc's
+// buffers; the returned series aliases the scratch and is only valid until
+// the scratch's next use. Mirrors SynthesizeEnvs exactly (same clamping,
+// same divergence accounting) so Scorer scores match the deprecated
+// wrappers bit for bit.
+func (s *Scorer) synthesize(fn dsl.EvalFunc, i int, sc *scorerScratch) (dist.Series, bool) {
+	seg := s.segs[i]
+	envs := s.envs[i]
+	n := len(envs)
+	if n == 0 {
+		return dist.Series{}, true
+	}
+	cReplays.Load().Inc()
+	if cap(sc.times) < n {
+		sc.times = make([]float64, n)
+		sc.values = make([]float64, n)
+	}
+	times := sc.times[:n]
+	values := sc.values[:n]
+	cwnd := seg.Samples[0].Cwnd
+	if cwnd < seg.MSS {
+		cwnd = seg.MSS
+	}
+	mss := seg.MSS
+	// env is hoisted out of the loop: fn takes it by pointer, so a
+	// loop-local would escape and heap-allocate once per ACK sample.
+	var env dsl.Env
+	for j := range envs {
+		env = envs[j]
+		env.Cwnd = cwnd
+		v, ok := fn(&env)
+		if !ok {
+			cDiverged.Load().Inc()
+			return dist.Series{}, false
+		}
+		cwnd = clamp(v, minCwndPkts*mss, maxCwndPkts*mss)
+		times[j] = seg.Samples[j].Time.Seconds()
+		values[j] = cwnd / mss
+	}
+	return dist.Series{Times: times, Values: values}, true
+}

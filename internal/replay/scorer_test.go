@@ -1,0 +1,126 @@
+package replay
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/dsl"
+)
+
+var scorerHandlers = []string{
+	"cwnd + reno-inc",
+	"cwnd + 0.5*reno-inc",
+	"mss",
+	"cwnd + cwnd",
+	"cwnd/(acked - acked)", // diverges
+	"cwnd",
+}
+
+// TestScorerMatchesTotalDistance: with no cutoff, Score must reproduce the
+// deprecated TotalDistance bit for bit for every metric — the wrappers now
+// route through Scorer, so also cross-check against a hand-summed loop over
+// Distance on single-segment scorers.
+func TestScorerMatchesTotalDistance(t *testing.T) {
+	segs := renoSegments(t)
+	for _, m := range dist.Metrics() {
+		sc := NewScorer(segs, m)
+		for _, src := range scorerHandlers {
+			h := dsl.MustParse(src)
+			got, exact := sc.Score(h, math.Inf(1))
+			if !exact {
+				t.Fatalf("%s %q: Score(+Inf) not exact", m.Name(), src)
+			}
+			if want := TotalDistance(h, segs, m); got != want {
+				t.Errorf("%s %q: Score %v != TotalDistance %v", m.Name(), src, got, want)
+			}
+		}
+	}
+}
+
+// TestSegmentScoreMatchesDistance checks the per-segment entry point against
+// the deprecated per-segment wrapper.
+func TestSegmentScoreMatchesDistance(t *testing.T) {
+	segs := renoSegments(t)
+	m := dist.DTW{}
+	sc := NewScorer(segs, m)
+	h := dsl.MustParse("cwnd + reno-inc")
+	for i, seg := range segs {
+		got, exact := sc.SegmentScore(h, i, math.Inf(1))
+		if !exact {
+			t.Fatalf("segment %d: not exact at +Inf", i)
+		}
+		if want := Distance(h, seg, m); got != want {
+			t.Errorf("segment %d: SegmentScore %v != Distance %v", i, got, want)
+		}
+	}
+}
+
+// TestScorerCutoffContract sweeps cutoffs around each handler's exact total:
+// exact=true results must equal the full sum, and inexact results must be
+// lower bounds on it.
+func TestScorerCutoffContract(t *testing.T) {
+	segs := renoSegments(t)
+	sc := NewScorer(segs, dist.DTW{})
+	for _, src := range scorerHandlers {
+		h := dsl.MustParse(src)
+		want, _ := sc.Score(h, math.Inf(1))
+		for _, frac := range []float64{0, 0.3, 0.9, 0.9999, 1.0001, 2} {
+			cutoff := want * frac
+			d, exact := sc.Score(h, cutoff)
+			if exact && d != want {
+				t.Fatalf("%q cutoff=%v: exact result %v != full sum %v", src, cutoff, d, want)
+			}
+			if !exact && !(d <= want) {
+				t.Fatalf("%q cutoff=%v: abandoned result %v exceeds full sum %v", src, cutoff, d, want)
+			}
+		}
+		// A cutoff just above the exact sum must come back exact.
+		if !math.IsInf(want, 1) {
+			above := math.Nextafter(want, math.Inf(1))
+			if d, exact := sc.Score(h, above*1.01); !exact || d != want {
+				t.Fatalf("%q: cutoff above sum gave (%v, %v), want (%v, true)", src, d, exact, want)
+			}
+		}
+	}
+}
+
+// TestScorerConcurrent hammers one scorer from many goroutines; results must
+// match the serial values (the pool must not leak state between scores).
+func TestScorerConcurrent(t *testing.T) {
+	segs := renoSegments(t)
+	sc := NewScorer(segs, dist.DTW{})
+	want := make([]float64, len(scorerHandlers))
+	for i, src := range scorerHandlers {
+		want[i], _ = sc.Score(dsl.MustParse(src), math.Inf(1))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for i, src := range scorerHandlers {
+					d, exact := sc.Score(dsl.MustParse(src), math.Inf(1))
+					if !exact || d != want[i] {
+						t.Errorf("concurrent %q: (%v, %v), want (%v, true)", src, d, exact, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestScorerNilMetricDefaultsDTW mirrors core's default.
+func TestScorerNilMetricDefaultsDTW(t *testing.T) {
+	segs := renoSegments(t)
+	h := dsl.MustParse("cwnd + reno-inc")
+	got, _ := NewScorer(segs, nil).Score(h, math.Inf(1))
+	want, _ := NewScorer(segs, dist.DTW{}).Score(h, math.Inf(1))
+	if got != want {
+		t.Errorf("nil metric %v != DTW %v", got, want)
+	}
+}
