@@ -22,11 +22,13 @@ bench:
 	@mkdir -p bench
 	$(GO) test -bench=. -benchmem -run='^$$' . | tee bench/BENCH_$$(date -u +%Y%m%d-%H%M%S).txt
 
-# bench-compare runs the fast component micro-benchmarks (scoring, DTW,
-# obs), records them as bench/BENCH_*.json, and diffs ns/op, B/op,
+# bench-compare runs the fast component micro-benchmarks (scoring, replay
+# VM, DTW, obs), records them as bench/BENCH_*.json, and diffs ns/op, B/op,
 # allocs/op, and cells/op against the previous snapshot — exiting nonzero
-# when any cost metric regresses by more than 20%.
+# when any cost metric regresses by more than THRESH (fraction; CI uses a
+# looser value to absorb cross-machine noise).
+THRESH ?= 0.20
 bench-compare:
 	@mkdir -p bench
-	$(GO) test -bench='ScoreHandler|DTWDistance|TraceAnalysis|Obs' -benchmem -run='^$$' . \
-		| tee /dev/stderr | $(GO) run ./cmd/benchdiff -record -dir bench
+	$(GO) test -bench='ScoreHandler|ReplayProgram|ReplayClosure|DTWDistance|TraceAnalysis|Obs' -benchmem -run='^$$' . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchdiff -record -dir bench -threshold $(THRESH)

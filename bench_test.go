@@ -352,6 +352,89 @@ func BenchmarkScoreHandlerExact(b *testing.B) { benchmarkScoreHandler(b, false) 
 // BenchmarkScoreHandlerCutoff is the pruned steady state.
 func BenchmarkScoreHandlerCutoff(b *testing.B) { benchmarkScoreHandler(b, true) }
 
+// --- Register-VM replay micro-benchmarks --------------------------------
+//
+// BenchmarkReplayProgram isolates the replay inner loop the Scorer runs per
+// candidate: Program.EvalSeries over a segment's signal columns with the
+// hoisted prologue cached, constants patched per call — no metric work.
+// BenchmarkReplayClosure replays the identical handler through the
+// dsl.Compile closure path (the pre-VM engine, still used by Synthesize)
+// so the speedup is visible in one bench run. acks/op reports the segment
+// length both loops cover.
+
+// benchReplaySegment returns the longest segment of the standard reno run.
+func benchReplaySegment(b *testing.B) *trace.Segment {
+	res, err := sim.Run(sim.Config{
+		CCA: "reno", Bandwidth: 10e6 / 8, RTT: 40 * time.Millisecond,
+		Duration: 30 * time.Second, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.AnalyzeRecords(res.Records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	segs := tr.Split(16)
+	if len(segs) == 0 {
+		b.Fatal("no segments")
+	}
+	seg := segs[0]
+	for _, s := range segs {
+		if len(s.Samples) > len(seg.Samples) {
+			seg = s
+		}
+	}
+	return seg
+}
+
+func BenchmarkReplayProgram(b *testing.B) {
+	seg := benchReplaySegment(b)
+	cols := replay.NewCols(seg)
+	sk := dsl.MustParse("cwnd + c1*reno-inc")
+	prog := dsl.CompileProgram(sk)
+	pro := prog.RunPrologue(cols)
+	mss := seg.MSS
+	cwnd0 := math.Max(seg.Samples[0].Cwnd, mss)
+	out := make([]float64, cols.N)
+	ex := dsl.NewExec()
+	vals := []float64{0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := prog.EvalSeries(cols, pro, vals, cwnd0, mss, (1<<20)*mss, mss, out, ex); !ok {
+			b.Fatal("diverged")
+		}
+	}
+	b.ReportMetric(float64(cols.N), "acks/op")
+}
+
+func BenchmarkReplayClosure(b *testing.B) {
+	seg := benchReplaySegment(b)
+	envs := replay.Envs(seg)
+	fn := dsl.Compile(dsl.MustParse("cwnd + 0.7*reno-inc"))
+	mss := seg.MSS
+	cwnd0 := math.Max(seg.Samples[0].Cwnd, mss)
+	out := make([]float64, len(envs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cwnd := cwnd0
+		var env dsl.Env
+		for j := range envs {
+			env = envs[j]
+			env.Cwnd = cwnd
+			v, ok := fn(&env)
+			if !ok {
+				b.Fatal("diverged")
+			}
+			cwnd = math.Min(math.Max(v, mss), (1<<20)*mss)
+			out[j] = cwnd / mss
+		}
+	}
+	b.ReportMetric(float64(len(envs)), "acks/op")
+}
+
 // --- Observability fast-path micro-benchmarks ---------------------------
 //
 // The obs layer's contract is that instrumentation left permanently in hot

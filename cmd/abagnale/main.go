@@ -57,9 +57,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "abagnale:", err)
 		os.Exit(1)
 	}
-	// Route the process-wide replay/metric instruments to this run.
+	// Route the process-wide replay/metric/VM instruments to this run.
 	replay.Observe(reg)
 	dist.Observe(reg)
+	dsl.Observe(reg)
 	// SIGINT/SIGTERM cancel the search gracefully: the best handler found
 	// so far is still printed and the run report (via done()) still written.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

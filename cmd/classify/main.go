@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/dist"
+	"repro/internal/dsl"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/replay"
@@ -47,6 +48,7 @@ func main() {
 	}
 	replay.Observe(reg)
 	dist.Observe(reg)
+	dsl.Observe(reg)
 	runErr := run(*rtt, *bwMbps*1e6/8, *margin, *seed, reg, flag.Args())
 	if err := done(); err != nil && runErr == nil {
 		runErr = err

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/dsl"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/replay"
@@ -62,6 +63,7 @@ func main() {
 	scale.Obs = reg
 	replay.Observe(reg)
 	dist.Observe(reg)
+	dsl.Observe(reg)
 
 	// SIGINT/SIGTERM cancel in-flight synthesis runs gracefully: partial
 	// results already computed are still printed and the run report (via

@@ -15,6 +15,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 	"sort"
 	"time"
 
@@ -64,10 +65,12 @@ func main() {
 				name string
 				d    float64
 			}
+			scorer := replay.NewScorer(segs, m)
 			var results []scored
 			for name, h := range handlers {
 				hh := experiments.ScaleConstants(h, errFactor)
-				results = append(results, scored{name, replay.TotalDistance(hh, segs, m)})
+				d, _ := scorer.Score(hh, math.Inf(1))
+				results = append(results, scored{name, d})
 			}
 			sort.Slice(results, func(i, j int) bool { return results[i].d < results[j].d })
 			verdict := "WRONG"

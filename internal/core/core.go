@@ -515,7 +515,7 @@ func (r *runState) run() (*Result, error) {
 	}
 	// Report the final handler's distance over the full segment set.
 	fsp := root.Child("core.final_distance")
-	final := replay.TotalDistance(r.best.handler, r.segs, r.opts.Metric)
+	final, _ := replay.NewScorer(r.segs, r.opts.Metric).Score(r.best.handler, math.Inf(1))
 	fsp.End()
 	r.stats.HandlersScored = r.scored
 	return &Result{
@@ -673,8 +673,11 @@ func (r *runState) cutoff(c float64) float64 {
 // the sketch-best or the bucket-best.
 func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64, bucketBest float64) (*dsl.Node, float64, bool, int) {
 	holes := sk.Holes()
+	// One register program per sketch: every completion below executes it
+	// with patched constants and shares its hoisted prologue columns.
+	cs := scorer.CompileSketch(sk)
 	if holes == 0 {
-		d, exact := r.scoreHandler(sk, scorer, setID, r.cutoff(bucketBest))
+		d, exact := r.scoreHandler(sk, cs, nil, setID, r.cutoff(bucketBest))
 		return sk, d, exact, 1
 	}
 	pool := r.opts.DSL.Constants
@@ -692,7 +695,7 @@ func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64
 		if bestExact && bestD < cut {
 			cut = bestD
 		}
-		d, exact := r.scoreHandler(h, scorer, setID, r.cutoff(cut))
+		d, exact := r.scoreHandler(h, cs, vals, setID, r.cutoff(cut))
 		if d < bestD {
 			bestD, bestH, bestExact = d, h, exact
 		}
@@ -701,13 +704,15 @@ func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64
 }
 
 // scoreHandler scores one concrete handler over the iteration's segment
-// set, going through the canonical-handler memo cache. Exact cache hits
-// return the true distance; lower-bound entries may only settle lookups
-// they already dominate (entry >= cutoff), otherwise the handler is
-// rescored under the caller's cutoff and the cache entry improves.
-func (r *runState) scoreHandler(h *dsl.Node, scorer *replay.Scorer, setID uint64, cutoff float64) (float64, bool) {
+// set, going through the canonical-handler memo cache. h is the bound tree
+// (the memo key's canonical form); cs and vals are its executable form —
+// the sketch's program with vals patched into the constant pool. Exact
+// cache hits return the true distance; lower-bound entries may only settle
+// lookups they already dominate (entry >= cutoff), otherwise the handler
+// is rescored under the caller's cutoff and the cache entry improves.
+func (r *runState) scoreHandler(h *dsl.Node, cs *replay.CompiledSketch, vals []float64, setID uint64, cutoff float64) (float64, bool) {
 	if r.opts.ExactScoring {
-		d, _ := scorer.Score(h, math.Inf(1))
+		d, _ := cs.Score(vals, math.Inf(1))
 		return d, true
 	}
 	key := handlerKey(h, setID)
@@ -722,7 +727,7 @@ func (r *runState) scoreHandler(h *dsl.Node, scorer *replay.Scorer, setID uint64
 		}
 	}
 	r.cCacheMisses.Inc()
-	d, exact := scorer.Score(h, cutoff)
+	d, exact := cs.Score(vals, cutoff)
 	r.cache.put(key, d, exact)
 	return d, exact
 }

@@ -69,7 +69,7 @@ func TestSynthesizeRenoFindsRenoShape(t *testing.T) {
 	}
 	// The winning handler must involve reno-inc (or the equivalent
 	// acked*mss/cwnd structure) and beat a constant-window handler.
-	constD := replay.TotalDistance(dsl.MustParse("cwnd"), segs, dist.DTW{})
+	constD, _ := replay.NewScorer(segs, dist.DTW{}).Score(dsl.MustParse("cwnd"), math.Inf(1))
 	if !(res.Distance < constD) {
 		t.Errorf("synthesized %q distance %.1f not better than frozen window %.1f",
 			res.Handler, res.Distance, constD)
@@ -361,7 +361,7 @@ func TestVegasTraceGetsVegasStructure(t *testing.T) {
 	}
 	// Vegas holds a near-flat window between losses; the synthesized
 	// handler must track the trace far better than Reno's +1/RTT growth.
-	renoD := replay.TotalDistance(dsl.MustParse("cwnd + reno-inc"), segs, dist.DTW{})
+	renoD, _ := replay.NewScorer(segs, dist.DTW{}).Score(dsl.MustParse("cwnd + reno-inc"), math.Inf(1))
 	if !(res.Distance < renoD) {
 		t.Errorf("vegas synthesis %q (%.1f) not better than reno handler (%.1f)",
 			res.Handler, res.Distance, renoD)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dsl"
 	"repro/internal/obs"
+	"repro/internal/replay"
 )
 
 // TestFastPathMatchesExact is the PR's central promise: with pruning, early
@@ -47,14 +48,20 @@ func TestFastPathMatchesExact(t *testing.T) {
 	}
 }
 
-// TestFastPathCacheAndPruningCounters checks the new instruments: a default
+// TestFastPathCacheAndPruningCounters checks the instruments: a default
 // run must record memo-cache hits (duplicate canonical handlers are common
-// across sketches) and nonzero metric-level pruning work.
+// across sketches), nonzero metric-level pruning work, and — since replay
+// moved to the register VM — compiled programs with prologue-column reuse
+// across each sketch's completions.
 func TestFastPathCacheAndPruningCounters(t *testing.T) {
 	segs := segmentsFor(t, "reno")
 	reg := obs.New()
 	dist.Observe(reg)
 	defer dist.Observe(nil)
+	replay.Observe(reg)
+	defer replay.Observe(nil)
+	dsl.Observe(reg)
+	defer dsl.Observe(nil)
 	opts := quickOpts(dsl.Reno())
 	opts.Obs = reg
 	if _, err := Synthesize(context.Background(), segs, opts); err != nil {
@@ -69,6 +76,19 @@ func TestFastPathCacheAndPruningCounters(t *testing.T) {
 	}
 	if rep.Counters["dist.lb_prunes"]+rep.Counters["dist.early_abandons"] == 0 {
 		t.Error("metric kernels never pruned or abandoned")
+	}
+	if rep.Counters["dsl.progs_compiled"] == 0 {
+		t.Error("no register programs compiled")
+	}
+	if rep.Counters["replay.prologue_hits"] == 0 {
+		t.Error("no prologue-cache hits on an end-to-end run")
+	}
+	if rep.Counters["replay.prologue_hits"] <= rep.Counters["replay.prologue_misses"] {
+		t.Errorf("prologue hits (%d) not dominating misses (%d): completions are not sharing hoisted columns",
+			rep.Counters["replay.prologue_hits"], rep.Counters["replay.prologue_misses"])
+	}
+	if rep.Counters["replay.instrs_executed"] == 0 {
+		t.Error("no VM instructions recorded")
 	}
 }
 

@@ -195,6 +195,31 @@ func PreparedDistanceWithin(m Metric, p *PreparedSeries, b Series, cutoff float6
 	}
 	y := sc.grid[:ResampleN]
 	resampleInto(b, y)
+	return gridDistanceWithin(m, p, y, cutoff, sc)
+}
+
+// PreparedDistanceWithinGrid is PreparedDistanceWithin for a candidate that
+// is already on the common resample grid (via Resampler.Into), skipping the
+// per-call time-vector validation and interpolation merge. It supports only
+// the four built-in metrics (the generic fallback needs the original
+// series) and obeys the same exactness contract.
+func PreparedDistanceWithinGrid(m Metric, p *PreparedSeries, y []float64, cutoff float64, sc *Scratch) (float64, bool) {
+	switch m.(type) {
+	case DTW, Euclidean, Manhattan, Frechet:
+	default:
+		panic("dist: PreparedDistanceWithinGrid requires a built-in metric")
+	}
+	if !p.ok || len(y) != ResampleN {
+		return math.Inf(1), true
+	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	return gridDistanceWithin(m, p, y, cutoff, sc)
+}
+
+// gridDistanceWithin dispatches a resampled candidate to the metric kernels.
+func gridDistanceWithin(m Metric, p *PreparedSeries, y []float64, cutoff float64, sc *Scratch) (float64, bool) {
 	if !finite(y) {
 		return math.Inf(1), true
 	}
@@ -280,9 +305,6 @@ func dtwWithin(x, y []float64, env *Envelope, band int, cutoff float64, prev, cu
 	prev[0] = 0
 	cells := 0
 	for i := 1; i <= n; i++ {
-		for j := range cur {
-			cur[j] = inf
-		}
 		lo, hi := i-band, i+band
 		if lo < 1 {
 			lo = 1
@@ -291,18 +313,34 @@ func dtwWithin(x, y []float64, env *Envelope, band int, cutoff float64, prev, cu
 			hi = m
 		}
 		cells += hi - lo + 1
+		// Each row writes only its band [lo, hi], and rows i and i+1 read at
+		// most one cell either side of it, so clearing the two edge slots
+		// stands in for wiping the whole row.
+		cur[lo-1] = inf
+		if hi < m {
+			cur[hi+1] = inf
+		}
 		rowMin := inf
-		for j := lo; j <= hi; j++ {
-			cost := math.Abs(x[i-1] - y[j-1])
-			best := prev[j] // insertion
-			if prev[j-1] < best {
-				best = prev[j-1] // match
+		xv := x[i-1]
+		pj1 := prev[lo-1] // prev[j-1], carried across iterations
+		cj1 := inf        // cur[j-1], likewise (cur[lo-1] == inf)
+		// Equal-length band views let the compiler drop the bounds checks.
+		cc := cur[lo : hi+1]
+		py := prev[lo : hi+1][:len(cc)]
+		yy := y[lo-1 : hi][:len(cc)]
+		for k := range cc {
+			pj := py[k]
+			best := pj // insertion
+			if pj1 < best {
+				best = pj1 // match
 			}
-			if cur[j-1] < best {
-				best = cur[j-1] // deletion
+			if cj1 < best {
+				best = cj1 // deletion
 			}
-			v := cost + best
-			cur[j] = v
+			v := math.Abs(xv-yy[k]) + best
+			cc[k] = v
+			cj1 = v
+			pj1 = pj
 			if v < rowMin {
 				rowMin = v
 			}

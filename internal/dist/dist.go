@@ -123,6 +123,90 @@ func resampleInto(s Series, out []float64) {
 	}
 }
 
+// Resampler precomputes the interpolation schedule resampleInto derives
+// from a series' time vector. Scoring loops replay many candidate value
+// series over one segment's fixed sample times, so the left sample index
+// and fraction for each grid point can be computed once per segment and
+// reused; Into then produces bit-for-bit the values resampleInto would for
+// Series{Times: times, Values: values}.
+type Resampler struct {
+	idx   []int32
+	frac  []float64 // < 0: copy values[idx] verbatim (zero-span interval)
+	n     int       // required len(values)
+	bcast bool      // degenerate times: broadcast values[0] (or 0 when empty)
+}
+
+// NewResampler builds the schedule for a fixed, non-decreasing time vector.
+// It returns nil for unsorted times — such series always score +Inf, so
+// callers fall back to the validating Series path.
+func NewResampler(times []float64) *Resampler {
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return nil
+		}
+	}
+	r := &Resampler{n: len(times)}
+	if len(times) <= 1 || times[len(times)-1] <= times[0] {
+		r.bcast = true
+		return r
+	}
+	r.idx = make([]int32, ResampleN)
+	r.frac = make([]float64, ResampleN)
+	t0, t1 := times[0], times[len(times)-1]
+	j := 0
+	for i := 0; i < ResampleN; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(ResampleN-1)
+		for j < len(times)-2 && times[j+1] < t {
+			j++
+		}
+		r.idx[i] = int32(j)
+		ta, tb := times[j], times[j+1]
+		if tb <= ta {
+			r.frac[i] = -1
+			continue
+		}
+		frac := (t - ta) / (tb - ta)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		r.frac[i] = frac
+	}
+	return r
+}
+
+// Into resamples values — observed at the schedule's times — onto out.
+// len(values) must match the time vector the Resampler was built from and
+// len(out) must be ResampleN.
+func (r *Resampler) Into(values, out []float64) {
+	if len(values) != r.n || len(out) != ResampleN {
+		panic("dist: Resampler length mismatch")
+	}
+	if r.bcast {
+		v := 0.0
+		if r.n > 0 {
+			v = values[0]
+		}
+		for i := range out {
+			out[i] = v
+		}
+		return
+	}
+	idx, frac := r.idx, r.frac
+	for i := range out {
+		j := idx[i]
+		f := frac[i]
+		va := values[j]
+		if f < 0 {
+			out[i] = va
+			continue
+		}
+		out[i] = va + f*(values[j+1]-va)
+	}
+}
+
 // Metric measures how far apart two congestion-window traces are. Lower is
 // closer. Implementations return +Inf for malformed input or series
 // containing non-finite values.

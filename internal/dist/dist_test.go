@@ -115,6 +115,68 @@ func TestResampleDegenerate(t *testing.T) {
 	}
 }
 
+// TestResamplerMatchesResampleInto pins the precomputed-schedule fast path:
+// for any sorted time vector, Resampler.Into must reproduce resampleInto
+// bit for bit — including zero-span intervals and degenerate vectors — and
+// the grid-input distance entry point must match the Series one exactly.
+func TestResamplerMatchesResampleInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	timeSets := [][]float64{
+		{},
+		{3},
+		{1, 1},
+		{0, 1, 2, 3, 4},
+		{0, 0, 0.5, 0.5, 2, 2, 2, 7},
+	}
+	jitter := make([]float64, 300)
+	tv := 0.0
+	for i := range jitter {
+		tv += rng.Float64()
+		if rng.Intn(5) == 0 && i > 0 {
+			tv = jitter[i-1] // repeated timestamps
+		}
+		jitter[i] = tv
+	}
+	timeSets = append(timeSets, jitter)
+	ref := Prepare(DTW{}, ramp(100, 1.2, 3))
+	for ti, times := range timeSets {
+		r := NewResampler(times)
+		if r == nil {
+			t.Fatalf("times[%d]: NewResampler returned nil for sorted times", ti)
+		}
+		values := make([]float64, len(times))
+		for i := range values {
+			values[i] = rng.Float64()*50 - 10
+		}
+		s := Series{Times: times, Values: values}
+		want := make([]float64, ResampleN)
+		resampleInto(s, want)
+		got := make([]float64, ResampleN)
+		r.Into(values, got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("times[%d] grid[%d]: Into %v != resampleInto %v", ti, i, got[i], want[i])
+			}
+		}
+		if len(times) == 0 {
+			continue
+		}
+		for _, m := range Metrics() {
+			for _, cutoff := range []float64{math.Inf(1), 5, 0.5} {
+				dS, eS := PreparedDistanceWithin(m, ref, s, cutoff, nil)
+				dG, eG := PreparedDistanceWithinGrid(m, ref, got, cutoff, nil)
+				if math.Float64bits(dS) != math.Float64bits(dG) || eS != eG {
+					t.Errorf("times[%d] %s cutoff %v: series (%v,%v) != grid (%v,%v)",
+						ti, m.Name(), cutoff, dS, eS, dG, eG)
+				}
+			}
+		}
+	}
+	if r := NewResampler([]float64{2, 1}); r != nil {
+		t.Error("NewResampler accepted unsorted times")
+	}
+}
+
 func TestMalformedSeriesGivesInf(t *testing.T) {
 	good := ramp(100, 1, 0)
 	bad := Series{Times: []float64{1, 0}, Values: []float64{1, 2}} // unsorted

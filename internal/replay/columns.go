@@ -1,0 +1,32 @@
+package replay
+
+import (
+	"repro/internal/dsl"
+	"repro/internal/trace"
+)
+
+// NewCols lays a segment's per-ACK signals out as structure-of-arrays
+// columns for the register VM: one []float64 per Signal (MSS broadcast),
+// with the same values — including the effectiveRTT fallback chain — as
+// Envs, so the columnar and Env-based replay paths see identical inputs.
+func NewCols(seg *trace.Segment) *dsl.Cols {
+	n := len(seg.Samples)
+	c := &dsl.Cols{N: n}
+	for s := range c.Sig {
+		c.Sig[s] = make([]float64, n)
+	}
+	segMin := segmentMinRTT(seg)
+	for i := range seg.Samples {
+		smp := &seg.Samples[i]
+		c.Sig[dsl.SigMSS][i] = seg.MSS
+		c.Sig[dsl.SigAcked][i] = smp.Acked
+		c.Sig[dsl.SigTimeSinceLoss][i] = smp.TimeSinceLoss.Seconds()
+		c.Sig[dsl.SigRTT][i] = effectiveRTT(smp, segMin)
+		c.Sig[dsl.SigMinRTT][i] = smp.MinRTT.Seconds()
+		c.Sig[dsl.SigMaxRTT][i] = smp.MaxRTT.Seconds()
+		c.Sig[dsl.SigAckRate][i] = smp.AckRate
+		c.Sig[dsl.SigRTTGradient][i] = smp.RTTGradient
+		c.Sig[dsl.SigWMax][i] = smp.WMax
+	}
+	return c
+}

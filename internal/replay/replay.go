@@ -22,19 +22,28 @@ import (
 // process-wide; the atomic pointers make installation safe against
 // concurrent replays, and a nil counter (no registry installed) no-ops.
 var (
-	cReplays  atomic.Pointer[obs.Counter]
-	cDiverged atomic.Pointer[obs.Counter]
+	cReplays   atomic.Pointer[obs.Counter]
+	cDiverged  atomic.Pointer[obs.Counter]
+	cProHits   atomic.Pointer[obs.Counter]
+	cProMisses atomic.Pointer[obs.Counter]
+	cInstrs    atomic.Pointer[obs.Counter]
 )
 
 // Observe routes the package's instruments to the registry:
 //
 //	counters  replay.replays (handler replays executed),
-//	          replay.diverged (replays aborted on non-finite windows)
+//	          replay.diverged (replays aborted on non-finite windows),
+//	          replay.prologue_hits / replay.prologue_misses (reuse of
+//	          hoisted per-(sketch, segment) prologue columns),
+//	          replay.instrs_executed (VM instructions run by EvalSeries)
 //
 // Passing nil uninstalls them. Process-wide; call once at tool startup.
 func Observe(r *obs.Registry) {
 	cReplays.Store(r.Counter("replay.replays"))
 	cDiverged.Store(r.Counter("replay.diverged"))
+	cProHits.Store(r.Counter("replay.prologue_hits"))
+	cProMisses.Store(r.Counter("replay.prologue_misses"))
+	cInstrs.Store(r.Counter("replay.instrs_executed"))
 }
 
 // Window guards: a handler may compute nonsense transiently; the replay
@@ -53,25 +62,51 @@ var ErrDiverged = errors.New("replay: handler diverged (non-finite window)")
 // handler's own evolving state at each step.
 func Envs(seg *trace.Segment) []dsl.Env {
 	envs := make([]dsl.Env, len(seg.Samples))
+	segMin := segmentMinRTT(seg)
 	for i, s := range seg.Samples {
 		envs[i] = dsl.Env{
 			MSS:           seg.MSS,
 			Acked:         s.Acked,
 			TimeSinceLoss: s.TimeSinceLoss.Seconds(),
-			RTT:           s.RTT.Seconds(),
+			RTT:           effectiveRTT(&s, segMin),
 			MinRTT:        s.MinRTT.Seconds(),
 			MaxRTT:        s.MaxRTT.Seconds(),
 			AckRate:       s.AckRate,
 			RTTGradient:   s.RTTGradient,
 			WMax:          s.WMax,
 		}
-		if envs[i].RTT == 0 {
-			// Not every ACK carries a fresh RTT sample; fall back to the
-			// running minimum so handlers never divide by zero here.
-			envs[i].RTT = s.MinRTT.Seconds()
-		}
 	}
 	return envs
+}
+
+// effectiveRTT returns the RTT a handler sees at one sample. Not every ACK
+// carries a fresh RTT measurement, and on the first samples of a capture
+// even the running minimum may still be zero; the chain RTT → MinRTT →
+// segment-wide minimum keeps `rtt` (and so rtts-since-loss) from dividing
+// by zero and spuriously diverging a handler with Inf.
+func effectiveRTT(s *trace.Sample, segMin float64) float64 {
+	if rtt := s.RTT.Seconds(); rtt != 0 {
+		return rtt
+	}
+	if min := s.MinRTT.Seconds(); min != 0 {
+		return min
+	}
+	return segMin
+}
+
+// segmentMinRTT is the last resort of the effectiveRTT chain: the smallest
+// positive RTT (or, failing that, MinRTT) anywhere in the segment. Zero
+// only when the segment carries no RTT information at all.
+func segmentMinRTT(seg *trace.Segment) float64 {
+	min := 0.0
+	for i := range seg.Samples {
+		for _, v := range [2]float64{seg.Samples[i].RTT.Seconds(), seg.Samples[i].MinRTT.Seconds()} {
+			if v > 0 && (min == 0 || v < min) {
+				min = v
+			}
+		}
+	}
+	return min
 }
 
 // Synthesize replays the handler over the segment and returns the

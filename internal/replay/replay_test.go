@@ -38,14 +38,14 @@ func renoSegments(t *testing.T) []*trace.Segment {
 func TestSynthesizeRenoHandlerTracksTrace(t *testing.T) {
 	segs := renoSegments(t)
 	h := dsl.MustParse("cwnd + reno-inc")
-	m := dist.DTW{}
+	sc := NewScorer(segs, dist.DTW{})
 	// The true-family handler should be close; an absurd handler far.
-	good := TotalDistance(h, segs, m)
-	bad := TotalDistance(dsl.MustParse("mss"), segs, m)
+	good, _ := sc.Score(h, math.Inf(1))
+	bad, _ := sc.Score(dsl.MustParse("mss"), math.Inf(1))
 	if !(good < bad) {
 		t.Errorf("reno handler distance %.2f not below constant-window distance %.2f", good, bad)
 	}
-	crazy := TotalDistance(dsl.MustParse("cwnd + cwnd"), segs, m)
+	crazy, _ := sc.Score(dsl.MustParse("cwnd + cwnd"), math.Inf(1))
 	if !(good < crazy) {
 		t.Errorf("reno handler distance %.2f not below doubling handler %.2f", good, crazy)
 	}
@@ -91,10 +91,11 @@ func TestDivergingHandler(t *testing.T) {
 	if _, err := Synthesize(h, segs[0]); err == nil {
 		t.Error("divide-by-zero handler did not diverge")
 	}
-	if d := Distance(h, segs[0], dist.DTW{}); !math.IsInf(d, 1) {
+	sc := NewScorer(segs, dist.DTW{})
+	if d, _ := sc.SegmentScore(h, 0, math.Inf(1)); !math.IsInf(d, 1) {
 		t.Errorf("diverging handler distance = %v, want +Inf", d)
 	}
-	if d := TotalDistance(h, segs, dist.DTW{}); !math.IsInf(d, 1) {
+	if d, _ := sc.Score(h, math.Inf(1)); !math.IsInf(d, 1) {
 		t.Errorf("diverging handler total = %v, want +Inf", d)
 	}
 }
@@ -123,6 +124,33 @@ func TestEnvsFallBackRTT(t *testing.T) {
 	}
 }
 
+// TestEnvsFallBackSegmentMinRTT: on the first samples of a capture even
+// MinRTT can still be zero; the fallback chain must reach the segment-wide
+// minimum so rtts-since-loss does not divide by zero and spuriously
+// diverge a handler.
+func TestEnvsFallBackSegmentMinRTT(t *testing.T) {
+	seg := &trace.Segment{MSS: 1448, Samples: []trace.Sample{
+		{Time: 0, Cwnd: 2 * 1448, Acked: 1448, TimeSinceLoss: time.Second},
+		{Time: time.Millisecond, Cwnd: 2 * 1448, Acked: 1448, RTT: 50 * time.Millisecond,
+			MinRTT: 40 * time.Millisecond, TimeSinceLoss: time.Second},
+	}}
+	envs := Envs(seg)
+	if envs[0].RTT != 0.040 {
+		t.Errorf("RTT-less first sample = %v, want segment minimum 0.040", envs[0].RTT)
+	}
+	h := dsl.MustParse("cwnd + mss*rtts-since-loss")
+	if _, err := Synthesize(h, seg); err != nil {
+		t.Errorf("rtts-since-loss diverged on RTT-less first sample: %v", err)
+	}
+	// The columnar layout must see the same fallback.
+	cols := NewCols(seg)
+	for i := range seg.Samples {
+		if cols.Sig[dsl.SigRTT][i] != envs[i].RTT {
+			t.Errorf("cols RTT[%d] = %v != env RTT %v", i, cols.Sig[dsl.SigRTT][i], envs[i].RTT)
+		}
+	}
+}
+
 func TestSynthesizeEnvsMismatch(t *testing.T) {
 	segs := renoSegments(t)
 	if _, err := SynthesizeEnvs(dsl.Cwnd(), segs[0], nil); err == nil {
@@ -130,14 +158,26 @@ func TestSynthesizeEnvsMismatch(t *testing.T) {
 	}
 }
 
-func TestDistanceEnvsMatchesDistance(t *testing.T) {
+// TestDeprecatedWrappersMatchScorer keeps the deprecated entry points
+// honest: every wrapper must agree bit-for-bit with the Scorer it now
+// routes through (in-repo callers have all migrated to Scorer).
+func TestDeprecatedWrappersMatchScorer(t *testing.T) {
 	segs := renoSegments(t)
-	h := dsl.MustParse("cwnd + reno-inc")
 	m := dist.DTW{}
-	d1 := Distance(h, segs[0], m)
-	d2 := DistanceEnvs(h, segs[0], Envs(segs[0]), segs[0].Series(), m)
-	if d1 != d2 {
-		t.Errorf("Distance %v != DistanceEnvs %v", d1, d2)
+	sc := NewScorer(segs, m)
+	for _, src := range []string{"cwnd + reno-inc", "mss", "cwnd/(acked - acked)"} {
+		h := dsl.MustParse(src)
+		total, _ := sc.Score(h, math.Inf(1))
+		if got := TotalDistance(h, segs, m); got != total {
+			t.Errorf("%q: TotalDistance %v != Score %v", src, got, total)
+		}
+		seg0, _ := sc.SegmentScore(h, 0, math.Inf(1))
+		if got := Distance(h, segs[0], m); got != seg0 {
+			t.Errorf("%q: Distance %v != SegmentScore %v", src, got, seg0)
+		}
+		if got := DistanceEnvs(h, segs[0], Envs(segs[0]), segs[0].Series(), m); got != seg0 {
+			t.Errorf("%q: DistanceEnvs %v != SegmentScore %v", src, got, seg0)
+		}
 	}
 }
 
@@ -146,9 +186,9 @@ func TestBetterConstantScoresBetter(t *testing.T) {
 	// should beat a far-off constant (0.1x) — the property Figure 3's
 	// constant-error sweep relies on.
 	segs := renoSegments(t)
-	m := dist.DTW{}
-	right := TotalDistance(dsl.MustParse("cwnd + reno-inc"), segs, m)
-	wrong := TotalDistance(dsl.MustParse("cwnd + 0.1*reno-inc"), segs, m)
+	sc := NewScorer(segs, dist.DTW{})
+	right, _ := sc.Score(dsl.MustParse("cwnd + reno-inc"), math.Inf(1))
+	wrong, _ := sc.Score(dsl.MustParse("cwnd + 0.1*reno-inc"), math.Inf(1))
 	if !(right < wrong) {
 		t.Errorf("true constant %.2f not better than 0.1x %.2f", right, wrong)
 	}

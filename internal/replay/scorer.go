@@ -11,11 +11,14 @@ import (
 
 // Scorer scores candidate handlers against a fixed segment set. It is
 // built once per segment set and owns everything that is invariant across
-// candidates: the per-ACK evaluation environments, the observed series
-// resampled onto the metric grid, and (for DTW) the LB_Keogh envelopes.
-// Per-candidate buffers — the synthesized series and the metric DP rows —
-// come from a sync.Pool, so concurrent scoring workers neither allocate
-// per call nor contend.
+// candidates: the segments' signals as structure-of-arrays columns, the
+// sample time grids, the observed series resampled onto the metric grid,
+// and (for DTW) the LB_Keogh envelopes. Handlers execute on the register
+// VM (dsl.CompileProgram): programs are cached keyed on the expression's
+// canonical form, and each program's window-free prologue columns are
+// computed once per (sketch, segment) and reused by every completion —
+// see CompileSketch. Per-candidate buffers come from a sync.Pool, so
+// concurrent scoring workers neither allocate per call nor contend.
 //
 // Score is threshold-aware: segments accumulate into a running total and
 // both the per-segment metric kernels and the cross-segment sum abandon
@@ -24,16 +27,39 @@ import (
 type Scorer struct {
 	metric   dist.Metric
 	segs     []*trace.Segment
-	envs     [][]dsl.Env
+	cols     []*dsl.Cols
+	times    [][]float64
+	cwnd0    []float64
+	mss      []float64
 	prepared []*dist.PreparedSeries
+	res      []*dist.Resampler // per-segment grid schedules (nil: Series path)
 	pool     sync.Pool
+
+	mu    sync.Mutex
+	progs map[string]*compiledEntry
+}
+
+// progCacheCap bounds the compiled-program cache. A synthesis iteration
+// scores a few hundred sketches; one cached entry holds a program plus its
+// per-segment prologue columns, so the cap keeps the worst case small
+// while still covering every live sketch of an iteration.
+const progCacheCap = 512
+
+// compiledEntry is one cached program with its lazily-filled per-segment
+// prologues. Entries are never mutated after eviction, so a CompiledSketch
+// holding one stays valid even if the cache drops it.
+type compiledEntry struct {
+	prog *dsl.Program
+	mu   sync.Mutex
+	pros []*dsl.Prologue
 }
 
 // scorerScratch is one worker's reusable buffers.
 type scorerScratch struct {
-	times  []float64
 	values []float64
+	grid   []float64 // candidate resampled onto the metric grid
 	dist   *dist.Scratch
+	exec   *dsl.Exec
 }
 
 // NewScorer prepares a scorer for the segment set under the metric (nil
@@ -45,14 +71,44 @@ func NewScorer(segs []*trace.Segment, m dist.Metric) *Scorer {
 	s := &Scorer{
 		metric:   m,
 		segs:     segs,
-		envs:     make([][]dsl.Env, len(segs)),
+		cols:     make([]*dsl.Cols, len(segs)),
+		times:    make([][]float64, len(segs)),
+		cwnd0:    make([]float64, len(segs)),
+		mss:      make([]float64, len(segs)),
 		prepared: make([]*dist.PreparedSeries, len(segs)),
+		res:      make([]*dist.Resampler, len(segs)),
+		progs:    make(map[string]*compiledEntry),
+	}
+	// The grid fast path hands pre-resampled candidates straight to the
+	// built-in metric kernels; other metrics keep the validating Series path.
+	gridOK := false
+	switch m.(type) {
+	case dist.DTW, dist.Euclidean, dist.Manhattan, dist.Frechet:
+		gridOK = true
 	}
 	for i, seg := range segs {
-		s.envs[i] = Envs(seg)
+		s.cols[i] = NewCols(seg)
+		times := make([]float64, len(seg.Samples))
+		for j := range seg.Samples {
+			times[j] = seg.Samples[j].Time.Seconds()
+		}
+		s.times[i] = times
+		if len(seg.Samples) > 0 {
+			s.cwnd0[i] = math.Max(seg.Samples[0].Cwnd, seg.MSS)
+		}
+		s.mss[i] = seg.MSS
 		s.prepared[i] = dist.Prepare(m, seg.Series())
+		if gridOK && len(times) > 0 {
+			s.res[i] = dist.NewResampler(times) // nil when times are unsorted
+		}
 	}
-	s.pool.New = func() any { return &scorerScratch{dist: dist.NewScratch()} }
+	s.pool.New = func() any {
+		return &scorerScratch{
+			grid: make([]float64, dist.ResampleN),
+			dist: dist.NewScratch(),
+			exec: dsl.NewExec(),
+		}
+	}
 	return s
 }
 
@@ -62,6 +118,41 @@ func (s *Scorer) Metric() dist.Metric { return s.metric }
 // Segments returns the segment set the scorer was built over.
 func (s *Scorer) Segments() []*trace.Segment { return s.segs }
 
+// CompiledSketch is a sketch (or bound handler) compiled against one
+// Scorer: the register program plus the scorer's cached per-segment
+// prologue columns. Completions of the sketch are scored by patching their
+// constants into the program's pool — no recompilation, no redundant
+// window-free arithmetic. Safe for concurrent use.
+type CompiledSketch struct {
+	s *Scorer
+	e *compiledEntry
+}
+
+// CompileSketch compiles the expression for this scorer's segment set,
+// reusing a cached program when the same canonical form was seen before.
+// vals passed to Score/SegmentScore later fill the sketch's holes in Bind
+// order (nil for a fully bound expression).
+func (s *Scorer) CompileSketch(sk *dsl.Node) *CompiledSketch {
+	key := sk.Key()
+	s.mu.Lock()
+	e, ok := s.progs[key]
+	if !ok {
+		if len(s.progs) >= progCacheCap {
+			for k := range s.progs { // drop an arbitrary entry
+				delete(s.progs, k)
+				break
+			}
+		}
+		e = &compiledEntry{
+			prog: dsl.CompileProgram(sk),
+			pros: make([]*dsl.Prologue, len(s.segs)),
+		}
+		s.progs[key] = e
+	}
+	s.mu.Unlock()
+	return &CompiledSketch{s: s, e: e}
+}
+
 // Score sums the handler's per-segment distances — the same value as the
 // deprecated TotalDistance — abandoning once the running total is provably
 // >= cutoff. The second result reports exactness: true means the value is
@@ -70,16 +161,31 @@ func (s *Scorer) Segments() []*trace.Segment { return s.segs }
 // cutoff — rely on the flag, not a comparison). Score is safe for
 // concurrent use.
 func (s *Scorer) Score(h *dsl.Node, cutoff float64) (float64, bool) {
+	return s.CompileSketch(h).Score(nil, cutoff)
+}
+
+// SegmentScore scores the handler against segment i alone, under the same
+// contract as Score. Callers needing per-segment distances (Figure 4's
+// per-segment breakdown) use this instead of re-preparing the segment.
+// The compiled program is cached, so repeated calls with the same handler
+// do not recompile.
+func (s *Scorer) SegmentScore(h *dsl.Node, i int, cutoff float64) (float64, bool) {
+	return s.CompileSketch(h).SegmentScore(nil, i, cutoff)
+}
+
+// Score scores one completion of the sketch (vals in Bind order; nil for a
+// bound expression) under the Scorer.Score contract.
+func (cs *CompiledSketch) Score(vals []float64, cutoff float64) (float64, bool) {
+	s := cs.s
 	sc := s.pool.Get().(*scorerScratch)
 	defer s.pool.Put(sc)
-	fn := dsl.Compile(h)
 	var total float64
 	last := len(s.segs) - 1
 	for i := range s.segs {
 		// The sub-cutoff over-approximates cutoff-total by a ulp so a
 		// segment is never abandoned when the true total is < cutoff.
 		segCut := math.Nextafter(cutoff-total, math.Inf(1))
-		d, exact := s.segmentScore(fn, i, segCut, sc)
+		d, exact := cs.segmentScore(vals, i, segCut, sc)
 		if !exact {
 			return total + d, false
 		}
@@ -94,61 +200,67 @@ func (s *Scorer) Score(h *dsl.Node, cutoff float64) (float64, bool) {
 	return total, true
 }
 
-// SegmentScore scores the handler against segment i alone, under the same
-// contract as Score. Callers needing per-segment distances (Figure 4's
-// per-segment breakdown) use this instead of re-preparing the segment.
-func (s *Scorer) SegmentScore(h *dsl.Node, i int, cutoff float64) (float64, bool) {
+// SegmentScore scores one completion against segment i alone, under the
+// same contract as Score.
+func (cs *CompiledSketch) SegmentScore(vals []float64, i int, cutoff float64) (float64, bool) {
+	s := cs.s
 	sc := s.pool.Get().(*scorerScratch)
 	defer s.pool.Put(sc)
-	return s.segmentScore(dsl.Compile(h), i, cutoff, sc)
+	return cs.segmentScore(vals, i, cutoff, sc)
 }
 
-func (s *Scorer) segmentScore(fn dsl.EvalFunc, i int, cutoff float64, sc *scorerScratch) (float64, bool) {
-	synth, ok := s.synthesize(fn, i, sc)
-	if !ok {
-		return math.Inf(1), true
+// prologue returns segment i's hoisted output columns, computing them on
+// first use. The hit/miss counters are the PR's headline instrument: every
+// hit is a (sketch, segment) replay whose window-free arithmetic was
+// skipped entirely.
+func (cs *CompiledSketch) prologue(i int) *dsl.Prologue {
+	e := cs.e
+	e.mu.Lock()
+	p := e.pros[i]
+	if p == nil {
+		p = e.prog.RunPrologue(cs.s.cols[i])
+		e.pros[i] = p
+		e.mu.Unlock()
+		cProMisses.Load().Inc()
+		cInstrs.Load().Add(int64(e.prog.PrologueLen()) * int64(cs.s.cols[i].N))
+		return p
 	}
-	return dist.PreparedDistanceWithin(s.metric, s.prepared[i], synth, cutoff, sc.dist)
+	e.mu.Unlock()
+	cProHits.Load().Inc()
+	return p
 }
 
-// synthesize replays the compiled handler over segment i into sc's
-// buffers; the returned series aliases the scratch and is only valid until
-// the scratch's next use. Mirrors SynthesizeEnvs exactly (same clamping,
-// same divergence accounting) so Scorer scores match the deprecated
-// wrappers bit for bit.
-func (s *Scorer) synthesize(fn dsl.EvalFunc, i int, sc *scorerScratch) (dist.Series, bool) {
-	seg := s.segs[i]
-	envs := s.envs[i]
-	n := len(envs)
+// segmentScore replays the program over segment i into sc's buffers and
+// measures the synthesized series against the prepared observed one.
+// Mirrors SynthesizeEnvs exactly (same clamping, same divergence
+// accounting) so Scorer scores match the closure path bit for bit.
+func (cs *CompiledSketch) segmentScore(vals []float64, i int, cutoff float64, sc *scorerScratch) (float64, bool) {
+	s := cs.s
+	n := s.cols[i].N
 	if n == 0 {
-		return dist.Series{}, true
+		return dist.PreparedDistanceWithin(s.metric, s.prepared[i], dist.Series{}, cutoff, sc.dist)
 	}
 	cReplays.Load().Inc()
-	if cap(sc.times) < n {
-		sc.times = make([]float64, n)
+	if cap(sc.values) < n {
 		sc.values = make([]float64, n)
 	}
-	times := sc.times[:n]
 	values := sc.values[:n]
-	cwnd := seg.Samples[0].Cwnd
-	if cwnd < seg.MSS {
-		cwnd = seg.MSS
+	prog := cs.e.prog
+	rows, ok := prog.EvalSeries(s.cols[i], cs.prologue(i), vals,
+		s.cwnd0[i], minCwndPkts*s.mss[i], maxCwndPkts*s.mss[i], s.mss[i], values, sc.exec)
+	cInstrs.Load().Add(int64(rows) * int64(prog.SuffixLen()))
+	if !ok {
+		cDiverged.Load().Inc()
+		return math.Inf(1), true
 	}
-	mss := seg.MSS
-	// env is hoisted out of the loop: fn takes it by pointer, so a
-	// loop-local would escape and heap-allocate once per ACK sample.
-	var env dsl.Env
-	for j := range envs {
-		env = envs[j]
-		env.Cwnd = cwnd
-		v, ok := fn(&env)
-		if !ok {
-			cDiverged.Load().Inc()
-			return dist.Series{}, false
-		}
-		cwnd = clamp(v, minCwndPkts*mss, maxCwndPkts*mss)
-		times[j] = seg.Samples[j].Time.Seconds()
-		values[j] = cwnd / mss
+	if r := s.res[i]; r != nil {
+		// The segment's time vector is fixed, so the interpolation schedule
+		// was precomputed in NewScorer: resampling a candidate is a weighted
+		// gather instead of a validate + merge per call. Values are identical
+		// to the Series path's, so scores stay bit-for-bit equal.
+		r.Into(values, sc.grid)
+		return dist.PreparedDistanceWithinGrid(s.metric, s.prepared[i], sc.grid, cutoff, sc.dist)
 	}
-	return dist.Series{Times: times, Values: values}, true
+	synth := dist.Series{Times: s.times[i], Values: values}
+	return dist.PreparedDistanceWithin(s.metric, s.prepared[i], synth, cutoff, sc.dist)
 }

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/dsl"
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 var scorerHandlers = []string{
@@ -18,11 +20,28 @@ var scorerHandlers = []string{
 	"cwnd",
 }
 
-// TestScorerMatchesTotalDistance: with no cutoff, Score must reproduce the
-// deprecated TotalDistance bit for bit for every metric — the wrappers now
-// route through Scorer, so also cross-check against a hand-summed loop over
-// Distance on single-segment scorers.
-func TestScorerMatchesTotalDistance(t *testing.T) {
+// closureTotal is the pre-VM reference path: replay via the Compile
+// closure (SynthesizeEnvs) and measure with the metric's plain Distance.
+// The register-VM Scorer must reproduce it bit for bit.
+func closureTotal(h *dsl.Node, segs []*trace.Segment, m dist.Metric) float64 {
+	var total float64
+	for _, seg := range segs {
+		synth, err := SynthesizeEnvs(h, seg, Envs(seg))
+		if err != nil {
+			return math.Inf(1)
+		}
+		total += m.Distance(seg.Series(), synth)
+		if math.IsInf(total, 1) {
+			return total
+		}
+	}
+	return total
+}
+
+// TestScorerMatchesClosurePath: with no cutoff, the VM-backed Score must
+// reproduce the closure replay path bit for bit for every metric on real
+// traces — the end-to-end form of the FuzzProgramVsEval exactness promise.
+func TestScorerMatchesClosurePath(t *testing.T) {
 	segs := renoSegments(t)
 	for _, m := range dist.Metrics() {
 		sc := NewScorer(segs, m)
@@ -32,28 +51,102 @@ func TestScorerMatchesTotalDistance(t *testing.T) {
 			if !exact {
 				t.Fatalf("%s %q: Score(+Inf) not exact", m.Name(), src)
 			}
-			if want := TotalDistance(h, segs, m); got != want {
-				t.Errorf("%s %q: Score %v != TotalDistance %v", m.Name(), src, got, want)
+			if want := closureTotal(h, segs, m); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s %q: Score %v != closure path %v", m.Name(), src, got, want)
 			}
 		}
 	}
 }
 
-// TestSegmentScoreMatchesDistance checks the per-segment entry point against
-// the deprecated per-segment wrapper.
-func TestSegmentScoreMatchesDistance(t *testing.T) {
+// TestSegmentScoreMatchesClosurePath checks the per-segment entry point
+// against the closure replay of that segment alone.
+func TestSegmentScoreMatchesClosurePath(t *testing.T) {
 	segs := renoSegments(t)
 	m := dist.DTW{}
 	sc := NewScorer(segs, m)
 	h := dsl.MustParse("cwnd + reno-inc")
-	for i, seg := range segs {
+	for i := range segs {
 		got, exact := sc.SegmentScore(h, i, math.Inf(1))
 		if !exact {
 			t.Fatalf("segment %d: not exact at +Inf", i)
 		}
-		if want := Distance(h, seg, m); got != want {
-			t.Errorf("segment %d: SegmentScore %v != Distance %v", i, got, want)
+		if want := closureTotal(h, segs[i:i+1], m); got != want {
+			t.Errorf("segment %d: SegmentScore %v != closure %v", i, got, want)
 		}
+	}
+}
+
+// TestScorerCompilesOncePerSketch pins the satellite fix: repeated Score /
+// SegmentScore calls with the same canonical expression must hit the
+// scorer's program cache instead of recompiling per call.
+func TestScorerCompilesOncePerSketch(t *testing.T) {
+	segs := renoSegments(t)
+	reg := obs.New()
+	dsl.Observe(reg)
+	defer dsl.Observe(nil)
+	sc := NewScorer(segs, dist.DTW{})
+	h := dsl.MustParse("cwnd + 0.7*reno-inc")
+	for i := 0; i < 5; i++ {
+		sc.Score(h, math.Inf(1))
+		for j := range segs {
+			sc.SegmentScore(h, j, math.Inf(1))
+		}
+	}
+	if got := reg.Report().Counters["dsl.progs_compiled"]; got != 1 {
+		t.Errorf("dsl.progs_compiled = %d across repeated scoring, want 1", got)
+	}
+}
+
+// TestPrologueCacheAcrossCompletions is the tentpole's correctness test:
+// scoring many completions of one sketch through CompileSketch — sharing
+// one program and its cached per-segment prologue columns — must
+// bit-match binding each completion and scoring it on a fresh Scorer, and
+// the prologue cache must actually get hits.
+func TestPrologueCacheAcrossCompletions(t *testing.T) {
+	segs := renoSegments(t)
+	reg := obs.New()
+	Observe(reg)
+	defer Observe(nil)
+	sketches := []string{
+		"cwnd + c1*reno-inc",
+		"cwnd + ({vegas-diff < c1} ? c2*reno-inc : 0)",
+		"c1*mss + c2*time-since-loss*ack-rate",
+	}
+	valSets := [][]float64{{0.5, 1}, {0.7, 2}, {1, 0.1}, {2, 8}, {0, 0}}
+	sc := NewScorer(segs, dist.DTW{})
+	for _, src := range sketches {
+		sk := dsl.MustParse(src)
+		cs := sc.CompileSketch(sk)
+		for _, vals := range valSets {
+			vals = vals[:sk.Holes()]
+			got, exact := cs.Score(vals, math.Inf(1))
+			if !exact {
+				t.Fatalf("%q %v: not exact at +Inf", src, vals)
+			}
+			bound, err := sk.Bind(vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := NewScorer(segs, dist.DTW{}).Score(bound, math.Inf(1))
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%q %v: shared-prologue score %v != fresh-scorer score %v", src, vals, got, want)
+			}
+			gotSeg, _ := cs.SegmentScore(vals, 0, math.Inf(1))
+			wantSeg, _ := NewScorer(segs[:1], dist.DTW{}).Score(bound, math.Inf(1))
+			if math.Float64bits(gotSeg) != math.Float64bits(wantSeg) {
+				t.Errorf("%q %v: segment 0 %v != fresh %v", src, vals, gotSeg, wantSeg)
+			}
+		}
+	}
+	rep := reg.Report()
+	if rep.Counters["replay.prologue_hits"] == 0 {
+		t.Error("no prologue-cache hits across completions of one sketch")
+	}
+	if rep.Counters["replay.prologue_misses"] == 0 {
+		t.Error("no prologue-cache misses recorded")
+	}
+	if rep.Counters["replay.instrs_executed"] == 0 {
+		t.Error("no VM instructions recorded")
 	}
 }
 
