@@ -11,6 +11,16 @@
 // Without -dsl the tool requires -hint-cca to look up the family mapping,
 // or defaults to the vegas DSL (the broadest).
 //
+// Batch mode (-dir or -glob) synthesizes one handler per pcap file
+// instead of pooling all segments into a single search: the traces share
+// one compiled sketch corpus and one CPU gate (at most -jobs traces in
+// flight, never more scoring workers than cores overall), and the tool
+// emits an aggregate JSON report — per-trace best handler, distance,
+// timing, and the corpus cache counters — to -report (default stdout).
+//
+//	abagnale -dsl reno -dir traces/ -jobs 4 -report batch.json
+//	abagnale -dsl reno -glob 'traces/cubic-*.pcap' -budget 20000
+//
 // Observability: -v streams live search progress to stderr, -events writes
 // the span/metric stream as JSONL, -metrics-json writes the end-of-run
 // report (counters, wall-clock per phase, per-iteration bucket ranks), and
@@ -19,14 +29,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/dist"
 	"repro/internal/dsl"
 	"repro/internal/expr"
@@ -43,11 +58,16 @@ func main() {
 		budget  = flag.Int("budget", 120000, "max concrete handlers to score")
 		minSeg  = flag.Int("min-segment", 16, "minimum ACK samples per trace segment")
 		seed    = flag.Int64("seed", 1, "random seed")
+		dir     = flag.String("dir", "", "batch mode: synthesize one handler per *.pcap in this directory")
+		glob    = flag.String("glob", "", "batch mode: synthesize one handler per file matching this pattern")
+		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "batch mode: concurrent trace jobs")
+		report  = flag.String("report", "", "batch mode: write the aggregate JSON report here (default stdout)")
 		of      obs.Flags
 	)
 	of.Register(flag.CommandLine)
 	flag.Parse()
-	if flag.NArg() == 0 {
+	batch := *dir != "" || *glob != ""
+	if flag.NArg() == 0 && !batch {
 		fmt.Fprintln(os.Stderr, "abagnale: no pcap files given")
 		flag.Usage()
 		os.Exit(2)
@@ -65,7 +85,13 @@ func main() {
 	// so far is still printed and the run report (via done()) still written.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	runErr := run(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed, reg, flag.Args())
+	var runErr error
+	if batch {
+		runErr = runBatch(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed,
+			*dir, *glob, *jobs, *report, reg, flag.Args())
+	} else {
+		runErr = run(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed, reg, flag.Args())
+	}
 	if err := done(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -75,7 +101,8 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, reg *obs.Registry, files []string) error {
+// pickDSL resolves the sub-DSL and metric from the flags.
+func pickDSL(dslName, hintCCA, metricName string) (string, *dsl.DSL, dist.Metric, error) {
 	if dslName == "" {
 		if hintCCA != "" {
 			dslName = expr.DSLHint(hintCCA)
@@ -85,23 +112,28 @@ func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSe
 	}
 	d, err := dsl.Named(dslName)
 	if err != nil {
-		return err
+		return "", nil, nil, err
 	}
 	m, err := dist.ByName(metricName)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return dslName, d, m, nil
+}
+
+func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, reg *obs.Registry, files []string) error {
+	dslName, d, m, err := pickDSL(dslName, hintCCA, metricName)
 	if err != nil {
 		return err
 	}
 
 	var segs []*trace.Segment
 	asp := reg.StartSpan("abagnale.analyze")
+	x := trace.NewExtractor()
 	for _, f := range files {
-		raw, err := os.ReadFile(f)
+		tr, err := x.AnalyzeFile(f)
 		if err != nil {
 			return err
-		}
-		tr, err := trace.AnalyzeBytes(raw)
-		if err != nil {
-			return fmt.Errorf("%s: %w", f, err)
 		}
 		ss := tr.Split(minSeg)
 		fmt.Printf("%s: %d ACK samples, %d losses, %d segments\n",
@@ -145,5 +177,125 @@ func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSe
 		"distance": res.Distance,
 		"segments": len(segs),
 	})
+	return nil
+}
+
+// batchFiles collects the batch input set: -dir's *.pcap files, -glob's
+// matches, and any positional arguments, sorted and deduplicated so the
+// report order is stable.
+func batchFiles(dir, glob string, args []string) ([]string, error) {
+	var files []string
+	if dir != "" {
+		m, err := filepath.Glob(filepath.Join(dir, "*.pcap"))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, m...)
+	}
+	if glob != "" {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			return nil, fmt.Errorf("bad -glob pattern: %w", err)
+		}
+		files = append(files, m...)
+	}
+	files = append(files, args...)
+	sort.Strings(files)
+	files = slicesCompact(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("batch mode: no pcap files matched")
+	}
+	return files, nil
+}
+
+// slicesCompact removes adjacent duplicates from a sorted slice.
+func slicesCompact(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// runBatch is the -dir/-glob mode: one synthesis per pcap, all sharing a
+// compiled sketch corpus and one CPU gate, plus an aggregate JSON report.
+func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, dir, glob string, jobs int, reportPath string, reg *obs.Registry, args []string) error {
+	dslName, d, m, err := pickDSL(dslName, hintCCA, metricName)
+	if err != nil {
+		return err
+	}
+	files, err := batchFiles(dir, glob, args)
+	if err != nil {
+		return err
+	}
+
+	// Extraction is I/O-bound and reuses one Extractor's buffers serially;
+	// the parallelism budget is saved for scoring.
+	asp := reg.StartSpan("abagnale.analyze")
+	x := trace.NewExtractor()
+	var batch []corpus.Job
+	for _, f := range files {
+		tr, err := x.AnalyzeFile(f)
+		if err != nil {
+			return err
+		}
+		segs := tr.Split(minSeg)
+		fmt.Fprintf(os.Stderr, "%s: %d ACK samples, %d losses, %d segments\n",
+			f, len(tr.Samples), len(tr.Losses), len(segs))
+		if len(segs) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: skipped — no usable segments (try lowering -min-segment)\n", f)
+			continue
+		}
+		batch = append(batch, corpus.Job{Name: f, Segments: segs})
+	}
+	asp.End()
+	if len(batch) == 0 {
+		return fmt.Errorf("batch mode: no usable trace segments in any input")
+	}
+	reg.Progressf("batch: %d traces, %d jobs, %s DSL (budget %d handlers each)",
+		len(batch), jobs, dslName, budget)
+
+	res, err := corpus.Run(ctx, batch, corpus.RunOptions{
+		Jobs: jobs,
+		Core: core.Options{
+			DSL:         d,
+			Metric:      m,
+			MaxHandlers: budget,
+			Seed:        seed,
+		},
+		Obs: reg,
+	})
+	if err != nil {
+		return err
+	}
+	for _, t := range res.Traces {
+		if t.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t.Name, t.Err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: cwnd <- %s  (distance %.2f, %v)\n",
+			t.Name, t.Handler, t.Distance, t.Duration.Round(time.Millisecond))
+	}
+	if res.Interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted — per-trace rows hold best-so-far")
+	}
+
+	rep := res.Report(jobs)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if reportPath == "" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(reportPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "batch report written to %s (%d traces, %.1fs wall)\n",
+		reportPath, len(rep.Traces), rep.WallSec)
 	return nil
 }

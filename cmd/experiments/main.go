@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -41,6 +42,7 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "reduced trace volume and search budget")
 		seed  = flag.Int64("seed", 1, "random seed")
+		jobs  = flag.Int("jobs", 1, "concurrent synthesis runs (table2 rows)")
 		of    obs.Flags
 	)
 	of.Register(flag.CommandLine)
@@ -74,7 +76,7 @@ func main() {
 
 	name := flag.Arg(0)
 	args := flag.Args()[1:]
-	runErr := run(name, args, scale)
+	runErr := run(name, args, scale, *jobs)
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "experiments: interrupted — results above are best-so-far")
 	}
@@ -87,7 +89,7 @@ func main() {
 	}
 }
 
-func run(name string, args []string, scale experiments.Scale) error {
+func run(name string, args []string, scale experiments.Scale, jobs int) error {
 	start := time.Now()
 	defer func() { fmt.Printf("\n[%s completed in %v]\n", name, time.Since(start).Round(time.Second)) }()
 	switch name {
@@ -96,16 +98,9 @@ func run(name string, args []string, scale experiments.Scale) error {
 		if len(ccas) == 0 {
 			ccas = experiments.Table2CCAs()
 		}
-		// Stream rows as they complete: each CCA is a separate synthesis
-		// run that can take minutes at full scale.
-		var rows []experiments.Table2Row
-		for _, cca := range ccas {
-			rs, err := experiments.Table2([]string{cca}, scale, nil)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, rs...)
-			fmt.Print(experiments.FormatTable2(rs[len(rs)-1:]))
+		rows, err := runTable2(ccas, scale, jobs)
+		if err != nil {
+			return err
 		}
 		fmt.Println("\nfull table:")
 		fmt.Print(experiments.FormatTable2(rows))
@@ -184,7 +179,7 @@ func run(name string, args []string, scale experiments.Scale) error {
 			"search-efficiency",
 		} {
 			fmt.Printf("\n===== %s =====\n", sub)
-			if err := run(sub, nil, scale); err != nil {
+			if err := run(sub, nil, scale, jobs); err != nil {
 				return fmt.Errorf("%s: %w", sub, err)
 			}
 		}
@@ -192,4 +187,44 @@ func run(name string, args []string, scale experiments.Scale) error {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
+}
+
+// runTable2 produces Table 2's rows, streaming each as it completes. Each
+// CCA is an independent synthesis run that can take minutes at full scale;
+// with jobs > 1 up to that many run concurrently (the simulated datasets
+// are cached per-CCA and every run uses its own trace, so rows are
+// identical to a sequential run — only the streaming order varies).
+func runTable2(ccas []string, scale experiments.Scale, jobs int) ([]experiments.Table2Row, error) {
+	if jobs < 1 {
+		jobs = 1
+	}
+	rows := make([][]experiments.Table2Row, len(ccas))
+	errs := make([]error, len(ccas))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes streamed row output
+	for i, cca := range ccas {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, cca string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rs, err := experiments.Table2([]string{cca}, scale, nil)
+			rows[i], errs[i] = rs, err
+			if err == nil && len(rs) > 0 {
+				mu.Lock()
+				fmt.Print(experiments.FormatTable2(rs[len(rs)-1:]))
+				mu.Unlock()
+			}
+		}(i, cca)
+	}
+	wg.Wait()
+	var out []experiments.Table2Row
+	for i := range ccas {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, rows[i]...)
+	}
+	return out, nil
 }

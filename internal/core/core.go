@@ -21,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"iter"
 	"math"
 	"math/rand"
 	"runtime"
@@ -32,7 +31,6 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/dsl"
-	"repro/internal/enum"
 	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -106,6 +104,22 @@ type Options struct {
 	// rankings — and therefore which handler wins — may differ between
 	// runs of the same seed. Off by default to keep runs reproducible.
 	GreedyPruning bool
+	// Sketches, when set, supplies the run's sketch space — typically a
+	// corpus.SketchCorpus shared by every trace of a batch, so the space
+	// is enumerated, canonicalized and compiled once per DSL config
+	// instead of once per run. Nil enumerates per run. A shared source
+	// must be configured with this run's BucketCap/ScanBudget for results
+	// to be identical to the per-run enumeration.
+	Sketches SketchSource
+	// Programs, when set, supplies compiled register programs to the
+	// iteration scorers (replay.ProgramSource), sharing compilation
+	// across runs. Nil compiles per scorer.
+	Programs replay.ProgramSource
+	// Gate, when set, replaces the per-run Workers semaphore with a
+	// shared concurrency bound: scoring workers and the run's own
+	// goroutine each hold one slot while doing CPU work, so concurrent
+	// runs sharing one Gate cannot oversubscribe the host.
+	Gate Gate
 	// Seed drives all sampling; runs are reproducible.
 	Seed int64
 	// Obs receives the run's metrics, spans, per-iteration records and
@@ -134,10 +148,10 @@ func (o Options) withDefaults() Options {
 		o.MaxHandlers = 300000
 	}
 	if o.BucketCap == 0 {
-		o.BucketCap = 20000
+		o.BucketCap = DefaultBucketCap
 	}
 	if o.ScanBudget == 0 {
-		o.ScanBudget = 100000
+		o.ScanBudget = DefaultScanBudget
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -322,6 +336,10 @@ type runState struct {
 	cache      *scoreCache
 	atomicBest atomic.Uint64 // Float64bits of best.distance, for GreedyPruning readers
 
+	src     SketchSource
+	gate    Gate
+	holding bool // this goroutine holds a slot of an external Gate
+
 	obsv         *obs.Registry
 	cHandlers    *obs.Counter
 	cSketches    *obs.Counter
@@ -343,51 +361,15 @@ type scoredHandler struct {
 	distance float64
 }
 
-// bucket is one lazily-enumerated partition of the sketch space.
+// bucket is one partition of the sketch space as one run sees it: the key,
+// the latest Take result, and the bucket's best sampled handler. The sketch
+// enumeration itself lives in the run's SketchSource.
 type bucket struct {
 	ops       dsl.OpSet
-	cache     []*dsl.Node
-	next      func() (*dsl.Node, bool)
-	stop      func()
+	sketches  []*dsl.Node
 	exhausted bool
 	score     float64
 	best      scoredHandler
-}
-
-// take returns the first n sketches of the bucket, pulling from the
-// enumerator as needed (bounded by capN and the scan budget).
-func (b *bucket) take(n, capN, scanBudget int, e *enum.Enumerator) []*dsl.Node {
-	if n > capN {
-		n = capN
-	}
-	if b.next == nil && !b.exhausted {
-		b.next, b.stop = iter.Pull(e.BucketLimited(b.ops, scanBudget))
-	}
-	for len(b.cache) < n && !b.exhausted {
-		sk, ok := b.next()
-		if !ok {
-			b.exhausted = true
-			b.stop()
-			break
-		}
-		b.cache = append(b.cache, sk)
-		if len(b.cache) >= capN {
-			b.exhausted = true
-			b.stop()
-		}
-	}
-	if n > len(b.cache) {
-		n = len(b.cache)
-	}
-	return b.cache[:n]
-}
-
-// release closes any live iterator.
-func (b *bucket) release() {
-	if b.next != nil && !b.exhausted {
-		b.stop()
-	}
-	b.next = nil
 }
 
 // run executes Algorithm 1.
@@ -395,16 +377,31 @@ func (r *runState) run() (*Result, error) {
 	root := r.obsv.StartSpan("core.synthesize")
 	defer root.End()
 
-	e := enum.New(r.opts.DSL)
-	e.Obs = r.obsv
-	for _, ops := range e.Buckets() {
+	r.src = r.opts.Sketches
+	if r.src == nil {
+		es := newEnumSource(r.opts.DSL, r.obsv)
+		r.src = es
+		defer es.Close()
+	}
+	if r.opts.Gate != nil {
+		// Gated run: hold a slot whenever this goroutine does CPU work,
+		// yielding it while blocked on the scoring workers (scoreBuckets).
+		r.gate = r.opts.Gate
+		if !r.gate.Acquire(r.ctx) {
+			return nil, r.ctx.Err()
+		}
+		r.holding = true
+		defer func() {
+			if r.holding {
+				r.gate.Release()
+			}
+		}()
+	} else {
+		r.gate = NewGate(r.opts.Workers)
+	}
+	for _, ops := range r.src.Buckets() {
 		r.buckets = append(r.buckets, &bucket{ops: ops, score: math.Inf(1)})
 	}
-	defer func() {
-		for _, b := range r.buckets {
-			b.release()
-		}
-	}()
 	r.best.distance = math.Inf(1)
 	r.storeBest(math.Inf(1))
 
@@ -424,7 +421,7 @@ func (r *runState) run() (*Result, error) {
 		} else {
 			segs = trace.SelectDiverse(r.segs, nseg, r.opts.Metric, r.rng)
 		}
-		scorer := replay.NewScorer(segs, r.opts.Metric)
+		scorer := replay.NewScorer(segs, r.opts.Metric).WithPrograms(r.opts.Programs)
 		setID := r.segmentSetID(segs)
 		ssp.End()
 
@@ -435,7 +432,7 @@ func (r *runState) run() (*Result, error) {
 		// Drop buckets that turned out empty, then rank.
 		nonEmpty := live[:0:0]
 		for _, b := range live {
-			if len(b.cache) > 0 {
+			if len(b.sketches) > 0 {
 				nonEmpty = append(nonEmpty, b)
 			}
 		}
@@ -444,6 +441,13 @@ func (r *runState) run() (*Result, error) {
 			r.stats.SpaceBuckets = len(live)
 		}
 		if len(live) == 0 {
+			if r.ctx.Err() != nil {
+				// Cancellation can stop scoreBuckets before any bucket
+				// was sampled; that is an interrupted run, not an empty
+				// sketch space.
+				r.stats.Interrupted = true
+				break
+			}
 			return nil, errors.New("core: the DSL's sketch space is empty")
 		}
 		sort.SliceStable(live, func(i, j int) bool { return live[i].score < live[j].score })
@@ -471,7 +475,7 @@ func (r *runState) run() (*Result, error) {
 				idx++
 			}
 			for _, b := range live[idx:] {
-				b.release()
+				r.src.Release(b.ops)
 			}
 			kept = live[:idx]
 		}
@@ -491,7 +495,7 @@ func (r *runState) run() (*Result, error) {
 		// sampled (covers the single-bucket case).
 		allDone := true
 		for _, b := range live {
-			if !b.exhausted || len(b.cache) > n {
+			if !b.exhausted || len(b.sketches) > n {
 				allDone = false
 				break
 			}
@@ -515,7 +519,8 @@ func (r *runState) run() (*Result, error) {
 	}
 	// Report the final handler's distance over the full segment set.
 	fsp := root.Child("core.final_distance")
-	final, _ := replay.NewScorer(r.segs, r.opts.Metric).Score(r.best.handler, math.Inf(1))
+	final, _ := replay.NewScorer(r.segs, r.opts.Metric).WithPrograms(r.opts.Programs).
+		Score(r.best.handler, math.Inf(1))
 	fsp.End()
 	r.stats.HandlersScored = r.scored
 	return &Result{
@@ -589,22 +594,32 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 		mu      sync.Mutex
 		total   int
 		sketchN int
-		sem     = make(chan struct{}, r.opts.Workers)
 		budget  = r.opts.MaxHandlers - r.scored
 		perBkt  = budgetShare(budget, len(live))
 	)
+	// While blocked on the scoring workers this goroutine does no CPU work,
+	// so an externally gated run gives its own slot back up front — with a
+	// one-slot gate (single-core host) the first worker could otherwise
+	// never be admitted.
+	if r.holding {
+		r.gate.Release()
+		r.holding = false
+	}
 	for _, b := range live {
+		// Worker admission doubles as the concurrency bound: Acquire only
+		// fails on context cancellation, in which case the remaining
+		// buckets keep their previous scores (the run is winding down).
+		if !r.gate.Acquire(r.ctx) {
+			break
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(b *bucket) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer r.gate.Release()
 			busy := time.Now()
-			en := enum.New(r.opts.DSL)
-			en.Obs = r.obsv
-			sketches := b.take(n, r.opts.BucketCap, r.opts.ScanBudget, en)
+			b.sketches, b.exhausted = r.src.Take(b.ops, n, r.opts.BucketCap, r.opts.ScanBudget)
 			handlers := 0
-			for _, sk := range sketches {
+			for _, sk := range b.sketches {
 				if handlers >= perBkt {
 					break
 				}
@@ -621,7 +636,7 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 			r.cBusyNS.Add(time.Since(busy).Nanoseconds())
 			mu.Lock()
 			total += handlers
-			sketchN += len(sketches)
+			sketchN += len(b.sketches)
 			if b.best.handler != nil && b.best.distance < r.best.distance {
 				r.best = b.best
 				r.storeBest(b.best.distance)
@@ -631,6 +646,9 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 		}(b)
 	}
 	wg.Wait()
+	if r.opts.Gate != nil && !r.holding {
+		r.holding = r.gate.Acquire(r.ctx)
+	}
 	r.scored += total
 	r.stats.SketchesScored += sketchN
 	r.cHandlers.Add(int64(total))

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"iter"
+
+	"repro/internal/dsl"
+	"repro/internal/enum"
+	"repro/internal/obs"
+)
+
+// Paper-default search bounds, exported so a shared sketch source
+// (corpus.SketchCorpus) can be configured to match a run that uses the
+// zero-value Options.
+const (
+	// DefaultBucketCap is the Options.BucketCap default.
+	DefaultBucketCap = 20000
+	// DefaultScanBudget is the Options.ScanBudget default.
+	DefaultScanBudget = 100000
+)
+
+// SketchSource supplies a synthesis run's sketch space. Take returns the
+// first n canonical sketches of the bucket in enumeration order — always
+// the same prefix for the same bucket, so results do not depend on which
+// run forced the enumeration — plus whether the bucket is exhausted at
+// that size (no further Take can return more). capN and scanBudget carry
+// the run's BucketCap and ScanBudget; a shared source may have been built
+// with its own bounds, in which case the tighter one applies and runs
+// configured differently from the source may see a different prefix.
+//
+// Release hints that this run will not Take from the bucket again; a
+// per-run source frees the bucket's enumerator, a shared one ignores it.
+// Implementations must be safe for concurrent use by one run's scoring
+// workers (distinct buckets in parallel); shared sources must additionally
+// tolerate concurrent Takes on the same bucket from different runs.
+type SketchSource interface {
+	Buckets() []dsl.OpSet
+	Take(ops dsl.OpSet, n, capN, scanBudget int) (sketches []*dsl.Node, exhausted bool)
+	Release(ops dsl.OpSet)
+}
+
+// enumSource is the default per-run SketchSource: one lazily-pulled
+// enumerator per bucket, exactly the pre-corpus behavior. Distinct buckets
+// are used by distinct scoring workers, and each bucket's state is touched
+// by one worker at a time, so srcBucket needs no lock.
+type enumSource struct {
+	d       *dsl.DSL
+	obsv    *obs.Registry
+	keys    []dsl.OpSet
+	buckets map[dsl.OpSet]*srcBucket
+}
+
+// srcBucket is one bucket's enumeration state.
+type srcBucket struct {
+	ops       dsl.OpSet
+	cache     []*dsl.Node
+	next      func() (*dsl.Node, bool)
+	stop      func()
+	exhausted bool
+}
+
+// newEnumSource enumerates bucket keys for the DSL and prepares per-bucket
+// state.
+func newEnumSource(d *dsl.DSL, obsv *obs.Registry) *enumSource {
+	e := enum.New(d)
+	e.Obs = obsv
+	s := &enumSource{d: d, obsv: obsv, keys: e.Buckets()}
+	s.buckets = make(map[dsl.OpSet]*srcBucket, len(s.keys))
+	for _, ops := range s.keys {
+		s.buckets[ops] = &srcBucket{ops: ops}
+	}
+	return s
+}
+
+// Buckets implements SketchSource.
+func (s *enumSource) Buckets() []dsl.OpSet { return s.keys }
+
+// Take implements SketchSource: it extends the bucket's cache from the
+// enumerator as needed (bounded by capN and the bucket-lifetime scan
+// budget) and returns the prefix.
+func (s *enumSource) Take(ops dsl.OpSet, n, capN, scanBudget int) ([]*dsl.Node, bool) {
+	b := s.buckets[ops]
+	if n > capN {
+		n = capN
+	}
+	if b.next == nil && !b.exhausted {
+		e := enum.New(s.d)
+		e.Obs = s.obsv
+		b.next, b.stop = iter.Pull(e.BucketLimited(b.ops, scanBudget))
+	}
+	for len(b.cache) < n && !b.exhausted {
+		sk, ok := b.next()
+		if !ok {
+			b.exhausted = true
+			b.stop()
+			break
+		}
+		b.cache = append(b.cache, sk)
+		if len(b.cache) >= capN {
+			b.exhausted = true
+			b.stop()
+		}
+	}
+	if n > len(b.cache) {
+		n = len(b.cache)
+	}
+	return b.cache[:n], b.exhausted
+}
+
+// Release implements SketchSource: it closes the bucket's live iterator.
+func (s *enumSource) Release(ops dsl.OpSet) {
+	b := s.buckets[ops]
+	if b.next != nil && !b.exhausted {
+		b.stop()
+		b.exhausted = true
+	}
+	b.next = nil
+}
+
+// Close releases every bucket.
+func (s *enumSource) Close() {
+	for _, ops := range s.keys {
+		s.Release(ops)
+	}
+}
+
+// Gate bounds concurrent CPU work across one or more synthesis runs.
+// Acquire blocks until a slot frees or the context is done (returning
+// false); every successful Acquire must be paired with a Release. The
+// batch engine shares one Gate across all trace jobs so their combined
+// worker count never exceeds the host's cores.
+type Gate interface {
+	Acquire(ctx context.Context) bool
+	Release()
+}
+
+// chanGate is a counting semaphore over a buffered channel.
+type chanGate chan struct{}
+
+// NewGate returns a Gate admitting up to n concurrent holders (minimum 1).
+func NewGate(n int) Gate {
+	if n < 1 {
+		n = 1
+	}
+	return make(chanGate, n)
+}
+
+// Acquire implements Gate.
+func (g chanGate) Acquire(ctx context.Context) bool {
+	select {
+	case g <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Release implements Gate.
+func (g chanGate) Release() { <-g }

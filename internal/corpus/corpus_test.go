@@ -1,0 +1,249 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// jobsFor simulates n reno traces under varied network settings and
+// returns them as batch jobs. Cached: simulation dominates test time.
+var jobCache sync.Map
+
+func jobsFor(t *testing.T, n int) []Job {
+	t.Helper()
+	if v, ok := jobCache.Load(n); ok {
+		return v.([]Job)
+	}
+	var jobs []Job
+	for i := 0; i < n; i++ {
+		cfg := sim.Config{
+			CCA:       "reno",
+			Bandwidth: float64(6+2*i) * 1e6 / 8,
+			RTT:       time.Duration(30+15*i) * time.Millisecond,
+			Duration:  12 * time.Second,
+			Seed:      int64(i + 1),
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.AnalyzeRecords(res.Records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs := tr.Split(16)
+		if len(segs) == 0 {
+			t.Fatalf("trace %d produced no segments", i)
+		}
+		jobs = append(jobs, Job{Name: fmt.Sprintf("reno-%d", i), Segments: segs})
+	}
+	jobCache.Store(n, jobs)
+	return jobs
+}
+
+// quickOpts keeps per-trace synthesis fast enough for unit tests.
+func quickOpts() core.Options {
+	return core.Options{
+		DSL:            dsl.Reno(),
+		InitialSamples: 8,
+		MaxHandlers:    3000,
+		MaxCompletions: 12,
+		ScanBudget:     20000,
+		Seed:           1,
+	}
+}
+
+// TestBatchMatchesSequential pins the engine's determinism guarantee: a
+// concurrent batch over a shared corpus returns, for every trace, exactly
+// the answer a standalone core.Synthesize returns — same handler, same
+// distance, same iteration count — regardless of scheduling. Running under
+// -race this doubles as the corpus race exercise (J>1, 4 traces, shared
+// bucket caches and program cache).
+func TestBatchMatchesSequential(t *testing.T) {
+	jobs := jobsFor(t, 4)
+
+	var want []core.Result
+	for _, j := range jobs {
+		r, err := core.Synthesize(context.Background(), j.Segments, quickOpts())
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", j.Name, err)
+		}
+		want = append(want, *r)
+	}
+
+	res, err := Run(context.Background(), jobs, RunOptions{
+		Jobs: 2,
+		Core: quickOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != len(jobs) {
+		t.Fatalf("got %d trace results, want %d", len(res.Traces), len(jobs))
+	}
+	for i, tr := range res.Traces {
+		if tr.Err != nil {
+			t.Fatalf("%s: batch: %v", tr.Name, tr.Err)
+		}
+		if tr.Handler != want[i].Handler.String() {
+			t.Errorf("%s: batch handler %q != sequential %q", tr.Name, tr.Handler, want[i].Handler)
+		}
+		if tr.Distance != want[i].Distance {
+			t.Errorf("%s: batch distance %v != sequential %v", tr.Name, tr.Distance, want[i].Distance)
+		}
+		if len(tr.Stats.Iterations) != len(want[i].Stats.Iterations) {
+			t.Errorf("%s: batch ran %d iterations, sequential %d",
+				tr.Name, len(tr.Stats.Iterations), len(want[i].Stats.Iterations))
+		}
+	}
+}
+
+// TestBatchCounters asserts the report's cache instruments are live on a
+// small batch: two identical-DSL traces must share enumerated sketches and
+// hit the compiled-program cache.
+func TestBatchCounters(t *testing.T) {
+	jobs := jobsFor(t, 4)[:2]
+	reg := obs.New()
+	res, err := Run(context.Background(), jobs, RunOptions{
+		Jobs: 2,
+		Core: quickOpts(),
+		Obs:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"corpus.sketches_shared",
+		"corpus.sketches_enumerated",
+		"corpus.program_cache_hits",
+		"corpus.program_cache_misses",
+	} {
+		if res.Corpus[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0 (have: %v)", name, res.Corpus[name], res.Corpus)
+		}
+	}
+	rep := res.Report(2)
+	if rep.Jobs != 2 || len(rep.Traces) != 2 {
+		t.Fatalf("report shape wrong: jobs=%d traces=%d", rep.Jobs, len(rep.Traces))
+	}
+	for _, tr := range rep.Traces {
+		if tr.Handler == "" || tr.Error != "" {
+			t.Errorf("%s: handler=%q error=%q", tr.Name, tr.Handler, tr.Error)
+		}
+		if tr.HandlersScored <= 0 || tr.Iterations <= 0 {
+			t.Errorf("%s: empty stats in report: %+v", tr.Name, tr)
+		}
+	}
+}
+
+// TestCorpusSkipsReenumeration is the regression test for the tentpole's
+// enumeration sharing: a run given a prewarmed corpus must do zero
+// candidate enumeration of its own — enum.candidates on the run's registry
+// stays 0 across all refinement iterations — while a control run without
+// the corpus enumerates as before.
+func TestCorpusSkipsReenumeration(t *testing.T) {
+	jobs := jobsFor(t, 4)[:1]
+	opts := quickOpts()
+
+	corpusReg := obs.New()
+	c, err := New(Options{
+		DSL:        opts.DSL,
+		BucketCap:  core.DefaultBucketCap,
+		ScanBudget: opts.ScanBudget,
+		Obs:        corpusReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Prewarm(context.Background(), 4)
+	if corpusReg.CounterValues("enum.")["enum.candidates"] == 0 {
+		t.Fatal("prewarm did not enumerate (enum.candidates == 0 on corpus registry)")
+	}
+
+	runReg := obs.New()
+	o := opts
+	o.Sketches = c
+	o.Programs = c
+	o.Obs = runReg
+	r, err := core.Synthesize(context.Background(), jobs[0].Segments, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stats.Iterations) < 2 {
+		t.Fatalf("run finished in %d iterations; need >= 2 to observe re-enumeration", len(r.Stats.Iterations))
+	}
+	if got := runReg.CounterValues("enum.")["enum.candidates"]; got != 0 {
+		t.Errorf("corpus-backed run enumerated %d candidates itself, want 0", got)
+	}
+
+	ctrlReg := obs.New()
+	o2 := opts
+	o2.Obs = ctrlReg
+	if _, err := core.Synthesize(context.Background(), jobs[0].Segments, o2); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrlReg.CounterValues("enum.")["enum.candidates"]; got == 0 {
+		t.Error("control run without corpus reported no enumeration; counter is dead")
+	}
+}
+
+// TestBatchCancellation checks that cancelling the context stops the batch
+// and surfaces Interrupted rather than hanging on the shared gate.
+func TestBatchCancellation(t *testing.T) {
+	jobs := jobsFor(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts: hardest case for the gate
+	res, err := Run(ctx, jobs, RunOptions{Jobs: 2, Core: quickOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Error("cancelled batch not marked Interrupted")
+	}
+}
+
+// TestTakeDeterministicPrefix checks the corpus's core sharing contract:
+// concurrent Takes of growing sizes on the same bucket always observe
+// prefixes of one canonical enumeration order.
+func TestTakeDeterministicPrefix(t *testing.T) {
+	c, err := New(Options{DSL: dsl.Reno(), ScanBudget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buckets := c.Buckets()
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	ref, _ := c.Take(buckets[0], 64, core.DefaultBucketCap, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 8 * (w + 1)
+			got, _ := c.Take(buckets[0], n, core.DefaultBucketCap, 0)
+			if len(got) > len(ref) {
+				t.Errorf("worker %d: got %d sketches, ref has %d", w, len(got), len(ref))
+				return
+			}
+			for i := range got {
+				if got[i].Key() != ref[i].Key() {
+					t.Errorf("worker %d: sketch %d diverges from canonical order", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

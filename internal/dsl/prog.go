@@ -76,7 +76,7 @@ const (
 // inst is one three-address instruction. For pConst, a is a pool slot; for
 // pCol, a is a Signal; otherwise a/b/c are registers.
 type inst struct {
-	op         progOp
+	op           progOp
 	dst, a, b, c uint16
 }
 
@@ -101,8 +101,8 @@ type Cols struct {
 // immutable and safe for concurrent use.
 type Program struct {
 	insts  []inst
-	nConst int      // insts[:nConst] are pConst loads
-	nPro   int      // insts[nConst:nPro] are the columnar prologue
+	nConst int // insts[:nConst] are pConst loads
+	nPro   int // insts[nConst:nPro] are the columnar prologue
 	pool   []float64
 	holes  []uint16 // pool slots of unbound holes, in Bind (left-to-right) order
 	liveIn []uint16 // prologue registers the suffix (or the result) reads

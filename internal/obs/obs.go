@@ -153,6 +153,25 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// CounterValues snapshots every counter whose name starts with prefix
+// (every counter when prefix is empty). Batch reports use it to embed one
+// subsystem's counters — e.g. the corpus cache hit rates — without
+// dragging in the whole Report. A nil registry returns nil.
+func (r *Registry) CounterValues(prefix string) map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64)
+	for name, c := range r.counters {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			out[name] = c.Value()
+		}
+	}
+	return out
+}
+
 // --- Gauge --------------------------------------------------------------
 
 // Gauge is a float64 that can be set, or raised towards a maximum. Methods

@@ -37,6 +37,20 @@ type Scorer struct {
 
 	mu    sync.Mutex
 	progs map[string]*compiledEntry
+
+	// progSrc, when set, supplies compiled programs shared beyond this
+	// scorer's lifetime (a batch corpus); see WithPrograms.
+	progSrc ProgramSource
+}
+
+// ProgramSource supplies compiled register programs keyed by the
+// expression's canonical form. A source shared across scorers (and across
+// synthesis runs — corpus.SketchCorpus implements this) amortizes
+// compilation over a whole trace batch; implementations must be safe for
+// concurrent use and must return a program equivalent to
+// dsl.CompileProgram(sk).
+type ProgramSource interface {
+	Program(key string, sk *dsl.Node) *dsl.Program
 }
 
 // progCacheCap bounds the compiled-program cache. A synthesis iteration
@@ -112,6 +126,15 @@ func NewScorer(segs []*trace.Segment, m dist.Metric) *Scorer {
 	return s
 }
 
+// WithPrograms routes CompileSketch through a shared program source; the
+// scorer still keeps its own per-segment prologue state, which is what
+// makes cross-trace program sharing safe (prologues depend on the segment
+// set). A nil source is a no-op. Returns the scorer for chaining.
+func (s *Scorer) WithPrograms(ps ProgramSource) *Scorer {
+	s.progSrc = ps
+	return s
+}
+
 // Metric returns the metric the scorer was built with.
 func (s *Scorer) Metric() dist.Metric { return s.metric }
 
@@ -143,8 +166,15 @@ func (s *Scorer) CompileSketch(sk *dsl.Node) *CompiledSketch {
 				break
 			}
 		}
+		prog := (*dsl.Program)(nil)
+		if s.progSrc != nil {
+			prog = s.progSrc.Program(key, sk)
+		}
+		if prog == nil {
+			prog = dsl.CompileProgram(sk)
+		}
 		e = &compiledEntry{
-			prog: dsl.CompileProgram(sk),
+			prog: prog,
 			pros: make([]*dsl.Prologue, len(s.segs)),
 		}
 		s.progs[key] = e

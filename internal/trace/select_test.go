@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// flatSegment builds a synthetic segment whose cwnd sits at level MSS
+// units for count samples — distances between flat segments are then
+// simple functions of their levels, which makes the farthest-segment
+// phase of SelectDiverse checkable.
+func flatSegment(level float64, count int) *Segment {
+	g := &Segment{MSS: 1448}
+	for i := 0; i < count; i++ {
+		g.Samples = append(g.Samples, Sample{
+			Time: time.Duration(i) * 10 * time.Millisecond,
+			Cwnd: level * g.MSS,
+		})
+	}
+	return g
+}
+
+func TestSelectDiverseEdgeCases(t *testing.T) {
+	segs := []*Segment{flatSegment(10, 8), flatSegment(20, 8)}
+	rng := rand.New(rand.NewSource(1))
+	if got := SelectDiverse(segs, 0, dist.DTW{}, rng); got != nil {
+		t.Errorf("n=0: got %d segments, want nil", len(got))
+	}
+	if got := SelectDiverse(nil, 4, dist.DTW{}, rng); got != nil {
+		t.Errorf("empty input: got %d segments, want nil", len(got))
+	}
+	// n >= len returns every segment, as a copy.
+	got := SelectDiverse(segs, 5, dist.DTW{}, rng)
+	if len(got) != len(segs) {
+		t.Fatalf("n>len: got %d segments, want %d", len(got), len(segs))
+	}
+	got[0] = nil
+	if segs[0] == nil {
+		t.Error("n>len result aliases the input slice")
+	}
+}
+
+func TestSelectDiverseCountAndUniqueness(t *testing.T) {
+	var segs []*Segment
+	for i := 0; i < 12; i++ {
+		segs = append(segs, flatSegment(float64(5+i), 8))
+	}
+	for n := 1; n <= 11; n++ {
+		rng := rand.New(rand.NewSource(3))
+		got := SelectDiverse(segs, n, dist.DTW{}, rng)
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d segments", n, len(got))
+		}
+		seen := map[*Segment]bool{}
+		for _, g := range got {
+			if seen[g] {
+				t.Fatalf("n=%d: segment picked twice", n)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestSelectDiversePicksOutlier(t *testing.T) {
+	// Eleven near-identical segments plus one far outlier: phase 2 adds,
+	// for each random seed, the farthest unpicked segment — which is the
+	// outlier whenever it wasn't already drawn. So for n >= 2 the outlier
+	// must always be selected, whatever the rng state.
+	for seed := int64(0); seed < 20; seed++ {
+		segs := []*Segment{}
+		for i := 0; i < 11; i++ {
+			segs = append(segs, flatSegment(10+0.1*float64(i), 8))
+		}
+		outlier := flatSegment(500, 8)
+		segs = append(segs, outlier)
+		got := SelectDiverse(segs, 4, dist.DTW{}, rand.New(rand.NewSource(seed)))
+		found := false
+		for _, g := range got {
+			found = found || g == outlier
+		}
+		if !found {
+			t.Fatalf("seed %d: outlier segment not selected", seed)
+		}
+	}
+}
+
+func TestSelectDiverseDeterministic(t *testing.T) {
+	var segs []*Segment
+	for i := 0; i < 10; i++ {
+		segs = append(segs, flatSegment(float64(2*i+3), 8))
+	}
+	a := SelectDiverse(segs, 5, dist.DTW{}, rand.New(rand.NewSource(9)))
+	b := SelectDiverse(segs, 5, dist.DTW{}, rand.New(rand.NewSource(9)))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selection differs at %d for identical rng state", i)
+		}
+	}
+}

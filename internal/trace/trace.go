@@ -8,9 +8,11 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/dist"
@@ -105,12 +107,7 @@ const dupThresh = 3
 // single data-bearing TCP flow it contains. Both raw-IP and Ethernet
 // (default tcpdump) link types are supported.
 func Analyze(r io.Reader) (*Trace, error) {
-	pr := wire.NewPcapReader(r)
-	recs, err := pr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	return analyzeRecords(recs, pr.LinkType)
+	return NewExtractor().Analyze(r)
 }
 
 // AnalyzeBytes is Analyze over an in-memory pcap file.
@@ -122,24 +119,82 @@ func AnalyzeBytes(pcap []byte) (*Trace, error) {
 // records. Records must be in time order, captured at the sender's vantage
 // point (outgoing data segments, incoming ACKs).
 func AnalyzeRecords(recs []wire.PcapRecord) (*Trace, error) {
-	return analyzeRecords(recs, wire.LinkTypeRaw)
-}
-
-func analyzeRecords(recs []wire.PcapRecord, linkType uint32) (*Trace, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("trace: empty capture")
 	}
 	a := newAnalyzer()
+	var pkt wire.Packet
 	for _, rec := range recs {
-		pkt, err := wire.DecodePacketLink(linkType, rec.Data)
-		if err != nil {
+		if err := wire.DecodePacketLinkInto(wire.LinkTypeRaw, rec.Data, &pkt); err != nil {
 			// Tolerate occasional corrupt packets: real captures
 			// contain them.
 			continue
 		}
-		a.observe(rec.Time, pkt)
+		a.observe(rec.Time, &pkt)
 	}
 	return a.finish()
+}
+
+// Extractor analyzes pcap streams while reusing all per-file scratch state
+// — the pcap record buffer, the decoded packet's layer structs, and the
+// analyzer's maps — so batch ingestion of a trace directory allocates only
+// what escapes into each returned Trace (its samples and losses). Not safe
+// for concurrent use; batch jobs give each ingestion goroutine its own.
+type Extractor struct {
+	pr  *wire.PcapReader
+	rec wire.PcapRecord
+	pkt wire.Packet
+	a   analyzer
+}
+
+// NewExtractor returns an Extractor ready for its first Analyze call.
+func NewExtractor() *Extractor {
+	return &Extractor{
+		pr: wire.NewPcapReader(nil),
+		a:  analyzer{tsSent: map[uint32]time.Duration{}, mssCounts: map[int]int{}},
+	}
+}
+
+// Analyze parses one pcap stream under the same contract as the package
+// Analyze function.
+func (x *Extractor) Analyze(r io.Reader) (*Trace, error) {
+	x.pr.Reset(r)
+	x.a.reset()
+	records := 0
+	for {
+		err := x.pr.NextInto(&x.rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		records++
+		if err := wire.DecodePacketLinkInto(x.pr.LinkType, x.rec.Data, &x.pkt); err != nil {
+			// Tolerate occasional corrupt packets: real captures
+			// contain them.
+			continue
+		}
+		x.a.observe(x.rec.Time, &x.pkt)
+	}
+	if records == 0 {
+		return nil, fmt.Errorf("trace: empty capture")
+	}
+	return x.a.finish()
+}
+
+// AnalyzeFile is Analyze over a pcap file on disk.
+func (x *Extractor) AnalyzeFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := x.Analyze(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
 }
 
 // analyzer is the streaming trace reconstruction state machine.
@@ -175,6 +230,17 @@ func newAnalyzer() *analyzer {
 		tsSent:    map[uint32]time.Duration{},
 		mssCounts: map[int]int{},
 	}
+}
+
+// reset readies the analyzer for a new capture, keeping its maps and the
+// rate window's backing array. samples and losses escape into the returned
+// Trace, so those start nil rather than being reused.
+func (a *analyzer) reset() {
+	clear(a.tsSent)
+	clear(a.mssCounts)
+	rateBuf := a.rate.samples[:0]
+	*a = analyzer{tsSent: a.tsSent, mssCounts: a.mssCounts}
+	a.rate.samples = rateBuf
 }
 
 // observe processes one captured packet.

@@ -92,19 +92,38 @@ func (e *Ethernet) Encode(payload []byte) []byte {
 // carry an Ethernet frame around it (the default for real tcpdump
 // captures).
 func DecodePacketLink(linkType uint32, data []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := DecodePacketLinkInto(linkType, data, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodePacketLinkInto is DecodePacketLink into a reused Packet (see
+// DecodePacketInto): the link-layer framing is stripped without decoding
+// the full Ethernet struct, so the per-packet path stays allocation-free.
+func DecodePacketLinkInto(linkType uint32, data []byte, pkt *Packet) error {
 	switch linkType {
 	case LinkTypeRaw:
-		return DecodePacket(data)
+		return DecodePacketInto(data, pkt)
 	case LinkTypeEthernet:
-		eth, err := DecodeEthernet(data)
-		if err != nil {
-			return nil, err
+		if len(data) < EthernetHeaderLen {
+			return ErrTruncated
 		}
-		if eth.EtherType != EtherTypeIPv4 {
-			return nil, fmt.Errorf("wire: non-IPv4 ethertype %#04x", eth.EtherType)
+		etherType := binary.BigEndian.Uint16(data[12:14])
+		off := EthernetHeaderLen
+		if etherType == EtherTypeVLAN {
+			if len(data) < off+4 {
+				return ErrTruncated
+			}
+			etherType = binary.BigEndian.Uint16(data[off+2 : off+4])
+			off += 4
 		}
-		return DecodePacket(eth.LayerPayload())
+		if etherType != EtherTypeIPv4 {
+			return fmt.Errorf("wire: non-IPv4 ethertype %#04x", etherType)
+		}
+		return DecodePacketInto(data[off:], pkt)
 	default:
-		return nil, fmt.Errorf("wire: unsupported pcap link type %d", linkType)
+		return fmt.Errorf("wire: unsupported pcap link type %d", linkType)
 	}
 }

@@ -77,34 +77,42 @@ var (
 // DecodeIPv4 parses an IPv4 header from data. It validates the header
 // checksum and total length.
 func DecodeIPv4(data []byte) (*IPv4, error) {
+	ip := &IPv4{}
+	if err := decodeIPv4Into(data, ip); err != nil {
+		return nil, err
+	}
+	return ip, nil
+}
+
+// decodeIPv4Into parses an IPv4 header into ip, overwriting every field so
+// the struct can be reused across packets without allocation.
+func decodeIPv4Into(data []byte, ip *IPv4) error {
 	if len(data) < IPv4HeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if data[0]>>4 != 4 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	ihl := int(data[0]&0x0f) * 4
 	if ihl < IPv4HeaderLen || len(data) < ihl {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	total := int(binary.BigEndian.Uint16(data[2:4]))
 	if total < ihl || total > len(data) {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if Checksum(data[:ihl]) != 0 {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	ip := &IPv4{
-		TOS:      data[1],
-		ID:       binary.BigEndian.Uint16(data[4:6]),
-		TTL:      data[8],
-		Protocol: data[9],
-		contents: data[:ihl],
-		payload:  data[ihl:total],
-	}
+	ip.TOS = data[1]
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.contents = data[:ihl]
+	ip.payload = data[ihl:total]
 	copy(ip.SrcIP[:], data[12:16])
 	copy(ip.DstIP[:], data[16:20])
-	return ip, nil
+	return nil
 }
 
 // Checksum computes the RFC 1071 Internet checksum over data. Computing it

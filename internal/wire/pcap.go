@@ -86,15 +86,30 @@ type PcapReader struct {
 	// LinkType is the link type from the global header, valid after the
 	// first Read.
 	LinkType uint32
+	// hdr is the header read scratch. Passing a stack array through the
+	// io.Reader interface would force a heap escape per record; a struct
+	// field keeps NextInto allocation-free.
+	hdr [24]byte
 }
 
 // NewPcapReader returns a reader over a pcap stream.
 func NewPcapReader(r io.Reader) *PcapReader { return &PcapReader{r: r} }
 
+// Reset rewinds the reader onto a new stream, keeping no state from the
+// previous one. It lets one PcapReader ingest many files without
+// reallocating.
+func (pr *PcapReader) Reset(r io.Reader) {
+	pr.r = r
+	pr.readHd = false
+	pr.bigEndian = false
+	pr.order = nil
+	pr.LinkType = 0
+}
+
 // readHeader consumes and validates the global header.
 func (pr *PcapReader) readHeader() error {
-	var h [24]byte
-	if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+	h := pr.hdr[:24]
+	if _, err := io.ReadFull(pr.r, h); err != nil {
 		return fmt.Errorf("wire: reading pcap header: %w", err)
 	}
 	switch binary.LittleEndian.Uint32(h[0:4]) {
@@ -110,33 +125,49 @@ func (pr *PcapReader) readHeader() error {
 	return nil
 }
 
-// Read returns the next record, or io.EOF at end of stream.
+// Read returns the next record, or io.EOF at end of stream. Each call
+// allocates a fresh Data buffer; streaming callers that can reuse one
+// buffer should use NextInto instead.
 func (pr *PcapReader) Read() (PcapRecord, error) {
+	var rec PcapRecord
+	if err := pr.NextInto(&rec); err != nil {
+		return PcapRecord{}, err
+	}
+	return rec, nil
+}
+
+// NextInto reads the next record into rec, reusing rec.Data's capacity, and
+// returns io.EOF at end of stream. The record body is only valid until the
+// next NextInto call on the same rec; callers that retain it must copy.
+func (pr *PcapReader) NextInto(rec *PcapRecord) error {
 	if !pr.readHd {
 		if err := pr.readHeader(); err != nil {
-			return PcapRecord{}, err
+			return err
 		}
 		pr.readHd = true
 	}
-	var h [16]byte
-	if _, err := io.ReadFull(pr.r, h[:]); err != nil {
+	h := pr.hdr[:16]
+	if _, err := io.ReadFull(pr.r, h); err != nil {
 		if err == io.EOF {
-			return PcapRecord{}, io.EOF
+			return io.EOF
 		}
-		return PcapRecord{}, fmt.Errorf("wire: reading pcap record header: %w", err)
+		return fmt.Errorf("wire: reading pcap record header: %w", err)
 	}
 	sec := pr.order.Uint32(h[0:4])
 	usec := pr.order.Uint32(h[4:8])
 	capLen := pr.order.Uint32(h[8:12])
 	if capLen > DefaultSnapLen {
-		return PcapRecord{}, fmt.Errorf("wire: pcap record too large (%d bytes)", capLen)
+		return fmt.Errorf("wire: pcap record too large (%d bytes)", capLen)
 	}
-	data := make([]byte, capLen)
-	if _, err := io.ReadFull(pr.r, data); err != nil {
-		return PcapRecord{}, fmt.Errorf("wire: reading pcap record body: %w", err)
+	if cap(rec.Data) < int(capLen) {
+		rec.Data = make([]byte, capLen)
 	}
-	ts := time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond
-	return PcapRecord{Time: ts, Data: data}, nil
+	rec.Data = rec.Data[:capLen]
+	if _, err := io.ReadFull(pr.r, rec.Data); err != nil {
+		return fmt.Errorf("wire: reading pcap record body: %w", err)
+	}
+	rec.Time = time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond
+	return nil
 }
 
 // ReadAll drains the stream into a slice of records.

@@ -125,33 +125,42 @@ func (t *TCP) Encode(src, dst [4]byte, payload []byte) ([]byte, error) {
 // addresses; pass verifyChecksum=false to skip checksum validation (useful
 // for deliberately corrupted test inputs).
 func DecodeTCP(data []byte, src, dst [4]byte, verifyChecksum bool) (*TCP, error) {
+	t := &TCP{}
+	if err := decodeTCPInto(data, src, dst, verifyChecksum, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// decodeTCPInto parses a TCP segment into t, overwriting every field
+// (SACKBlocks keeps its backing array) so the struct can be reused across
+// packets without allocation.
+func decodeTCPInto(data []byte, src, dst [4]byte, verifyChecksum bool, t *TCP) error {
 	if len(data) < TCPHeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	hl := int(data[12]>>4) * 4
 	if hl < TCPHeaderLen || len(data) < hl {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if verifyChecksum {
 		pseudo := pseudoHeaderSum(src, dst, ProtoTCP, len(data))
 		if checksumWithPseudo(pseudo, data) != 0 {
-			return nil, ErrBadChecksum
+			return ErrBadChecksum
 		}
 	}
-	t := &TCP{
-		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
-		DstPort:  binary.BigEndian.Uint16(data[2:4]),
-		Seq:      binary.BigEndian.Uint32(data[4:8]),
-		Ack:      binary.BigEndian.Uint32(data[8:12]),
-		Flags:    data[13],
-		Window:   binary.BigEndian.Uint16(data[14:16]),
-		contents: data[:hl],
-		payload:  data[hl:],
-	}
-	if err := t.parseOptions(data[TCPHeaderLen:hl]); err != nil {
-		return nil, err
-	}
-	return t, nil
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.HasTimestamps = false
+	t.TSVal, t.TSEcr = 0, 0
+	t.SACKBlocks = t.SACKBlocks[:0]
+	t.contents = data[:hl]
+	t.payload = data[hl:]
+	return t.parseOptions(data[TCPHeaderLen:hl])
 }
 
 // parseOptions walks the options area, extracting Timestamps and skipping
@@ -217,18 +226,32 @@ func (p *Packet) PayloadLen() int { return len(p.TCP.LayerPayload()) }
 // DecodePacket decodes an IPv4/TCP packet from raw bytes, verifying both
 // checksums.
 func DecodePacket(data []byte) (*Packet, error) {
-	ip, err := DecodeIPv4(data)
-	if err != nil {
+	p := &Packet{}
+	if err := DecodePacketInto(data, p); err != nil {
 		return nil, err
 	}
-	if ip.Protocol != ProtoTCP {
-		return nil, fmt.Errorf("wire: unsupported IP protocol %d", ip.Protocol)
+	return p, nil
+}
+
+// DecodePacketInto decodes an IPv4/TCP packet into pkt, reusing its layer
+// structs across calls: after the first decode no allocation happens (the
+// SACK-block slice grows once to the stream's maximum). The decoded layers
+// alias data and stay valid only as long as the caller's buffer does.
+func DecodePacketInto(data []byte, pkt *Packet) error {
+	if pkt.IP == nil {
+		pkt.IP = &IPv4{}
 	}
-	tcp, err := DecodeTCP(ip.LayerPayload(), ip.SrcIP, ip.DstIP, true)
-	if err != nil {
-		return nil, err
+	if pkt.TCP == nil {
+		pkt.TCP = &TCP{}
 	}
-	return &Packet{IP: ip, TCP: tcp, raw: data}, nil
+	pkt.raw = data
+	if err := decodeIPv4Into(data, pkt.IP); err != nil {
+		return err
+	}
+	if pkt.IP.Protocol != ProtoTCP {
+		return fmt.Errorf("wire: unsupported IP protocol %d", pkt.IP.Protocol)
+	}
+	return decodeTCPInto(pkt.IP.LayerPayload(), pkt.IP.SrcIP, pkt.IP.DstIP, true, pkt.TCP)
 }
 
 // EncodePacket builds raw bytes for an IPv4/TCP packet with the given
