@@ -494,6 +494,18 @@ func BenchmarkObsEnabledSpanNoSink(b *testing.B) {
 	}
 }
 
+// BenchmarkObsFlightNote pins the flight recorder's acceptance bound: one
+// append must stay at or under ~50 ns and never allocate, cheap enough to
+// leave always-on under every span end and metric update.
+func BenchmarkObsFlightNote(b *testing.B) {
+	f := obs.NewFlightRecorder(obs.DefaultFlightEvents)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Note("metric", "bench", 1.5)
+	}
+}
+
 // BenchmarkLossResponseSynthesis exercises the §3 generalization claim:
 // synthesizing the on-loss window update from observed loss reactions.
 func BenchmarkLossResponseSynthesis(b *testing.B) {

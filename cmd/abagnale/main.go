@@ -23,8 +23,13 @@
 //
 // Observability: -v streams live search progress to stderr, -events writes
 // the span/metric stream as JSONL, -metrics-json writes the end-of-run
-// report (counters, wall-clock per phase, per-iteration bucket ranks), and
-// -cpuprofile/-memprofile capture pprof profiles.
+// report (counters, wall-clock per phase, per-iteration bucket ranks),
+// -serve hosts the live observability server (/metrics, /runs, /events,
+// /flight, /debug/pprof), -trace-out exports a Perfetto/Chrome trace-event
+// timeline, -explain prints the per-bucket convergence table, -version
+// prints build info, and -cpuprofile/-memprofile capture pprof profiles.
+// SIGQUIT (ctrl-\) dumps the flight recorder to stderr without stopping
+// the run; a failed search dumps its tail automatically.
 package main
 
 import (
@@ -32,12 +37,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/core"
@@ -62,12 +71,13 @@ func main() {
 		glob    = flag.String("glob", "", "batch mode: synthesize one handler per file matching this pattern")
 		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "batch mode: concurrent trace jobs")
 		report  = flag.String("report", "", "batch mode: write the aggregate JSON report here (default stdout)")
+		explain = flag.Bool("explain", false, "print the per-bucket convergence table after the search")
 		of      obs.Flags
 	)
 	of.Register(flag.CommandLine)
 	flag.Parse()
 	batch := *dir != "" || *glob != ""
-	if flag.NArg() == 0 && !batch {
+	if flag.NArg() == 0 && !batch && !of.ShowVersion {
 		fmt.Fprintln(os.Stderr, "abagnale: no pcap files given")
 		flag.Usage()
 		os.Exit(2)
@@ -88,9 +98,20 @@ func main() {
 	var runErr error
 	if batch {
 		runErr = runBatch(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed,
-			*dir, *glob, *jobs, *report, reg, flag.Args())
+			*dir, *glob, *jobs, *report, *explain, reg, flag.Args())
 	} else {
-		runErr = run(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed, reg, flag.Args())
+		runErr = run(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed, *explain, reg, flag.Args())
+	}
+	if runErr != nil {
+		// A failed search dumps the flight recorder's tail — the last thing
+		// the pipeline was doing when it went wrong.
+		if tail := reg.Flight().Tail(64); len(tail) > 0 {
+			fmt.Fprintln(os.Stderr, "abagnale: flight recorder tail (newest last):")
+			enc := json.NewEncoder(os.Stderr)
+			for _, ev := range tail {
+				_ = enc.Encode(ev)
+			}
+		}
 	}
 	if err := done(); err != nil && runErr == nil {
 		runErr = err
@@ -121,7 +142,7 @@ func pickDSL(dslName, hintCCA, metricName string) (string, *dsl.DSL, dist.Metric
 	return dslName, d, m, nil
 }
 
-func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, reg *obs.Registry, files []string) error {
+func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, explain bool, reg *obs.Registry, files []string) error {
 	dslName, d, m, err := pickDSL(dslName, hintCCA, metricName)
 	if err != nil {
 		return err
@@ -170,6 +191,10 @@ func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSe
 	if res.Stats.BudgetExhausted {
 		fmt.Println("note: handler budget exhausted; result is best-so-far (paper's timeout behavior)")
 	}
+	if explain {
+		fmt.Println("\nbucket convergence:")
+		printExplain(os.Stdout, res.Stats.Buckets)
+	}
 	reg.Record("abagnale.result", map[string]any{
 		"dsl":      dslName,
 		"metric":   metricName,
@@ -178,6 +203,54 @@ func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSe
 		"segments": len(segs),
 	})
 	return nil
+}
+
+// printExplain renders the per-bucket convergence table (-explain): how
+// Algorithm 1 split the candidate budget across operator buckets, how hard
+// the fast path pruned each one, and how each bucket's best distance moved
+// per refinement iteration. Buckets arrive best-first from SearchStats.
+func printExplain(w io.Writer, buckets []core.BucketStats) {
+	if len(buckets) == 0 {
+		fmt.Fprintln(w, "  (no bucket telemetry — search never completed an iteration)")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  rank\tops\titers\tsketches\thandlers\tpruned\tbest\ttrajectory")
+	for i, b := range buckets {
+		exhausted := ""
+		if b.Exhausted {
+			exhausted = "*"
+		}
+		fmt.Fprintf(tw, "  %d\t%s%s\t%d\t%d\t%d\t%.0f%%\t%s\t%s\n",
+			i+1, b.Ops, exhausted, b.Iterations, b.SketchesTaken, b.HandlersScored,
+			100*b.PruneRate(), fmtDist(b.Best), fmtTrajectory(b.Trajectory))
+	}
+	tw.Flush()
+}
+
+// fmtDist renders a distance compactly; +Inf (no viable candidate) as "-".
+func fmtDist(d float64) string {
+	if math.IsInf(d, 0) || math.IsNaN(d) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", d)
+}
+
+// fmtTrajectory joins the last few per-iteration bests into an arrow chain.
+func fmtTrajectory(traj []float64) string {
+	const keep = 6
+	var b strings.Builder
+	if len(traj) > keep {
+		b.WriteString("… ")
+		traj = traj[len(traj)-keep:]
+	}
+	for i, d := range traj {
+		if i > 0 {
+			b.WriteString(" > ")
+		}
+		b.WriteString(fmtDist(d))
+	}
+	return b.String()
 }
 
 // batchFiles collects the batch input set: -dir's *.pcap files, -glob's
@@ -221,7 +294,7 @@ func slicesCompact(s []string) []string {
 
 // runBatch is the -dir/-glob mode: one synthesis per pcap, all sharing a
 // compiled sketch corpus and one CPU gate, plus an aggregate JSON report.
-func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, dir, glob string, jobs int, reportPath string, reg *obs.Registry, args []string) error {
+func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, dir, glob string, jobs int, reportPath string, explain bool, reg *obs.Registry, args []string) error {
 	dslName, d, m, err := pickDSL(dslName, hintCCA, metricName)
 	if err != nil {
 		return err
@@ -277,6 +350,12 @@ func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, 
 		}
 		fmt.Fprintf(os.Stderr, "%s: cwnd <- %s  (distance %.2f, %v)\n",
 			t.Name, t.Handler, t.Distance, t.Duration.Round(time.Millisecond))
+		if explain {
+			// The table goes to stderr with the other per-trace chatter so
+			// stdout stays reserved for the JSON report.
+			fmt.Fprintf(os.Stderr, "%s: bucket convergence:\n", t.Name)
+			printExplain(os.Stderr, t.Stats.Buckets)
+		}
 	}
 	if res.Interrupted {
 		fmt.Fprintln(os.Stderr, "interrupted — per-trace rows hold best-so-far")

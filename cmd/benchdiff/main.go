@@ -36,11 +36,16 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// snapshot is the JSON shape of one recorded bench run.
+// snapshot is the JSON shape of one recorded bench run. Build stamps the
+// recording binary (module version + VCS revision) so archived snapshots
+// stay attributable to a commit.
 type snapshot struct {
 	Timestamp  string                        `json:"timestamp"`
+	Build      *obs.BuildInfo                `json:"build,omitempty"`
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
 
@@ -60,8 +65,13 @@ func main() {
 		dir       = flag.String("dir", "bench", "snapshot directory")
 		record    = flag.Bool("record", false, "write this run as a new JSON snapshot")
 		threshold = flag.Float64("threshold", 0.20, "regression tolerance (fraction)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.ReadBuild().String())
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -121,6 +131,9 @@ func parseBench(r io.Reader) (*snapshot, error) {
 	s := &snapshot{
 		Timestamp:  time.Now().UTC().Format("20060102-150405"),
 		Benchmarks: map[string]map[string]float64{},
+	}
+	if b := obs.ReadBuild(); b != (obs.BuildInfo{}) {
+		s.Build = &b
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

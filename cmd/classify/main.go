@@ -36,7 +36,7 @@ func main() {
 	)
 	of.Register(flag.CommandLine)
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && !of.ShowVersion {
 		fmt.Fprintln(os.Stderr, "classify: no pcap files given")
 		flag.Usage()
 		os.Exit(2)

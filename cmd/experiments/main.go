@@ -47,7 +47,7 @@ func main() {
 	)
 	of.Register(flag.CommandLine)
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && !of.ShowVersion {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -193,7 +193,9 @@ func run(name string, args []string, scale experiments.Scale, jobs int) error {
 // CCA is an independent synthesis run that can take minutes at full scale;
 // with jobs > 1 up to that many run concurrently (the simulated datasets
 // are cached per-CCA and every run uses its own trace, so rows are
-// identical to a sequential run — only the streaming order varies).
+// identical to a sequential run — only the streaming order varies). All
+// per-row output funnels through one obs.LineSink so concurrent rows never
+// interleave mid-block.
 func runTable2(ccas []string, scale experiments.Scale, jobs int) ([]experiments.Table2Row, error) {
 	if jobs < 1 {
 		jobs = 1
@@ -202,7 +204,7 @@ func runTable2(ccas []string, scale experiments.Scale, jobs int) ([]experiments.
 	errs := make([]error, len(ccas))
 	sem := make(chan struct{}, jobs)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes streamed row output
+	sink := obs.NewLineSink(os.Stdout)
 	for i, cca := range ccas {
 		sem <- struct{}{}
 		wg.Add(1)
@@ -212,9 +214,7 @@ func runTable2(ccas []string, scale experiments.Scale, jobs int) ([]experiments.
 			rs, err := experiments.Table2([]string{cca}, scale, nil)
 			rows[i], errs[i] = rs, err
 			if err == nil && len(rs) > 0 {
-				mu.Lock()
-				fmt.Print(experiments.FormatTable2(rs[len(rs)-1:]))
-				mu.Unlock()
+				sink.Print(experiments.FormatTable2(rs[len(rs)-1:]))
 			}
 		}(i, cca)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cca"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -30,9 +31,14 @@ func main() {
 		loss     = flag.Float64("loss", 0.0005, "random loss rate (measurement noise)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		list     = flag.Bool("list", false, "list available CCAs and exit")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(obs.ReadBuild().String())
+		return
+	}
 	if *list {
 		fmt.Println(strings.Join(cca.Names(), "\n"))
 		return

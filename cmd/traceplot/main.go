@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/dsl"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -39,9 +40,14 @@ func main() {
 		minSeg  = flag.Int("min-segment", 16, "minimum ACK samples per segment")
 		width   = flag.Int("width", 72, "chart width")
 		height  = flag.Int("height", 18, "chart height")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Var(&handlers, "handler", "DSL expression to replay over the trace (repeatable)")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.ReadBuild().String())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "traceplot: exactly one pcap file expected")
 		flag.Usage()

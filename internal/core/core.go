@@ -122,6 +122,10 @@ type Options struct {
 	Gate Gate
 	// Seed drives all sampling; runs are reproducible.
 	Seed int64
+	// RunName labels this run on the registry's live Board (the /runs
+	// view of a -serve'd process). Empty uses "synthesize". The batch
+	// engine sets it to the trace name so /runs shows per-trace state.
+	RunName string
 	// Obs receives the run's metrics, spans, per-iteration records and
 	// progress stream. Nil disables instrumentation at near-zero cost
 	// (nil-receiver no-ops); it never changes search behavior.
@@ -256,6 +260,9 @@ type SearchStats struct {
 	SpaceBuckets int
 	// Iterations holds per-iteration detail.
 	Iterations []IterationStats
+	// Buckets holds per-bucket search telemetry, best-first — the
+	// bucket-level story of Algorithm 1's convergence (-explain).
+	Buckets []BucketStats
 	// HandlersScored is the total number of concrete handlers evaluated.
 	HandlersScored int
 	// SketchesScored is the total number of sketches sampled.
@@ -265,6 +272,85 @@ type SearchStats struct {
 	// Interrupted reports that context cancellation stopped the loop;
 	// the Result still carries the best handler seen up to that point.
 	Interrupted bool
+}
+
+// BucketStats is one bucket's cumulative search telemetry: how much of
+// the candidate budget it consumed, how hard the threshold-aware fast
+// path pruned it, and how its best distance moved per refinement
+// iteration.
+type BucketStats struct {
+	// Ops is the bucket key.
+	Ops dsl.OpSet
+	// Iterations is how many refinement iterations the bucket stayed
+	// live (was sampled and ranked).
+	Iterations int
+	// SketchesTaken is the enumeration prefix length the bucket reached.
+	SketchesTaken int
+	// HandlersScored is the candidate budget the bucket spent.
+	HandlersScored int
+	// Pruned counts scored candidates settled inexactly — abandoned by
+	// the lower-bound/early-abandon cascade (or a dominating cache
+	// entry) before the full distance was computed.
+	Pruned int
+	// Exhausted reports the bucket's enumeration completed (cap or scan
+	// budget included).
+	Exhausted bool
+	// Best is the bucket's best sampled handler distance (+Inf when no
+	// viable candidate scored).
+	Best float64
+	// Trajectory is Best after each iteration the bucket was live.
+	Trajectory []float64
+}
+
+// PruneRate is Pruned/HandlersScored (0 when nothing was scored).
+func (b *BucketStats) PruneRate() float64 {
+	if b.HandlersScored == 0 {
+		return 0
+	}
+	return float64(b.Pruned) / float64(b.HandlersScored)
+}
+
+// BucketReport is the JSON shape of one "core.bucket" obs record,
+// derived from BucketStats.
+type BucketReport struct {
+	Ops        string        `json:"ops"`
+	Iterations int           `json:"iterations"`
+	Sketches   int           `json:"sketches"`
+	Handlers   int           `json:"handlers"`
+	Pruned     int           `json:"pruned"`
+	PruneRate  float64       `json:"prune_rate"`
+	Exhausted  bool          `json:"exhausted"`
+	Best       ReportFloat   `json:"best"`
+	Trajectory []ReportFloat `json:"trajectory"`
+}
+
+// BestImprovedReport is the JSON shape of a "core.best_improved" obs
+// record, emitted whenever the global best distance improves — rendered
+// as an instant event (annotated with the producing bucket) on exported
+// trace-event timelines.
+type BestImprovedReport struct {
+	Bucket   string      `json:"bucket"`
+	Distance ReportFloat `json:"distance"`
+	Handler  string      `json:"handler"`
+}
+
+// bucketReport renders a BucketStats for the obs record stream.
+func bucketReport(b BucketStats) BucketReport {
+	rep := BucketReport{
+		Ops:        b.Ops.String(),
+		Iterations: b.Iterations,
+		Sketches:   b.SketchesTaken,
+		Handlers:   b.HandlersScored,
+		Pruned:     b.Pruned,
+		PruneRate:  b.PruneRate(),
+		Exhausted:  b.Exhausted,
+		Best:       ReportFloat(b.Best),
+		Trajectory: make([]ReportFloat, len(b.Trajectory)),
+	}
+	for i, d := range b.Trajectory {
+		rep.Trajectory[i] = ReportFloat(d)
+	}
+	return rep
 }
 
 // Result is a completed synthesis.
@@ -340,6 +426,8 @@ type runState struct {
 	gate    Gate
 	holding bool // this goroutine holds a slot of an external Gate
 
+	live *obs.Run // this run's live Board entry (nil no-ops)
+
 	obsv         *obs.Registry
 	cHandlers    *obs.Counter
 	cSketches    *obs.Counter
@@ -370,12 +458,27 @@ type bucket struct {
 	exhausted bool
 	score     float64
 	best      scoredHandler
+
+	// Search telemetry (SearchStats.Buckets / the -explain table).
+	// handlers/pruned are written by the bucket's own scoring worker,
+	// iters/traj by the coordinator between iterations.
+	handlers int
+	pruned   int
+	iters    int
+	traj     []float64
 }
 
 // run executes Algorithm 1.
 func (r *runState) run() (*Result, error) {
 	root := r.obsv.StartSpan("core.synthesize")
 	defer root.End()
+
+	name := r.opts.RunName
+	if name == "" {
+		name = "synthesize"
+	}
+	r.live = r.obsv.Board().Start(name, int64(r.opts.MaxHandlers))
+	r.live.SetPhase("enumerate")
 
 	r.src = r.opts.Sketches
 	if r.src == nil {
@@ -413,6 +516,8 @@ func (r *runState) run() (*Result, error) {
 	live := r.buckets
 	for {
 		iterIdx++
+		r.live.SetIteration(iterIdx)
+		r.live.SetPhase("select_segments")
 		isp := root.Child("core.iteration")
 		ssp := isp.Child("core.select_segments")
 		var segs []*trace.Segment
@@ -425,9 +530,11 @@ func (r *runState) run() (*Result, error) {
 		setID := r.segmentSetID(segs)
 		ssp.End()
 
+		r.live.SetPhase("score")
 		scsp := isp.Child("core.score")
-		handlers := r.scoreBuckets(live, n, scorer, setID)
+		handlers := r.scoreBuckets(live, n, scorer, setID, scsp)
 		scsp.End()
+		r.live.SetPhase("rank")
 
 		// Drop buckets that turned out empty, then rank.
 		nonEmpty := live[:0:0]
@@ -448,7 +555,9 @@ func (r *runState) run() (*Result, error) {
 				r.stats.Interrupted = true
 				break
 			}
-			return nil, errors.New("core: the DSL's sketch space is empty")
+			err := errors.New("core: the DSL's sketch space is empty")
+			r.live.Finish(err)
+			return nil, err
 		}
 		sort.SliceStable(live, func(i, j int) bool { return live[i].score < live[j].score })
 
@@ -460,6 +569,8 @@ func (r *runState) run() (*Result, error) {
 		}
 		for _, b := range live {
 			it.Ranking = append(it.Ranking, BucketRank{Ops: b.ops, Score: b.score})
+			b.iters++
+			b.traj = append(b.traj, b.score)
 		}
 
 		// only-top-k: keep buckets scoring no worse than the k-th (§4.4:
@@ -511,24 +622,60 @@ func (r *runState) run() (*Result, error) {
 		nseg += 2
 	}
 
+	r.finishBucketStats()
 	if r.best.handler == nil {
-		if err := r.ctx.Err(); err != nil {
-			return nil, err
+		err := r.ctx.Err()
+		if err == nil {
+			err = errors.New("core: no viable handler found (all candidates diverged)")
 		}
-		return nil, errors.New("core: no viable handler found (all candidates diverged)")
+		r.live.Finish(err)
+		return nil, err
 	}
 	// Report the final handler's distance over the full segment set.
+	r.live.SetPhase("final_distance")
 	fsp := root.Child("core.final_distance")
 	final, _ := replay.NewScorer(r.segs, r.opts.Metric).WithPrograms(r.opts.Programs).
 		Score(r.best.handler, math.Inf(1))
 	fsp.End()
 	r.stats.HandlersScored = r.scored
+	r.live.SetBest(final, r.best.handler.String())
+	r.live.Finish(nil)
 	return &Result{
 		Handler:  r.best.handler,
 		Sketch:   r.best.sketch,
 		Distance: final,
 		Stats:    r.stats,
 	}, nil
+}
+
+// finishBucketStats freezes per-bucket telemetry into SearchStats.Buckets
+// (best-first) and re-renders each row as a "core.bucket" obs record — the
+// run report's bucket-level account of where Algorithm 1 spent its budget
+// and why it converged where it did.
+func (r *runState) finishBucketStats() {
+	var bs []BucketStats
+	for _, b := range r.buckets {
+		if b.iters == 0 {
+			continue
+		}
+		bs = append(bs, BucketStats{
+			Ops:            b.ops,
+			Iterations:     b.iters,
+			SketchesTaken:  len(b.sketches),
+			HandlersScored: b.handlers,
+			Pruned:         b.pruned,
+			Exhausted:      b.exhausted,
+			Best:           b.score,
+			Trajectory:     b.traj,
+		})
+	}
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].Best < bs[j].Best })
+	r.stats.Buckets = bs
+	if r.obsv != nil {
+		for i := range bs {
+			r.obsv.Record("core.bucket", bucketReport(bs[i]))
+		}
+	}
 }
 
 // endIteration is the one place per-iteration accounting leaves the loop:
@@ -539,6 +686,11 @@ func (r *runState) run() (*Result, error) {
 func (r *runState) endIteration(sp *obs.Span, it IterationStats) {
 	r.stats.Iterations = append(r.stats.Iterations, it)
 	if r.obsv != nil {
+		// Cumulative cache traffic lands in the flight recorder once per
+		// iteration (per-hit notes would tax the scoring hot path).
+		f := r.obsv.Flight()
+		f.Note("counter", "core.score_cache_hits", float64(r.cCacheHits.Value()))
+		f.Note("counter", "core.score_cache_misses", float64(r.cCacheMisses.Value()))
 		r.obsv.Record("core.iteration", iterationReport(it, r.best.distance))
 		r.obsv.Progressf("iteration %d: N=%d over %d segments, %d handlers, kept %d/%d buckets, best %.2f",
 			it.Index, it.SamplesPerBucket, it.Segments, it.HandlersScored,
@@ -588,7 +740,7 @@ func (r *runState) segmentSetID(segs []*trace.Segment) uint64 {
 // identical result as ExactScoring for a fixed seed: a candidate is only
 // abandoned once its true score provably cannot improve the bucket, so
 // the sequence of bucket-best updates is the same in both modes.
-func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, setID uint64) int {
+func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, setID uint64, parent *obs.Span) int {
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -616,9 +768,12 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 		go func(b *bucket) {
 			defer wg.Done()
 			defer r.gate.Release()
+			// One span per scoring worker: its own lane on the exported
+			// timeline, and a "core.score_bucket" phase total.
+			wsp := parent.Child("core.score_bucket")
 			busy := time.Now()
 			b.sketches, b.exhausted = r.src.Take(b.ops, n, r.opts.BucketCap, r.opts.ScanBudget)
-			handlers := 0
+			handlers, pruned := 0, 0
 			for _, sk := range b.sketches {
 				if handlers >= perBkt {
 					break
@@ -626,14 +781,20 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 				if r.ctx.Err() != nil {
 					break
 				}
-				h, d, exact, hn := r.scoreSketch(sk, scorer, setID, b.score)
+				h, d, exact, hn, pn := r.scoreSketch(sk, scorer, setID, b.score)
 				handlers += hn
+				pruned += pn
+				r.live.AddHandlers(hn)
 				if exact && d < b.score {
 					b.score = d
 					b.best = scoredHandler{handler: h, sketch: sk, distance: d}
 				}
 			}
+			b.handlers += handlers
+			b.pruned += pruned
 			r.cBusyNS.Add(time.Since(busy).Nanoseconds())
+			wsp.SetAttr("ops", b.ops.String()).SetAttr("handlers", handlers)
+			wsp.End()
 			mu.Lock()
 			total += handlers
 			sketchN += len(b.sketches)
@@ -641,6 +802,16 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 				r.best = b.best
 				r.storeBest(b.best.distance)
 				r.obsv.Metric("core.best_distance", b.best.distance)
+				if r.obsv != nil {
+					// The timeline's instant event for an improvement,
+					// annotated with the bucket that produced it.
+					r.live.SetBest(b.best.distance, b.best.handler.String())
+					r.obsv.Record("core.best_improved", BestImprovedReport{
+						Bucket:   b.ops.String(),
+						Distance: ReportFloat(b.best.distance),
+						Handler:  b.best.handler.String(),
+					})
+				}
 			}
 			mu.Unlock()
 		}(b)
@@ -683,26 +854,33 @@ func (r *runState) cutoff(c float64) float64 {
 }
 
 // scoreSketch concretizes a sketch's holes from the constant pool and
-// returns the best handler, its distance (with its exactness flag), and
-// the number of handlers evaluated. Sampling is deterministic per
-// (sketch, seed). The pruning cutoff starts at the bucket's best and is
-// tightened only by exact results within the sketch, so an abandoned
+// returns the best handler, its distance (with its exactness flag), the
+// number of handlers evaluated, and how many of those were settled
+// inexactly (pruned by the early-abandon cascade or a dominating cache
+// entry — the bucket's prune-rate telemetry). Sampling is deterministic
+// per (sketch, seed). The pruning cutoff starts at the bucket's best and
+// is tightened only by exact results within the sketch, so an abandoned
 // candidate is always one whose true score could not have updated either
 // the sketch-best or the bucket-best.
-func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64, bucketBest float64) (*dsl.Node, float64, bool, int) {
+func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64, bucketBest float64) (*dsl.Node, float64, bool, int, int) {
 	holes := sk.Holes()
 	// One register program per sketch: every completion below executes it
 	// with patched constants and shares its hoisted prologue columns.
 	cs := scorer.CompileSketch(sk)
 	if holes == 0 {
 		d, exact := r.scoreHandler(sk, cs, nil, setID, r.cutoff(bucketBest))
-		return sk, d, exact, 1
+		pruned := 0
+		if !exact {
+			pruned = 1
+		}
+		return sk, d, exact, 1, pruned
 	}
 	pool := r.opts.DSL.Constants
 	assignments := completions(sk, pool, holes, r.opts.MaxCompletions, r.opts.Seed)
 	r.cCompletions.Add(int64(len(assignments)))
 	bestD := math.Inf(1)
 	bestExact := false
+	pruned := 0
 	var bestH *dsl.Node
 	for _, vals := range assignments {
 		h, err := sk.Bind(vals)
@@ -714,11 +892,14 @@ func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64
 			cut = bestD
 		}
 		d, exact := r.scoreHandler(h, cs, vals, setID, r.cutoff(cut))
+		if !exact {
+			pruned++
+		}
 		if d < bestD {
 			bestD, bestH, bestExact = d, h, exact
 		}
 	}
-	return bestH, bestD, bestExact, len(assignments)
+	return bestH, bestD, bestExact, len(assignments), pruned
 }
 
 // scoreHandler scores one concrete handler over the iteration's segment

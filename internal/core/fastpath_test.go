@@ -41,11 +41,29 @@ func TestFastPathMatchesExact(t *testing.T) {
 		if math.Float64bits(fast.Distance) != math.Float64bits(exact.Distance) {
 			t.Errorf("seed %d: fast distance %v != exact distance %v", seed, fast.Distance, exact.Distance)
 		}
-		if !reflect.DeepEqual(fast.Stats, exact.Stats) {
+		if !reflect.DeepEqual(stripPruneTelemetry(fast.Stats), stripPruneTelemetry(exact.Stats)) {
 			t.Errorf("seed %d: search trajectories diverged:\nfast:  %+v\nexact: %+v",
 				seed, fast.Stats, exact.Stats)
 		}
+		for _, b := range exact.Stats.Buckets {
+			if b.Pruned != 0 {
+				t.Errorf("seed %d: exact scoring reported %d pruned candidates in bucket %v", seed, b.Pruned, b.Ops)
+			}
+		}
 	}
+}
+
+// stripPruneTelemetry zeroes BucketStats.Pruned, the one per-bucket field
+// that is allowed to differ between the fast path and ExactScoring: it
+// counts candidates settled inexactly, which by construction is zero under
+// exact scoring and nonzero under pruning. Every other field — rankings,
+// budgets, trajectories — must still match bit-for-bit.
+func stripPruneTelemetry(s SearchStats) SearchStats {
+	s.Buckets = append([]BucketStats(nil), s.Buckets...)
+	for i := range s.Buckets {
+		s.Buckets[i].Pruned = 0
+	}
+	return s
 }
 
 // TestFastPathCacheAndPruningCounters checks the instruments: a default

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/obs"
+)
+
+// TestSearchBucketTelemetry pins the per-bucket search accounting a run
+// must leave behind: every live bucket reported best-first, candidate
+// budgets that sum to the run totals, prune counts on the (default) fast
+// path, and a "core.bucket" obs record per bucket.
+func TestSearchBucketTelemetry(t *testing.T) {
+	segs := segmentsFor(t, "reno")
+	reg := obs.New()
+	opts := quickOpts(dsl.Reno())
+	opts.Obs = reg
+	res, err := Synthesize(context.Background(), segs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := res.Stats.Buckets
+	if len(buckets) == 0 {
+		t.Fatal("no bucket telemetry recorded")
+	}
+	var handlers, pruned int
+	for i, b := range buckets {
+		if b.Iterations == 0 {
+			t.Errorf("bucket %v reported with zero iterations", b.Ops)
+		}
+		if len(b.Trajectory) != b.Iterations {
+			t.Errorf("bucket %v trajectory has %d points over %d iterations", b.Ops, len(b.Trajectory), b.Iterations)
+		}
+		if i > 0 && b.Best < buckets[i-1].Best {
+			t.Errorf("buckets not sorted best-first: %v (%v) after %v (%v)",
+				b.Ops, b.Best, buckets[i-1].Ops, buckets[i-1].Best)
+		}
+		if b.Pruned > b.HandlersScored {
+			t.Errorf("bucket %v pruned %d of %d scored", b.Ops, b.Pruned, b.HandlersScored)
+		}
+		// A bucket's trajectory is monotone non-increasing: the best can
+		// only improve.
+		for j := 1; j < len(b.Trajectory); j++ {
+			if b.Trajectory[j] > b.Trajectory[j-1] {
+				t.Errorf("bucket %v best regressed at iteration %d: %v", b.Ops, j, b.Trajectory)
+			}
+		}
+		handlers += b.HandlersScored
+		pruned += b.Pruned
+	}
+	if handlers != res.Stats.HandlersScored {
+		t.Errorf("bucket handler counts sum to %d, run scored %d", handlers, res.Stats.HandlersScored)
+	}
+	if pruned == 0 {
+		t.Error("fast path scored a whole run without pruning a single candidate")
+	}
+	if math.IsInf(buckets[0].Best, 1) {
+		t.Error("best bucket never scored a viable candidate")
+	}
+
+	recs := reg.Records("core.bucket")
+	if len(recs) != len(buckets) {
+		t.Fatalf("%d core.bucket records for %d buckets", len(recs), len(buckets))
+	}
+	raw, err := json.Marshal(recs[0])
+	if err != nil {
+		t.Fatalf("bucket record not JSON-marshalable: %v", err)
+	}
+	var rep BucketReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != buckets[0].Ops.String() || rep.Handlers != buckets[0].HandlersScored {
+		t.Errorf("record %+v does not mirror bucket %+v", rep, buckets[0])
+	}
+}
+
+// TestSynthesizeUpdatesBoard: a run with a registry publishes its live
+// state — named entry, terminal phase, final best — to the run board.
+func TestSynthesizeUpdatesBoard(t *testing.T) {
+	segs := segmentsFor(t, "reno")
+	reg := obs.New()
+	opts := quickOpts(dsl.Reno())
+	opts.Obs = reg
+	opts.RunName = "test/reno-run"
+	res, err := Synthesize(context.Background(), segs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := reg.Board().Get("test/reno-run")
+	if !ok {
+		t.Fatalf("run not on the board; have %+v", reg.Board().Snapshots())
+	}
+	if !snap.Done || snap.Phase != "done" || snap.Error != "" {
+		t.Errorf("terminal snapshot = %+v", snap)
+	}
+	if snap.HandlersScored != int64(res.Stats.HandlersScored) {
+		t.Errorf("board handlers %d, stats %d", snap.HandlersScored, res.Stats.HandlersScored)
+	}
+	if snap.BestDistance == nil || *snap.BestDistance != res.Distance {
+		t.Errorf("board best %v, result %v", snap.BestDistance, res.Distance)
+	}
+	if snap.BestHandler == "" {
+		t.Error("board missing best handler expression")
+	}
+
+	// Without a RunName the run publishes under the default name.
+	opts2 := quickOpts(dsl.Reno())
+	opts2.Obs = reg
+	if _, err := Synthesize(context.Background(), segs, opts2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Board().Get("synthesize"); !ok {
+		t.Errorf("default-named run missing; board = %+v", reg.Board().Snapshots())
+	}
+}

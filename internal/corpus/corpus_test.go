@@ -143,6 +143,23 @@ func TestBatchCounters(t *testing.T) {
 			t.Errorf("%s: empty stats in report: %+v", tr.Name, tr)
 		}
 	}
+	// Every job ran as its own board entry and its own corpus.job span —
+	// the live view /runs and trace-event exports are built from.
+	snaps := reg.Board().Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("board has %d runs, want 2: %+v", len(snaps), snaps)
+	}
+	for i, s := range snaps {
+		if s.Name != jobs[i].Name {
+			t.Errorf("board run %d = %q, want %q", i, s.Name, jobs[i].Name)
+		}
+		if !s.Done || s.Phase != "done" || s.BestDistance == nil {
+			t.Errorf("%s: board entry not finished: %+v", s.Name, s)
+		}
+	}
+	if ph := reg.Report().Phases["corpus.job"]; ph.Count != 2 {
+		t.Errorf("corpus.job span count = %d, want 2", ph.Count)
+	}
 }
 
 // TestCorpusSkipsReenumeration is the regression test for the tentpole's

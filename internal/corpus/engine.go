@@ -117,12 +117,19 @@ func Run(ctx context.Context, jobs []Job, opts RunOptions) (*BatchResult, error)
 	gate := core.NewGate(runtime.GOMAXPROCS(0))
 	jsem := make(chan struct{}, opts.Jobs)
 
+	// Register every job on the live board up front so /runs shows the
+	// whole batch — queued jobs included — from the first request.
+	for _, job := range jobs {
+		reg.Board().Start(job.Name, int64(base.MaxHandlers)).SetPhase("queued")
+	}
+
 	start := time.Now()
 	res := &BatchResult{Traces: make([]TraceResult, len(jobs))}
 	var wg sync.WaitGroup
 	for i, job := range jobs {
 		if ctx.Err() != nil {
 			res.Traces[i] = TraceResult{Name: job.Name, Err: ctx.Err()}
+			reg.Board().Start(job.Name, 0).Finish(ctx.Err())
 			continue
 		}
 		jsem <- struct{}{}
@@ -132,8 +139,11 @@ func Run(ctx context.Context, jobs []Job, opts RunOptions) (*BatchResult, error)
 			defer func() { <-jsem }()
 			o := base
 			o.Gate = gate
+			o.RunName = job.Name
+			jsp := reg.StartSpan("corpus.job").SetAttr("trace", job.Name)
 			t0 := time.Now()
 			r, err := core.Synthesize(ctx, job.Segments, o)
+			jsp.End()
 			tr := TraceResult{Name: job.Name, Duration: time.Since(t0), Err: err}
 			if r != nil {
 				tr.Handler = r.Handler.String()

@@ -93,6 +93,7 @@ func table2Row(name string, s Scale, cls *classify.Classifier) (Table2Row, error
 		ScanBudget:  s.ScanBudget,
 		Seed:        s.Seed,
 		Obs:         s.Obs,
+		RunName:     "table2/" + name,
 	})
 	row := Table2Row{CCA: name, DSLName: dslName, Segments: len(ds.Segments)}
 	if err != nil {

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestBoardNilSafety: the nil board/run chain (observability off) no-ops.
+func TestBoardNilSafety(t *testing.T) {
+	var r *Registry
+	b := r.Board()
+	if b != nil {
+		t.Fatal("nil registry returned a live board")
+	}
+	run := b.Start("x", 10)
+	if run != nil {
+		t.Fatal("nil board handed out a live run")
+	}
+	run.SetPhase("score")
+	run.SetIteration(1)
+	run.AddHandlers(5)
+	run.SetBest(1.5, "cwnd")
+	run.Finish(nil)
+	if got := b.Snapshots(); got != nil {
+		t.Errorf("nil board snapshots = %v", got)
+	}
+	if _, ok := b.Get("x"); ok {
+		t.Error("nil board found a run")
+	}
+}
+
+// TestBoardLifecycle walks one run from queued to done and checks the
+// snapshot JSON at each stage.
+func TestBoardLifecycle(t *testing.T) {
+	r := New()
+	b := r.Board()
+	if b != r.Board() {
+		t.Fatal("Board not cached")
+	}
+
+	run := b.Start("traces/cubic-03.pcap", 0)
+	run.SetPhase("queued")
+	s, ok := b.Get("traces/cubic-03.pcap")
+	if !ok || s.Phase != "queued" || s.Done || s.BestDistance != nil {
+		t.Errorf("queued snapshot = %+v", s)
+	}
+
+	// The core search adopts the queued entry: same Run, budget filled in.
+	adopted := b.Start("traces/cubic-03.pcap", 50000)
+	if adopted != run {
+		t.Error("re-Start created a second entry instead of adopting")
+	}
+	adopted.SetPhase("score")
+	adopted.SetIteration(2)
+	adopted.AddHandlers(800)
+	adopted.SetBest(4.25, "cwnd + 1/cwnd")
+
+	s, _ = b.Get("cubic-03.pcap") // base-name match
+	if s.Budget != 50000 || s.Iteration != 2 || s.HandlersScored != 800 {
+		t.Errorf("live snapshot = %+v", s)
+	}
+	if s.BestDistance == nil || *s.BestDistance != 4.25 {
+		t.Errorf("best distance = %v", s.BestDistance)
+	}
+
+	// Snapshot JSON: best_distance must be an explicit null pre-viability,
+	// a number afterwards.
+	pre := b.Start("other", 0)
+	raw, err := json.Marshal(mustSnap(t, b, "other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"best_distance":null`) {
+		t.Errorf("pre-viability best not null: %s", raw)
+	}
+	pre.SetBest(math.Inf(1), "") // +Inf stays null
+	if s, _ := b.Get("other"); s.BestDistance != nil {
+		t.Error("+Inf best rendered as a number")
+	}
+
+	adopted.Finish(nil)
+	s, _ = b.Get("traces/cubic-03.pcap")
+	if !s.Done || s.Phase != "done" || s.Error != "" || s.ETASec != nil {
+		t.Errorf("done snapshot = %+v", s)
+	}
+
+	if snaps := b.Snapshots(); len(snaps) != 2 || snaps[0].Name != "traces/cubic-03.pcap" || snaps[1].Name != "other" {
+		t.Errorf("snapshot order = %+v", snaps)
+	}
+}
+
+func mustSnap(t *testing.T, b *Board, name string) RunSnapshot {
+	t.Helper()
+	s, ok := b.Get(name)
+	if !ok {
+		t.Fatalf("run %q missing", name)
+	}
+	return s
+}
+
+// TestBoardFailedRun: Finish(err) records the failure.
+func TestBoardFailedRun(t *testing.T) {
+	r := New()
+	run := r.Board().Start("bad", 10)
+	run.Finish(errSentinel{})
+	s := mustSnap(t, r.Board(), "bad")
+	if !s.Done || s.Phase != "failed" || s.Error != "sketch space empty" {
+		t.Errorf("failed snapshot = %+v", s)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sketch space empty" }
+
+// TestBuildInfo: ReadBuild is cached and self-consistent, and its stamp
+// lands in the run report (the satellite contract: every archived report
+// names the binary that produced it).
+func TestBuildInfo(t *testing.T) {
+	b := ReadBuild()
+	if b == (BuildInfo{}) {
+		t.Skip("no build info in this test binary")
+	}
+	if b.GoVersion == "" {
+		t.Errorf("build info missing Go version: %+v", b)
+	}
+	if again := ReadBuild(); again != b {
+		t.Error("ReadBuild not stable")
+	}
+	if s := b.String(); s == "" || !strings.Contains(s, b.GoVersion) {
+		t.Errorf("String() = %q", s)
+	}
+	rep := New().Report()
+	if rep.Build == nil || *rep.Build != b {
+		t.Errorf("report build stamp = %+v, want %+v", rep.Build, b)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"go_version"`) {
+		t.Errorf("report JSON missing build info: %s", raw)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the binary a report or benchmark snapshot came
+// from: module version plus VCS state from debug.ReadBuildInfo. Archived
+// run reports and bench/BENCH_*.json files embed it so results stay
+// attributable to a commit.
+type BuildInfo struct {
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	var b BuildInfo
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	b.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// ReadBuild returns the running binary's build info (cached after the
+// first call). Binaries built outside a module ("go test" of old
+// toolchains) return a zero value.
+func ReadBuild() BuildInfo {
+	return buildOnce()
+}
+
+// String renders the one-line -version output.
+func (b BuildInfo) String() string {
+	mod := b.Module
+	if mod == "" {
+		mod = "(unknown module)"
+	}
+	ver := b.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	s := fmt.Sprintf("%s %s", mod, ver)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if b.Modified {
+			s += " (modified)"
+		}
+	}
+	if b.Time != "" {
+		s += " built " + b.Time
+	}
+	if b.GoVersion != "" {
+		s += " with " + b.GoVersion
+	}
+	return s
+}

@@ -4,13 +4,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 )
 
 // Flags bundles the observability command-line surface shared by every
 // tool: -v (live progress), -events (JSONL event stream), -metrics-json
-// (end-of-run report), -cpuprofile and -memprofile (pprof).
+// (end-of-run report), -serve (live HTTP server: /metrics, /runs,
+// /events, /flight, /debug/pprof), -trace-out (Perfetto/Chrome
+// trace-event timeline), -cpuprofile and -memprofile (pprof), and
+// -version (print build info and exit).
 //
 // Usage:
 //
@@ -25,27 +30,47 @@ type Flags struct {
 	MetricsJSON string
 	// Events is the path the JSONL event stream is written to ("" = off).
 	Events string
+	// Serve is the listen address of the live observability server
+	// ("" = off; ":0" picks a free port, printed to stderr).
+	Serve string
+	// TraceOut is the path the trace-event (Perfetto) timeline is written
+	// to on exit ("" = off).
+	TraceOut string
 	// CPUProfile and MemProfile are pprof output paths ("" = off).
 	CPUProfile string
 	MemProfile string
 	// Verbose attaches a progress sink on stderr.
 	Verbose bool
+	// ShowVersion prints build info and exits (handled inside Setup).
+	ShowVersion bool
 }
 
 // Register declares the flags on fs.
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.MetricsJSON, "metrics-json", "", "write the end-of-run metrics report (JSON) to this `file`")
 	fs.StringVar(&f.Events, "events", "", "stream span/metric events (JSONL) to this `file`")
+	fs.StringVar(&f.Serve, "serve", "", "serve live observability (/metrics, /runs, /events, /flight, /debug/pprof) on this `addr`")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Perfetto/Chrome trace-event timeline (JSON) to this `file`")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this `file`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this `file`")
 	fs.BoolVar(&f.Verbose, "v", false, "print live progress to stderr")
+	fs.BoolVar(&f.ShowVersion, "version", false, "print build information (module version, VCS revision) and exit")
 }
 
-// Setup builds the registry the flags ask for and starts profiling. The
-// registry is nil (observability fully disabled) when no metric-consuming
-// flag is set. The returned done func stops profiles, writes the report,
-// and closes sinks; it must be called even on error paths.
+// Setup builds the registry the flags ask for and starts profiling, the
+// live server, and the SIGQUIT flight-dump handler. The registry is nil
+// (observability fully disabled) when no metric-consuming flag is set;
+// when it is live, a flight recorder is always enabled — it is cheap
+// enough to leave on, and it is exactly the thing you want after a run
+// wedges. -version short-circuits: Setup prints build info to stdout and
+// exits 0. The returned done func stops profiles, shuts the server down,
+// writes the report, and closes sinks; it must be called even on error
+// paths.
 func (f *Flags) Setup() (*Registry, func() error, error) {
+	if f.ShowVersion {
+		fmt.Println(ReadBuild().String())
+		os.Exit(0)
+	}
 	var (
 		reg     *Registry
 		cpuOn   bool
@@ -74,8 +99,9 @@ func (f *Flags) Setup() (*Registry, func() error, error) {
 		})
 	}
 
-	if f.MetricsJSON != "" || f.Events != "" || f.Verbose {
+	if f.MetricsJSON != "" || f.Events != "" || f.Verbose || f.Serve != "" || f.TraceOut != "" {
 		reg = New()
+		reg.EnableFlight(DefaultFlightEvents)
 	}
 	if f.Verbose {
 		reg.Attach(NewProgressSink(os.Stderr))
@@ -86,6 +112,48 @@ func (f *Flags) Setup() (*Registry, func() error, error) {
 			return fail(err)
 		}
 		reg.Attach(NewJSONLSink(ef))
+	}
+	if f.TraceOut != "" {
+		tf, err := os.Create(f.TraceOut)
+		if err != nil {
+			return fail(err)
+		}
+		// The sink buffers and writes the complete timeline when the
+		// registry closes it (idempotent Close).
+		reg.Attach(NewTraceEventSink(tf))
+	}
+	if f.Serve != "" {
+		hub := NewEventHub()
+		reg.Attach(hub)
+		srv, err := Serve(f.Serve, reg, hub)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: live observability on http://%s (/metrics /runs /events /flight /debug/pprof)\n", srv.Addr())
+		closers = append(closers, srv.Close)
+	}
+	if reg != nil {
+		// SIGQUIT (ctrl-\) dumps the flight recorder without killing the
+		// run — the "what just happened" lever when a batch job stalls.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		stopped := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-quit:
+					fmt.Fprintln(os.Stderr, "obs: SIGQUIT — flight recorder dump:")
+					_ = reg.Flight().WriteJSONL(os.Stderr)
+				case <-stopped:
+					return
+				}
+			}
+		}()
+		closers = append(closers, func() error {
+			signal.Stop(quit)
+			close(stopped)
+			return nil
+		})
 	}
 	// The report file is opened up front so a bad path fails before the
 	// run rather than after it.

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightNilNoOps: the nil recorder (observability off, or flight never
+// enabled) must be safe everywhere.
+func TestFlightNilNoOps(t *testing.T) {
+	var f *FlightRecorder
+	f.Note("metric", "x", 1)
+	if got := f.Snapshot(); got != nil {
+		t.Errorf("nil snapshot = %v", got)
+	}
+	if got := f.Tail(10); got != nil {
+		t.Errorf("nil tail = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil dump wrote %q, %v", buf.String(), err)
+	}
+	var r *Registry
+	if r.EnableFlight(16) != nil || r.Flight() != nil {
+		t.Error("nil registry handed out a live recorder")
+	}
+}
+
+// TestFlightOrderAndWraparound fills the recorder past capacity and checks
+// the snapshot is the most recent events in strict sequence order.
+func TestFlightOrderAndWraparound(t *testing.T) {
+	const capacity = 64
+	f := NewFlightRecorder(capacity)
+	const total = capacity * 3
+	for i := 0; i < total; i++ {
+		f.Note("metric", "m", float64(i))
+	}
+	snap := f.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("snapshot kept %d events, want %d", len(snap), capacity)
+	}
+	for i, ev := range snap {
+		if i > 0 && ev.Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d: seq %d after %d", i, ev.Seq, snap[i-1].Seq)
+		}
+		// The retained window is exactly the newest `capacity` notes: values
+		// total-capacity .. total-1.
+		if want := float64(total - capacity + i); ev.Value != want {
+			t.Errorf("snapshot[%d].Value = %v, want %v", i, ev.Value, want)
+		}
+	}
+	tail := f.Tail(5)
+	if len(tail) != 5 || tail[4].Value != float64(total-1) {
+		t.Errorf("tail = %+v", tail)
+	}
+}
+
+// TestFlightConcurrentNoteAndSnapshot races many writers against snapshot
+// readers — the -race proof that striped appends and stripe-at-a-time
+// snapshots coexist. Every snapshotted event must be internally consistent
+// (Seq and Value agree, fields intact).
+func TestFlightConcurrentNoteAndSnapshot(t *testing.T) {
+	f := NewFlightRecorder(256)
+	const workers, perWorker = 8, 2000
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				f.Note("span", "core.score_bucket", float64(i))
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i, ev := range f.Snapshot() {
+				if ev.Seq == 0 || ev.Kind != "span" || ev.Name != "core.score_bucket" {
+					t.Errorf("torn event at %d: %+v", i, ev)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := f.seq.Load(); got != workers*perWorker {
+		t.Errorf("recorded %d notes, want %d", got, workers*perWorker)
+	}
+}
+
+// TestFlightWriteJSONL checks the dump format: one valid JSON object per
+// line, oldest first.
+func TestFlightWriteJSONL(t *testing.T) {
+	f := NewFlightRecorder(32)
+	f.Note("span", "core.iteration", 12.5)
+	f.Note("record", "core.bucket", 0)
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dumped %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var first, second FlightEvent
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Name != "core.iteration" || first.Value != 12.5 || second.Name != "core.bucket" {
+		t.Errorf("dump = %+v, %+v", first, second)
+	}
+	if second.Seq <= first.Seq {
+		t.Error("dump not oldest-first")
+	}
+}
+
+// TestRegistryFlightIntegration: once EnableFlight is on, span ends, metric
+// updates and records all land in the recorder — with no sink attached,
+// which is exactly the black-box-recorder configuration.
+func TestRegistryFlightIntegration(t *testing.T) {
+	r := New()
+	if r.Flight() != nil {
+		t.Fatal("flight recorder on before EnableFlight")
+	}
+	f := r.EnableFlight(128)
+	if f == nil || r.Flight() != f {
+		t.Fatal("EnableFlight did not install the recorder")
+	}
+	if again := r.EnableFlight(4096); again != f {
+		t.Error("EnableFlight not idempotent")
+	}
+	r.StartSpan("core.iteration").End()
+	r.Metric("core.best_distance", 3.25)
+	r.Record("core.bucket", map[string]any{"ops": "add"})
+	kinds := map[string]int{}
+	for _, ev := range f.Snapshot() {
+		kinds[ev.Kind]++
+	}
+	if kinds["span"] != 1 || kinds["metric"] != 1 || kinds["record"] != 1 {
+		t.Errorf("recorded kinds = %v, want one span, one metric, one record", kinds)
+	}
+}

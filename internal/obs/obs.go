@@ -50,6 +50,13 @@ type Registry struct {
 	// emit path never takes the registry lock.
 	sinks  atomic.Value
 	spanID atomic.Uint64
+
+	// flight is the optional always-on flight recorder (EnableFlight);
+	// nil means span/metric/record paths skip the note at the cost of one
+	// predictable branch.
+	flight atomic.Pointer[FlightRecorder]
+	// board is the live run board, created lazily by Board().
+	board *Board
 }
 
 // New returns an empty registry whose clock starts now.
@@ -92,7 +99,45 @@ func (r *Registry) Close() error {
 			first = err
 		}
 	}
-	return nil
+	return first
+}
+
+// EnableFlight attaches a flight recorder retaining the last capacity
+// events (DefaultFlightEvents when capacity <= 0) and returns it. Span
+// ends, metric updates and records note into it from then on. Enabling is
+// idempotent: an existing recorder is kept.
+func (r *Registry) EnableFlight(capacity int) *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	if f := r.flight.Load(); f != nil {
+		return f
+	}
+	if capacity <= 0 {
+		capacity = DefaultFlightEvents
+	}
+	f := NewFlightRecorder(capacity)
+	if !r.flight.CompareAndSwap(nil, f) {
+		return r.flight.Load()
+	}
+	return f
+}
+
+// Flight returns the registry's flight recorder (nil when not enabled; a
+// nil recorder no-ops, so callers may Note unconditionally).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight.Load()
+}
+
+// flightNote appends to the flight recorder when one is enabled.
+func (r *Registry) flightNote(kind, name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.flight.Load().Note(kind, name, v)
 }
 
 // hasSinks reports whether emitting an event would reach anyone.
@@ -392,6 +437,7 @@ func (r *Registry) Record(name string, payload any) {
 	}
 	r.records[name] = append(r.records[name], payload)
 	r.mu.Unlock()
+	r.flightNote("record", name, 0)
 	if r.hasSinks() {
 		r.emit(Event{T: r.since(), Kind: KindRecord, Name: name, Data: payload})
 	}

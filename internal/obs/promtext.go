@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry's instruments in Prometheus text
+// exposition format (version 0.0.4): counters first, then gauges, then
+// histograms, each family sorted by name — byte-for-byte deterministic for
+// a given set of instrument values, so two exposures of identical state
+// diff cleanly (pinned by TestPrometheusDeterministic).
+//
+// Dotted metric names are sanitized to the Prometheus grammar
+// ("core.handlers_scored" → "core_handlers_scored"). Histograms emit the
+// standard cumulative _bucket/_sum/_count series over the package's
+// base-2 buckets (zero-delta buckets are elided; cumulative counts stay
+// monotone) plus _p50/_p90/_p99 gauge estimates so dashboards without
+// PromQL histogram_quantile still see tail latencies. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, k := range sortedKeys(counters) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(gauges) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(gauges[k].Value())); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(hists) {
+		if err := writePromHistogram(w, promName(k), hists[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram family.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	s := h.Stats()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bucketUpper(i)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, cum, name, promFloat(s.Sum), name, s.Count); err != nil {
+		return err
+	}
+	if s.Count == 0 {
+		return nil
+	}
+	for _, q := range []struct {
+		suffix string
+		v      float64
+	}{{"_p50", s.P50}, {"_p90", s.P90}, {"_p99", s.P99}} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s gauge\n%s%s %s\n",
+			name, q.suffix, name, q.suffix, promFloat(q.v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted instrument name onto the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: the shortest
+// round-trippable form ("+Inf"/"-Inf"/"NaN" are FormatFloat's own
+// spellings, which match the exposition grammar).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -20,6 +20,9 @@ type PhaseStats struct {
 // Report is the end-of-run snapshot of everything a registry accumulated —
 // the run-report.json artifact future perf PRs diff against.
 type Report struct {
+	// Build stamps the producing binary (module version + VCS revision)
+	// so archived reports stay attributable to a commit.
+	Build *BuildInfo `json:"build,omitempty"`
 	// DurationSec is wall-clock from registry creation to snapshot.
 	DurationSec float64 `json:"duration_sec"`
 	// Counters, Gauges and Histograms hold every named instrument.
@@ -40,6 +43,9 @@ func (r *Registry) Report() *Report {
 		return nil
 	}
 	rep := &Report{DurationSec: time.Since(r.start).Seconds()}
+	if b := ReadBuild(); b != (BuildInfo{}) {
+		rep.Build = &b
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.counters) > 0 {

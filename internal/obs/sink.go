@@ -42,6 +42,48 @@ func (s *ProgressSink) Emit(ev Event) {
 // Close implements Sink.
 func (s *ProgressSink) Close() error { return nil }
 
+// LineSink serializes whole text blocks onto one writer — the funnel
+// concurrent jobs print results through so multi-line blocks from
+// different goroutines never interleave mid-line (cmd/experiments -jobs
+// streams Table 2 rows through one of these). It is also a Sink: progress
+// events render as plain lines on the same writer, under the same lock,
+// so streamed results and progress output cannot corrupt each other.
+type LineSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLineSink writes atomically serialized blocks to w.
+func NewLineSink(w io.Writer) *LineSink { return &LineSink{w: w} }
+
+// Print writes one block atomically with respect to other Print/Printf/
+// Emit calls on this sink.
+func (s *LineSink) Print(block string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprint(s.w, block)
+}
+
+// Printf formats and writes one block atomically.
+func (s *LineSink) Printf(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, format, args...)
+}
+
+// Emit implements Sink: progress events become plain lines.
+func (s *LineSink) Emit(ev Event) {
+	if ev.Kind != KindProgress {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintln(s.w, ev.Msg)
+}
+
+// Close implements Sink.
+func (s *LineSink) Close() error { return nil }
+
 // JSONLSink streams every event as one JSON object per line — the -events
 // format, suitable for jq pipelines and for replaying a run's timeline.
 type JSONLSink struct {

@@ -89,6 +89,7 @@ func (s *Span) End() time.Duration {
 	p := s.r.phase(s.name)
 	p.count.Add(1)
 	p.totalNS.Add(int64(d))
+	s.r.flightNote("span", s.name, float64(d)/float64(time.Millisecond))
 	if s.r.hasSinks() {
 		s.r.emit(Event{
 			T: s.r.since(), Kind: KindSpanEnd, Name: s.name,
@@ -108,6 +109,7 @@ func (r *Registry) Metric(name string, v float64) {
 		return
 	}
 	r.Gauge(name).Set(v)
+	r.flightNote("metric", name, v)
 	if r.hasSinks() {
 		r.emit(Event{T: r.since(), Kind: KindMetric, Name: name, Value: v})
 	}
