@@ -24,10 +24,13 @@
 // Observability: -v streams live search progress to stderr, -events writes
 // the span/metric stream as JSONL, -metrics-json writes the end-of-run
 // report (counters, wall-clock per phase, per-iteration bucket ranks),
-// -serve hosts the live observability server (/metrics, /runs, /events,
-// /flight, /debug/pprof), -trace-out exports a Perfetto/Chrome trace-event
-// timeline, -explain prints the per-bucket convergence table, -version
-// prints build info, and -cpuprofile/-memprofile capture pprof profiles.
+// -serve hosts the live observability server (/metrics, /healthz, /runs,
+// /runs/{name}/funnel, /events, /flight, /debug/pprof), -trace-out exports
+// a Perfetto/Chrome trace-event timeline, -explain prints the per-bucket
+// convergence and pruning-funnel tables, -ledger dumps a deterministic
+// sample of scored candidates as JSONL, -funnel writes the run's funnel
+// report (the funneldiff input), -version prints build info, and
+// -cpuprofile/-memprofile capture pprof profiles.
 // SIGQUIT (ctrl-\) dumps the flight recorder to stderr without stopping
 // the run; a failed search dumps its tail automatically.
 package main
@@ -71,7 +74,9 @@ func main() {
 		glob    = flag.String("glob", "", "batch mode: synthesize one handler per file matching this pattern")
 		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "batch mode: concurrent trace jobs")
 		report  = flag.String("report", "", "batch mode: write the aggregate JSON report here (default stdout)")
-		explain = flag.Bool("explain", false, "print the per-bucket convergence table after the search")
+		explain = flag.Bool("explain", false, "print the per-bucket convergence and pruning-funnel tables after the search")
+		ledger  = flag.String("ledger", "", "write a deterministic sampled candidate ledger (JSONL) here")
+		funnel  = flag.String("funnel", "", "write the run's pruning-funnel report (JSON, funneldiff input) here")
 		of      obs.Flags
 	)
 	of.Register(flag.CommandLine)
@@ -97,10 +102,14 @@ func main() {
 	defer stop()
 	var runErr error
 	if batch {
+		if *ledger != "" || *funnel != "" {
+			fmt.Fprintln(os.Stderr, "abagnale: -ledger/-funnel apply to single-trace runs; ignored in batch mode")
+		}
 		runErr = runBatch(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed,
 			*dir, *glob, *jobs, *report, *explain, reg, flag.Args())
 	} else {
-		runErr = run(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed, *explain, reg, flag.Args())
+		runErr = run(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed,
+			*explain, *ledger, *funnel, reg, flag.Args())
 	}
 	if runErr != nil {
 		// A failed search dumps the flight recorder's tail — the last thing
@@ -142,7 +151,7 @@ func pickDSL(dslName, hintCCA, metricName string) (string, *dsl.DSL, dist.Metric
 	return dslName, d, m, nil
 }
 
-func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, explain bool, reg *obs.Registry, files []string) error {
+func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, explain bool, ledgerPath, funnelPath string, reg *obs.Registry, files []string) error {
 	dslName, d, m, err := pickDSL(dslName, hintCCA, metricName)
 	if err != nil {
 		return err
@@ -167,12 +176,17 @@ func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSe
 	}
 	reg.Progressf("searching %s DSL over %d segments (budget %d handlers)", dslName, len(segs), budget)
 
+	var led *replay.Ledger
+	if ledgerPath != "" {
+		led = replay.NewLedger(0, seed)
+	}
 	start := time.Now()
 	res, err := core.Synthesize(ctx, segs, core.Options{
 		DSL:         d,
 		Metric:      m,
 		MaxHandlers: budget,
 		Seed:        seed,
+		Ledger:      led,
 		Obs:         reg,
 	})
 	if err != nil {
@@ -194,6 +208,21 @@ func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSe
 	if explain {
 		fmt.Println("\nbucket convergence:")
 		printExplain(os.Stdout, res.Stats.Buckets)
+		fmt.Println("\npruning funnel:")
+		printFunnel(os.Stdout, res.Stats)
+	}
+	if led != nil {
+		if err := writeLedger(ledgerPath, led); err != nil {
+			return err
+		}
+		fmt.Printf("candidate ledger: %d sampled candidates written to %s\n", led.Len(), ledgerPath)
+	}
+	if funnelPath != "" {
+		rep := core.NewRunFunnelReport(firstOf(files), handler.String(), res.Distance, res.Stats)
+		if err := writeJSONFile(funnelPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("funnel report written to %s\n", funnelPath)
 	}
 	reg.Record("abagnale.result", map[string]any{
 		"dsl":      dslName,
@@ -226,6 +255,60 @@ func printExplain(w io.Writer, buckets []core.BucketStats) {
 			100*b.PruneRate(), fmtDist(b.Best), fmtTrajectory(b.Trajectory))
 	}
 	tw.Flush()
+}
+
+// printFunnel renders the run's aggregate pruning funnel (-explain): for
+// each cascade stage, how many enumerated candidates settled there, their
+// share, and the DTW-cell cost attribution — cells the stage computed and
+// cells its settling saved relative to full passes.
+func printFunnel(w io.Writer, stats core.SearchStats) {
+	rep := stats.Funnel.Report()
+	if rep.Enumerated == 0 {
+		fmt.Fprintln(w, "  (no funnel telemetry — search never scored a candidate)")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  stage\tcandidates\tshare\tcells\tcells saved")
+	for _, s := range rep.Stages {
+		if s.Candidates == 0 && s.Cells == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "  %s\t%d\t%.1f%%\t%d\t%d\n",
+			s.Stage, s.Candidates, 100*s.Share, s.Cells, s.CellsSaved)
+	}
+	fmt.Fprintf(tw, "  total\t%d\t\t\t\n", rep.Enumerated)
+	tw.Flush()
+	fmt.Fprintf(w, "  new bests: %d\n", rep.NewBest)
+}
+
+// writeLedger dumps the sampled candidate ledger as JSONL.
+func writeLedger(path string, led *replay.Ledger) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := led.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeJSONFile writes v as indented JSON.
+func writeJSONFile(path string, v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// firstOf labels a single-trace run by its first input file.
+func firstOf(files []string) string {
+	if len(files) == 0 {
+		return ""
+	}
+	return files[0]
 }
 
 // fmtDist renders a distance compactly; +Inf (no viable candidate) as "-".
@@ -355,6 +438,8 @@ func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, 
 			// stdout stays reserved for the JSON report.
 			fmt.Fprintf(os.Stderr, "%s: bucket convergence:\n", t.Name)
 			printExplain(os.Stderr, t.Stats.Buckets)
+			fmt.Fprintf(os.Stderr, "%s: pruning funnel:\n", t.Name)
+			printFunnel(os.Stderr, t.Stats)
 		}
 	}
 	if res.Interrupted {

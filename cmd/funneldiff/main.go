@@ -1,0 +1,200 @@
+// Command funneldiff compares the pruning funnels of two synthesis runs
+// and flags drift: stages whose share of enumerated candidates moved by
+// more than a threshold, and runs that converged on different winning
+// handlers. It is the run-to-run regression check for the elimination
+// cascade — a cache that stopped hitting, a lower bound that stopped
+// pruning, or a search that started abandoning candidates it used to
+// score shows up as a share delta long before it shows up in wall-clock.
+//
+// Usage:
+//
+//	funneldiff old.json new.json
+//	funneldiff -threshold 0.10 baseline.json candidate.json
+//
+// Each input is either a bare funnel report (abagnale -funnel) or a full
+// run report (abagnale -metrics-json), from which the last "core.funnel"
+// record is taken. Exit status 1 means drift was detected, 2 a usage or
+// parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.05, "stage-share delta (fraction of enumerated) flagged as drift")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: funneldiff [-threshold 0.05] old.json new.json")
+		os.Exit(2)
+	}
+	a, err := loadFunnel(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "funneldiff: %s: %v\n", flag.Arg(0), err)
+		os.Exit(2)
+	}
+	b, err := loadFunnel(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "funneldiff: %s: %v\n", flag.Arg(1), err)
+		os.Exit(2)
+	}
+	d := diff(a, b, *threshold)
+	printDiff(os.Stdout, flag.Arg(0), flag.Arg(1), a, b, d)
+	if d.Drifted() {
+		os.Exit(1)
+	}
+}
+
+// loadFunnel reads a funnel report from path: a bare RunFunnelReport or a
+// full obs run report carrying "core.funnel" records (last one wins — it
+// is the run's final state).
+func loadFunnel(path string) (core.RunFunnelReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return core.RunFunnelReport{}, err
+	}
+	// A full run report nests funnels under records; try that shape first
+	// so a bare report (which would also decode, emptily) is the fallback.
+	var wrapped struct {
+		Records map[string][]json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(raw, &wrapped); err == nil {
+		if recs := wrapped.Records["core.funnel"]; len(recs) > 0 {
+			raw = recs[len(recs)-1]
+		}
+	}
+	var rep core.RunFunnelReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return core.RunFunnelReport{}, err
+	}
+	if rep.Total.Enumerated == 0 && len(rep.Total.Stages) == 0 {
+		return core.RunFunnelReport{}, fmt.Errorf("no funnel data (neither a -funnel report nor a run report with core.funnel records)")
+	}
+	return rep, nil
+}
+
+// StageDelta is one stage's share movement between the two runs.
+type StageDelta struct {
+	Stage          string
+	CandA, CandB   int
+	ShareA, ShareB float64
+	Delta          float64
+	OverThreshold  bool
+}
+
+// Diff is the comparison result.
+type Diff struct {
+	Stages        []StageDelta
+	WinnerChanged bool
+	HandlerA      string
+	HandlerB      string
+}
+
+// Drifted reports whether anything exceeded the threshold.
+func (d Diff) Drifted() bool {
+	if d.WinnerChanged {
+		return true
+	}
+	for _, s := range d.Stages {
+		if s.OverThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// diff compares the two aggregate funnels stage by stage (union of stage
+// names, in A-then-B first-seen order) and the winning handlers.
+func diff(a, b core.RunFunnelReport, threshold float64) Diff {
+	shareA := stageShares(a.Total)
+	shareB := stageShares(b.Total)
+	var d Diff
+	for _, name := range stageOrder(a.Total, b.Total) {
+		sa, sb := shareA[name], shareB[name]
+		delta := sb.share - sa.share
+		d.Stages = append(d.Stages, StageDelta{
+			Stage:         name,
+			CandA:         sa.candidates,
+			CandB:         sb.candidates,
+			ShareA:        sa.share,
+			ShareB:        sb.share,
+			Delta:         delta,
+			OverThreshold: math.Abs(delta) > threshold,
+		})
+	}
+	d.HandlerA, d.HandlerB = a.Handler, b.Handler
+	d.WinnerChanged = a.Handler != b.Handler && (a.Handler != "" || b.Handler != "")
+	return d
+}
+
+type stageShare struct {
+	candidates int
+	share      float64
+}
+
+// stageShares indexes a funnel's stage rows by name.
+func stageShares(f core.FunnelReport) map[string]stageShare {
+	out := make(map[string]stageShare, len(f.Stages))
+	for _, s := range f.Stages {
+		out[s.Stage] = stageShare{candidates: s.Candidates, share: s.Share}
+	}
+	return out
+}
+
+// stageOrder unions the two reports' stage names, preserving cascade order.
+func stageOrder(a, b core.FunnelReport) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range []core.FunnelReport{a, b} {
+		for _, s := range f.Stages {
+			if !seen[s.Stage] {
+				seen[s.Stage] = true
+				out = append(out, s.Stage)
+			}
+		}
+	}
+	return out
+}
+
+// printDiff renders the comparison table and the drift verdict.
+func printDiff(w io.Writer, pathA, pathB string, a, b core.RunFunnelReport, d Diff) {
+	fmt.Fprintf(w, "A: %s (%d enumerated)\nB: %s (%d enumerated)\n\n",
+		pathA, a.Total.Enumerated, pathB, b.Total.Enumerated)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\tA cand\tA share\tB cand\tB share\tdelta\t")
+	for _, s := range d.Stages {
+		flag := ""
+		if s.OverThreshold {
+			flag = "DRIFT"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\t%d\t%.1f%%\t%+.1fpp\t%s\n",
+			s.Stage, s.CandA, 100*s.ShareA, s.CandB, 100*s.ShareB, 100*s.Delta, flag)
+	}
+	tw.Flush()
+	if d.WinnerChanged {
+		fmt.Fprintf(w, "\nWINNER CHANGED:\n  A: %s\n  B: %s\n", orNone(d.HandlerA), orNone(d.HandlerB))
+	} else if d.HandlerA != "" {
+		fmt.Fprintf(w, "\nwinner unchanged: %s\n", d.HandlerA)
+	}
+	if d.Drifted() {
+		fmt.Fprintln(w, "\nresult: DRIFT")
+	} else {
+		fmt.Fprintln(w, "\nresult: no drift")
+	}
+}
+
+// orNone renders an empty handler as "(none)".
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// report builds a two-stage funnel report with the given candidate split.
+func report(handler string, fully, pruned int) core.RunFunnelReport {
+	total := fully + pruned
+	share := func(n int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return float64(n) / float64(total)
+	}
+	return core.RunFunnelReport{
+		Handler: handler,
+		Total: core.FunnelReport{
+			Enumerated: total,
+			Stages: []core.FunnelStageReport{
+				{Stage: "lb_kim", Candidates: pruned, Share: share(pruned)},
+				{Stage: "fully_scored", Candidates: fully, Share: share(fully)},
+			},
+		},
+	}
+}
+
+func TestDiffNoDrift(t *testing.T) {
+	a := report("cwnd + 1", 50, 50)
+	b := report("cwnd + 1", 52, 48) // 2pp shift, under the 5% default
+	d := diff(a, b, 0.05)
+	if d.Drifted() {
+		t.Errorf("2pp shift flagged as drift: %+v", d)
+	}
+	if len(d.Stages) != 2 {
+		t.Errorf("diffed %d stages, want 2", len(d.Stages))
+	}
+}
+
+func TestDiffShareDrift(t *testing.T) {
+	a := report("cwnd + 1", 50, 50)
+	b := report("cwnd + 1", 80, 20)
+	d := diff(a, b, 0.05)
+	if !d.Drifted() {
+		t.Error("30pp share shift not flagged")
+	}
+	if d.WinnerChanged {
+		t.Error("winner change flagged for identical handlers")
+	}
+	for _, s := range d.Stages {
+		if !s.OverThreshold {
+			t.Errorf("stage %s not over threshold: %+v", s.Stage, s)
+		}
+	}
+}
+
+func TestDiffWinnerChange(t *testing.T) {
+	a := report("cwnd + 1", 50, 50)
+	b := report("cwnd * 2", 50, 50)
+	d := diff(a, b, 0.05)
+	if !d.WinnerChanged || !d.Drifted() {
+		t.Errorf("winner change not flagged: %+v", d)
+	}
+}
+
+func TestDiffStageAppears(t *testing.T) {
+	a := report("h", 100, 0)
+	b := report("h", 50, 50)
+	d := diff(a, b, 0.05)
+	found := false
+	for _, s := range d.Stages {
+		if s.Stage == "lb_kim" && s.OverThreshold && s.CandA == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("newly appearing stage not flagged: %+v", d.Stages)
+	}
+}
+
+// TestLoadFunnelShapes: both accepted input shapes — a bare -funnel report
+// and a -metrics-json run report wrapping core.funnel records (last wins).
+func TestLoadFunnelShapes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	bare := write("bare.json", `{
+		"handler": "cwnd + 1",
+		"distance": 3.5,
+		"total": {"enumerated": 10, "stages": [{"stage": "fully_scored", "candidates": 10, "share": 1}]},
+		"buckets": []
+	}`)
+	rep, err := loadFunnel(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Handler != "cwnd + 1" || rep.Total.Enumerated != 10 {
+		t.Errorf("bare report = %+v", rep)
+	}
+
+	wrapped := write("wrapped.json", `{
+		"counters": {"core.handlers_scored": 99},
+		"records": {"core.funnel": [
+			{"handler": "old", "total": {"enumerated": 1, "stages": []}},
+			{"handler": "new", "total": {"enumerated": 20, "stages": [{"stage": "fully_scored", "candidates": 20, "share": 1}]}}
+		]}
+	}`)
+	rep, err = loadFunnel(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Handler != "new" || rep.Total.Enumerated != 20 {
+		t.Errorf("wrapped report did not take the last record: %+v", rep)
+	}
+
+	empty := write("empty.json", `{"counters": {}}`)
+	if _, err := loadFunnel(empty); err == nil {
+		t.Error("funnel-less file accepted")
+	}
+	if _, err := loadFunnel(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestPrintDiffRendering smoke-checks the human output.
+func TestPrintDiffRendering(t *testing.T) {
+	a := report("cwnd + 1", 50, 50)
+	b := report("cwnd * 2", 80, 20)
+	d := diff(a, b, 0.05)
+	var sb strings.Builder
+	printDiff(&sb, "a.json", "b.json", a, b, d)
+	out := sb.String()
+	for _, want := range []string{"DRIFT", "WINNER CHANGED", "lb_kim", "fully_scored"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

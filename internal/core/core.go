@@ -115,6 +115,13 @@ type Options struct {
 	// iteration scorers (replay.ProgramSource), sharing compilation
 	// across runs. Nil compiles per scorer.
 	Programs replay.ProgramSource
+	// Ledger, when set, samples scored candidates into a deterministic
+	// provenance ledger (sketch, completion constants, per-segment stage
+	// outcomes, final distance — dumpable as JSONL). The sample is a pure
+	// function of the candidate set, so a fixed Seed yields an identical
+	// ledger regardless of worker scheduling. Candidates settled by the
+	// memo cache are not re-offered; it never changes search behavior.
+	Ledger *replay.Ledger
 	// Gate, when set, replaces the per-run Workers semaphore with a
 	// shared concurrency bound: scoring workers and the run's own
 	// goroutine each hold one slot while doing CPU work, so concurrent
@@ -267,11 +274,44 @@ type SearchStats struct {
 	HandlersScored int
 	// SketchesScored is the total number of sketches sampled.
 	SketchesScored int
+	// Funnel aggregates every bucket's elimination funnel: where the
+	// run's enumerated candidates settled and what each cascade stage
+	// cost in DTW cells.
+	Funnel Funnel
 	// BudgetExhausted reports whether MaxHandlers stopped the loop early.
 	BudgetExhausted bool
 	// Interrupted reports that context cancellation stopped the loop;
 	// the Result still carries the best handler seen up to that point.
 	Interrupted bool
+}
+
+// Merge folds another run's (or shard's) search telemetry in: funnels and
+// counters sum, per-bucket rows combine by operator set, flags OR. Merge
+// is associative and commutative over every field it touches, so sharded
+// workers can combine partial reports in any grouping or order (up to the
+// ordering of equal-Best buckets). Per-iteration detail (Iterations) is
+// inherently per-shard and is left untouched on the receiver.
+func (s *SearchStats) Merge(o SearchStats) {
+	s.SpaceBuckets += o.SpaceBuckets
+	s.HandlersScored += o.HandlersScored
+	s.SketchesScored += o.SketchesScored
+	s.BudgetExhausted = s.BudgetExhausted || o.BudgetExhausted
+	s.Interrupted = s.Interrupted || o.Interrupted
+	s.Funnel.Merge(o.Funnel)
+	byOps := make(map[dsl.OpSet]int, len(s.Buckets))
+	for i := range s.Buckets {
+		byOps[s.Buckets[i].Ops] = i
+	}
+	for _, ob := range o.Buckets {
+		if i, ok := byOps[ob.Ops]; ok {
+			s.Buckets[i].merge(ob)
+			continue
+		}
+		byOps[ob.Ops] = len(s.Buckets)
+		ob.Trajectory = append([]float64(nil), ob.Trajectory...)
+		s.Buckets = append(s.Buckets, ob)
+	}
+	sort.SliceStable(s.Buckets, func(i, j int) bool { return s.Buckets[i].Best < s.Buckets[j].Best })
 }
 
 // BucketStats is one bucket's cumulative search telemetry: how much of
@@ -290,8 +330,12 @@ type BucketStats struct {
 	HandlersScored int
 	// Pruned counts scored candidates settled inexactly — abandoned by
 	// the lower-bound/early-abandon cascade (or a dominating cache
-	// entry) before the full distance was computed.
+	// entry) before the full distance was computed. Always equals
+	// Funnel.Pruned().
 	Pruned int
+	// Funnel breaks HandlersScored down by the cascade stage that
+	// settled each candidate, with per-stage DTW-cell cost attribution.
+	Funnel Funnel
 	// Exhausted reports the bucket's enumeration completed (cap or scan
 	// budget included).
 	Exhausted bool
@@ -308,6 +352,31 @@ func (b *BucketStats) PruneRate() float64 {
 		return 0
 	}
 	return float64(b.Pruned) / float64(b.HandlersScored)
+}
+
+// merge combines two shards' views of the same bucket: additive counters
+// sum, prefix-shaped counters take the max (Take returns deterministic
+// enumeration prefixes, so shards see nested prefixes), bests take the
+// min, and trajectories merge element-wise by min with the shorter one
+// padded by +Inf. Each operation is associative and commutative.
+func (b *BucketStats) merge(o BucketStats) {
+	b.Iterations = max(b.Iterations, o.Iterations)
+	b.SketchesTaken = max(b.SketchesTaken, o.SketchesTaken)
+	b.HandlersScored += o.HandlersScored
+	b.Pruned += o.Pruned
+	b.Exhausted = b.Exhausted || o.Exhausted
+	if o.Best < b.Best {
+		b.Best = o.Best
+	}
+	b.Funnel.Merge(o.Funnel)
+	if len(o.Trajectory) > len(b.Trajectory) {
+		b.Trajectory = append(b.Trajectory, o.Trajectory[len(b.Trajectory):]...)
+	}
+	for i := range b.Trajectory {
+		if i < len(o.Trajectory) && o.Trajectory[i] < b.Trajectory[i] {
+			b.Trajectory[i] = o.Trajectory[i]
+		}
+	}
 }
 
 // BucketReport is the JSON shape of one "core.bucket" obs record,
@@ -402,6 +471,12 @@ func Synthesize(ctx context.Context, segs []*trace.Segment, opts Options) (*Resu
 	run.cBusyNS = opts.Obs.Counter("core.worker_busy_ns")
 	run.cCacheHits = opts.Obs.Counter("core.score_cache_hits")
 	run.cCacheMisses = opts.Obs.Counter("core.score_cache_misses")
+	run.cFunnelEnum = opts.Obs.Counter("core.funnel_enumerated")
+	run.cFunnelNew = opts.Obs.Counter("core.funnel_new_best")
+	for i := FunnelStage(0); i < NumFunnelStages; i++ {
+		run.cFunnel[i] = opts.Obs.Counter(funnelCounterName(i))
+	}
+	run.hScore = opts.Obs.Histogram("core.score_handler_seconds")
 	opts.Obs.Gauge("core.workers").Set(float64(opts.Workers))
 	return run.run()
 }
@@ -428,6 +503,8 @@ type runState struct {
 
 	live *obs.Run // this run's live Board entry (nil no-ops)
 
+	runName string
+
 	obsv         *obs.Registry
 	cHandlers    *obs.Counter
 	cSketches    *obs.Counter
@@ -435,6 +512,10 @@ type runState struct {
 	cBusyNS      *obs.Counter
 	cCacheHits   *obs.Counter
 	cCacheMisses *obs.Counter
+	cFunnelEnum  *obs.Counter
+	cFunnelNew   *obs.Counter
+	cFunnel      [NumFunnelStages]*obs.Counter
+	hScore       *obs.Histogram
 }
 
 // loadBest and storeBest shuttle the global best distance through the
@@ -460,10 +541,11 @@ type bucket struct {
 	best      scoredHandler
 
 	// Search telemetry (SearchStats.Buckets / the -explain table).
-	// handlers/pruned are written by the bucket's own scoring worker,
-	// iters/traj by the coordinator between iterations.
+	// handlers/pruned/funnel are written by the bucket's own scoring
+	// worker, iters/traj by the coordinator between iterations.
 	handlers int
 	pruned   int
+	funnel   Funnel
 	iters    int
 	traj     []float64
 }
@@ -477,8 +559,14 @@ func (r *runState) run() (*Result, error) {
 	if name == "" {
 		name = "synthesize"
 	}
+	r.runName = name
 	r.live = r.obsv.Board().Start(name, int64(r.opts.MaxHandlers))
 	r.live.SetPhase("enumerate")
+	r.best.distance = math.Inf(1)
+	r.storeBest(math.Inf(1))
+	// Publish an (empty) funnel up front so /runs/{name}/funnel resolves
+	// as soon as the run is visible, not only after the first iteration.
+	r.live.SetFunnel(r.funnelReport())
 
 	r.src = r.opts.Sketches
 	if r.src == nil {
@@ -505,8 +593,6 @@ func (r *runState) run() (*Result, error) {
 	for _, ops := range r.src.Buckets() {
 		r.buckets = append(r.buckets, &bucket{ops: ops, score: math.Inf(1)})
 	}
-	r.best.distance = math.Inf(1)
-	r.storeBest(math.Inf(1))
 
 	n := r.opts.InitialSamples
 	k := r.opts.InitialKeep
@@ -528,6 +614,12 @@ func (r *runState) run() (*Result, error) {
 		}
 		scorer := replay.NewScorer(segs, r.opts.Metric).WithPrograms(r.opts.Programs)
 		setID := r.segmentSetID(segs)
+		if r.opts.Ledger != nil {
+			// The segment-set fingerprint doubles as the ledger round tag:
+			// re-scoring a candidate in a later iteration (different
+			// segments) is a distinct provenance event.
+			scorer.WithLedger(r.opts.Ledger, setID)
+		}
 		ssp.End()
 
 		r.live.SetPhase("score")
@@ -592,6 +684,7 @@ func (r *runState) run() (*Result, error) {
 		}
 		it.Kept = len(kept)
 		r.endIteration(isp, it)
+		r.live.SetFunnel(r.funnelReport())
 		live = kept
 
 		if r.ctx.Err() != nil {
@@ -658,12 +751,14 @@ func (r *runState) finishBucketStats() {
 		if b.iters == 0 {
 			continue
 		}
+		r.stats.Funnel.Merge(b.funnel)
 		bs = append(bs, BucketStats{
 			Ops:            b.ops,
 			Iterations:     b.iters,
 			SketchesTaken:  len(b.sketches),
 			HandlersScored: b.handlers,
 			Pruned:         b.pruned,
+			Funnel:         b.funnel,
 			Exhausted:      b.exhausted,
 			Best:           b.score,
 			Trajectory:     b.traj,
@@ -671,11 +766,43 @@ func (r *runState) finishBucketStats() {
 	}
 	sort.SliceStable(bs, func(i, j int) bool { return bs[i].Best < bs[j].Best })
 	r.stats.Buckets = bs
+	rep := r.funnelReport()
+	r.live.SetFunnel(rep)
 	if r.obsv != nil {
 		for i := range bs {
 			r.obsv.Record("core.bucket", bucketReport(bs[i]))
 		}
+		// The run's provenance record: the aggregate funnel plus each
+		// bucket's, for funneldiff and the run report.
+		r.obsv.Record("core.funnel", rep)
 	}
+}
+
+// funnelReport assembles the run-level provenance summary — aggregate
+// funnel, per-bucket funnels best-first, winning handler — from buckets
+// sampled at least once. Safe to call only between iterations (the
+// coordinator's side of the single-writer discipline on bucket funnels).
+func (r *runState) funnelReport() RunFunnelReport {
+	rep := RunFunnelReport{Run: r.runName, Distance: ReportFloat(r.best.distance)}
+	if r.best.handler != nil {
+		rep.Handler = r.best.handler.String()
+	}
+	var total Funnel
+	bks := make([]*bucket, 0, len(r.buckets))
+	for _, b := range r.buckets {
+		if b.iters == 0 && b.funnel.Enumerated == 0 {
+			continue
+		}
+		total.Merge(b.funnel)
+		bks = append(bks, b)
+	}
+	sort.SliceStable(bks, func(i, j int) bool { return bks[i].score < bks[j].score })
+	rep.Total = total.Report()
+	rep.Buckets = make([]BucketFunnelReport, len(bks))
+	for i, b := range bks {
+		rep.Buckets[i] = BucketFunnelReport{Ops: b.ops.String(), Funnel: b.funnel.Report()}
+	}
+	return rep
 }
 
 // endIteration is the one place per-iteration accounting leaves the loop:
@@ -773,7 +900,12 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 			wsp := parent.Child("core.score_bucket")
 			busy := time.Now()
 			b.sketches, b.exhausted = r.src.Take(b.ops, n, r.opts.BucketCap, r.opts.ScanBudget)
-			handlers, pruned := 0, 0
+			handlers := 0
+			// One funnel and one reusable outcome scratch per worker: the
+			// hot path tallies into stack-local state, folded into the
+			// bucket (and the obs counters, in bulk) once per iteration.
+			var fl Funnel
+			var co replay.CandidateOutcome
 			for _, sk := range b.sketches {
 				if handlers >= perBkt {
 					break
@@ -781,9 +913,8 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 				if r.ctx.Err() != nil {
 					break
 				}
-				h, d, exact, hn, pn := r.scoreSketch(sk, scorer, setID, b.score)
+				h, d, exact, hn := r.scoreSketch(sk, scorer, setID, b.score, &fl, &co)
 				handlers += hn
-				pruned += pn
 				r.live.AddHandlers(hn)
 				if exact && d < b.score {
 					b.score = d
@@ -791,7 +922,9 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 				}
 			}
 			b.handlers += handlers
-			b.pruned += pruned
+			b.pruned += fl.Pruned()
+			b.funnel.Merge(fl)
+			r.addFunnelCounters(&fl)
 			r.cBusyNS.Add(time.Since(busy).Nanoseconds())
 			wsp.SetAttr("ops", b.ops.String()).SetAttr("handlers", handlers)
 			wsp.End()
@@ -854,52 +987,54 @@ func (r *runState) cutoff(c float64) float64 {
 }
 
 // scoreSketch concretizes a sketch's holes from the constant pool and
-// returns the best handler, its distance (with its exactness flag), the
-// number of handlers evaluated, and how many of those were settled
-// inexactly (pruned by the early-abandon cascade or a dominating cache
-// entry — the bucket's prune-rate telemetry). Sampling is deterministic
-// per (sketch, seed). The pruning cutoff starts at the bucket's best and
-// is tightened only by exact results within the sketch, so an abandoned
-// candidate is always one whose true score could not have updated either
-// the sketch-best or the bucket-best.
-func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64, bucketBest float64) (*dsl.Node, float64, bool, int, int) {
+// returns the best handler, its distance (with its exactness flag), and
+// the number of handlers evaluated. Each candidate's fate lands in fl
+// (the worker's funnel); co is the worker's reusable outcome scratch.
+// Sampling is deterministic per (sketch, seed). The pruning cutoff
+// starts at the bucket's best and is tightened only by exact results
+// within the sketch, so an abandoned candidate is always one whose true
+// score could not have updated either the sketch-best or the
+// bucket-best — which also makes fl.NewBest identical between pruned
+// and ExactScoring runs: an improving candidate is never pruned.
+func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64, bucketBest float64, fl *Funnel, co *replay.CandidateOutcome) (*dsl.Node, float64, bool, int) {
 	holes := sk.Holes()
 	// One register program per sketch: every completion below executes it
 	// with patched constants and shares its hoisted prologue columns.
 	cs := scorer.CompileSketch(sk)
 	if holes == 0 {
-		d, exact := r.scoreHandler(sk, cs, nil, setID, r.cutoff(bucketBest))
-		pruned := 0
-		if !exact {
-			pruned = 1
+		d, exact := r.scoreHandler(sk, cs, nil, setID, r.cutoff(bucketBest), fl, co)
+		if exact && d < bucketBest {
+			fl.NewBest++
 		}
-		return sk, d, exact, 1, pruned
+		return sk, d, exact, 1
 	}
 	pool := r.opts.DSL.Constants
 	assignments := completions(sk, pool, holes, r.opts.MaxCompletions, r.opts.Seed)
 	r.cCompletions.Add(int64(len(assignments)))
 	bestD := math.Inf(1)
 	bestExact := false
-	pruned := 0
 	var bestH *dsl.Node
+	runBest := bucketBest
 	for _, vals := range assignments {
 		h, err := sk.Bind(vals)
 		if err != nil {
+			fl.count(FunnelRejected)
 			continue
 		}
 		cut := bucketBest
 		if bestExact && bestD < cut {
 			cut = bestD
 		}
-		d, exact := r.scoreHandler(h, cs, vals, setID, r.cutoff(cut))
-		if !exact {
-			pruned++
+		d, exact := r.scoreHandler(h, cs, vals, setID, r.cutoff(cut), fl, co)
+		if exact && d < runBest {
+			runBest = d
+			fl.NewBest++
 		}
 		if d < bestD {
 			bestD, bestH, bestExact = d, h, exact
 		}
 	}
-	return bestH, bestD, bestExact, len(assignments), pruned
+	return bestH, bestD, bestExact, len(assignments)
 }
 
 // scoreHandler scores one concrete handler over the iteration's segment
@@ -909,26 +1044,61 @@ func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64
 // cache hits return the true distance; lower-bound entries may only settle
 // lookups they already dominate (entry >= cutoff), otherwise the handler
 // is rescored under the caller's cutoff and the cache entry improves.
-func (r *runState) scoreHandler(h *dsl.Node, cs *replay.CompiledSketch, vals []float64, setID uint64, cutoff float64) (float64, bool) {
+func (r *runState) scoreHandler(h *dsl.Node, cs *replay.CompiledSketch, vals []float64, setID uint64, cutoff float64, fl *Funnel, co *replay.CandidateOutcome) (float64, bool) {
 	if r.opts.ExactScoring {
-		d, _ := cs.Score(vals, math.Inf(1))
+		d, _ := r.timedScore(cs, vals, math.Inf(1), co)
+		fl.observe(co)
 		return d, true
 	}
 	key := handlerKey(h, setID)
 	if e, ok := r.cache.get(key); ok {
 		if e.exact {
 			r.cCacheHits.Inc()
+			fl.count(FunnelCanonicalDup)
 			return e.d, true
 		}
 		if e.d >= cutoff {
 			r.cCacheHits.Inc()
+			fl.count(FunnelCacheLB)
 			return e.d, false
 		}
 	}
 	r.cCacheMisses.Inc()
-	d, exact := cs.Score(vals, cutoff)
+	d, exact := r.timedScore(cs, vals, cutoff, co)
+	fl.observe(co)
 	r.cache.put(key, d, exact)
 	return d, exact
+}
+
+// timedScore runs one replay score, feeding the per-handler latency
+// histogram when one is registered. The clock reads are skipped entirely
+// otherwise — benchmarks and headless runs pay nothing.
+func (r *runState) timedScore(cs *replay.CompiledSketch, vals []float64, cutoff float64, co *replay.CandidateOutcome) (float64, bool) {
+	if r.hScore == nil {
+		return cs.ScoreDetail(vals, cutoff, co)
+	}
+	t0 := time.Now()
+	d, exact := cs.ScoreDetail(vals, cutoff, co)
+	r.hScore.Observe(time.Since(t0).Seconds())
+	return d, exact
+}
+
+// addFunnelCounters bulk-adds one worker-iteration's funnel into the obs
+// registry counters — a handful of atomics per bucket per iteration
+// rather than one per candidate.
+func (r *runState) addFunnelCounters(fl *Funnel) {
+	if r.obsv == nil {
+		return
+	}
+	r.cFunnelEnum.Add(int64(fl.Enumerated))
+	if fl.NewBest > 0 {
+		r.cFunnelNew.Add(int64(fl.NewBest))
+	}
+	for i := range fl.Stages {
+		if c := fl.Stages[i].Candidates; c > 0 {
+			r.cFunnel[i].Add(int64(c))
+		}
+	}
 }
 
 // completions returns the constant assignments to try for a sketch: the

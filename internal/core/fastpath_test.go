@@ -49,21 +49,63 @@ func TestFastPathMatchesExact(t *testing.T) {
 			if b.Pruned != 0 {
 				t.Errorf("seed %d: exact scoring reported %d pruned candidates in bucket %v", seed, b.Pruned, b.Ops)
 			}
+			if p := b.Funnel.Pruned(); p != 0 {
+				t.Errorf("seed %d: exact funnel reported %d pruned candidates in bucket %v", seed, p, b.Ops)
+			}
+		}
+		for _, res := range []*Result{fast, exact} {
+			if !res.Stats.Funnel.Reconciles() {
+				t.Errorf("seed %d: run funnel does not reconcile: %+v", seed, res.Stats.Funnel)
+			}
+			for _, b := range res.Stats.Buckets {
+				if !b.Funnel.Reconciles() {
+					t.Errorf("seed %d: bucket %v funnel does not reconcile: %+v", seed, b.Ops, b.Funnel)
+				}
+				if b.Funnel.Pruned() != b.Pruned {
+					t.Errorf("seed %d: bucket %v funnel pruned %d != Pruned %d",
+						seed, b.Ops, b.Funnel.Pruned(), b.Pruned)
+				}
+			}
+		}
+		// NewBest is mode-invariant: an improving candidate is never pruned
+		// (the cutoff equals the running best), so both modes see the same
+		// improvements even though their pruning stages differ.
+		if fast.Stats.Funnel.NewBest != exact.Stats.Funnel.NewBest {
+			t.Errorf("seed %d: fast NewBest %d != exact NewBest %d",
+				seed, fast.Stats.Funnel.NewBest, exact.Stats.Funnel.NewBest)
 		}
 	}
 }
 
-// stripPruneTelemetry zeroes BucketStats.Pruned, the one per-bucket field
-// that is allowed to differ between the fast path and ExactScoring: it
-// counts candidates settled inexactly, which by construction is zero under
-// exact scoring and nonzero under pruning. Every other field — rankings,
-// budgets, trajectories — must still match bit-for-bit.
+// stripPruneTelemetry zeroes the per-bucket telemetry that is allowed to
+// differ between the fast path and ExactScoring: Pruned and the funnel's
+// stage split both describe where candidates were settled inexactly, which
+// by construction never happens under exact scoring. The funnel keeps its
+// mode-invariant fields — Enumerated, NewBest, Bind rejections — so a
+// count drift there still fails the DeepEqual. Every other field —
+// rankings, budgets, trajectories — must still match bit-for-bit.
 func stripPruneTelemetry(s SearchStats) SearchStats {
 	s.Buckets = append([]BucketStats(nil), s.Buckets...)
+	s.Funnel = normalizeFunnel(s.Funnel)
 	for i := range s.Buckets {
 		s.Buckets[i].Pruned = 0
+		s.Buckets[i].Funnel = normalizeFunnel(s.Buckets[i].Funnel)
 	}
 	return s
+}
+
+// normalizeFunnel keeps only the funnel fields that must agree between the
+// fast path and ExactScoring. The stage split (cache vs lower bound vs
+// abandon vs fully scored, and the cells they cost) is mode-dependent by
+// design; Bind rejections happen before any scoring, so they stay.
+func normalizeFunnel(f Funnel) Funnel {
+	return Funnel{
+		Enumerated: f.Enumerated,
+		NewBest:    f.NewBest,
+		Stages: [NumFunnelStages]StageCost{
+			FunnelRejected: {Candidates: f.Stages[FunnelRejected].Candidates},
+		},
+	}
 }
 
 // TestFastPathCacheAndPruningCounters checks the instruments: a default

@@ -116,6 +116,10 @@ type PreparedSeries struct {
 	env  *Envelope
 	band int
 	ok   bool
+	// fullCells is the banded DP cell count of a full pass against a
+	// ResampleN-point candidate (DTW only) — the baseline Outcome.Saved is
+	// measured against.
+	fullCells int
 }
 
 // Grid exposes the resampled grid (nil when the series was unusable).
@@ -142,6 +146,7 @@ func Prepare(m Metric, s Series) *PreparedSeries {
 			p.band = ResampleN / 10
 		}
 		p.env = NewEnvelope(p.grid, p.band)
+		p.fullCells = bandCells(len(p.grid), ResampleN, p.band)
 	}
 	return p
 }
@@ -178,17 +183,29 @@ func (sc *Scratch) rows(n int) (prev, cur []float64) {
 // false means it is a lower bound that is >= cutoff. Unknown metric types
 // fall back to their own Distance/DistanceWithin on the original series.
 func PreparedDistanceWithin(m Metric, p *PreparedSeries, b Series, cutoff float64, sc *Scratch) (float64, bool) {
+	v, o := PreparedDistanceDetail(m, p, b, cutoff, sc)
+	return v, o.Exact()
+}
+
+// PreparedDistanceDetail is PreparedDistanceWithin returning the structured
+// Outcome instead of a bare exactness flag: which cascade stage settled the
+// computation and its cell cost. Outcome.Exact() equals the boolean the
+// Within form returns.
+func PreparedDistanceDetail(m Metric, p *PreparedSeries, b Series, cutoff float64, sc *Scratch) (float64, Outcome) {
 	switch m.(type) {
 	case DTW, Euclidean, Manhattan, Frechet:
 	default:
 		if bm, ok := m.(BoundedMetric); ok {
 			v := bm.DistanceWithin(p.src, b, cutoff)
-			return v, v < cutoff
+			if v < cutoff {
+				return v, Outcome{Stage: StageFull}
+			}
+			return v, Outcome{Stage: StageAbandon}
 		}
-		return m.Distance(p.src, b), true
+		return m.Distance(p.src, b), Outcome{}
 	}
 	if !p.ok || b.validate() != nil || b.Len() == 0 {
-		return math.Inf(1), true
+		return math.Inf(1), Outcome{}
 	}
 	if sc == nil {
 		sc = NewScratch()
@@ -204,13 +221,20 @@ func PreparedDistanceWithin(m Metric, p *PreparedSeries, b Series, cutoff float6
 // the four built-in metrics (the generic fallback needs the original
 // series) and obeys the same exactness contract.
 func PreparedDistanceWithinGrid(m Metric, p *PreparedSeries, y []float64, cutoff float64, sc *Scratch) (float64, bool) {
+	v, o := PreparedDistanceDetailGrid(m, p, y, cutoff, sc)
+	return v, o.Exact()
+}
+
+// PreparedDistanceDetailGrid is PreparedDistanceWithinGrid with the
+// structured Outcome, under the PreparedDistanceDetail contract.
+func PreparedDistanceDetailGrid(m Metric, p *PreparedSeries, y []float64, cutoff float64, sc *Scratch) (float64, Outcome) {
 	switch m.(type) {
 	case DTW, Euclidean, Manhattan, Frechet:
 	default:
 		panic("dist: PreparedDistanceWithinGrid requires a built-in metric")
 	}
 	if !p.ok || len(y) != ResampleN {
-		return math.Inf(1), true
+		return math.Inf(1), Outcome{}
 	}
 	if sc == nil {
 		sc = NewScratch()
@@ -219,9 +243,9 @@ func PreparedDistanceWithinGrid(m Metric, p *PreparedSeries, y []float64, cutoff
 }
 
 // gridDistanceWithin dispatches a resampled candidate to the metric kernels.
-func gridDistanceWithin(m Metric, p *PreparedSeries, y []float64, cutoff float64, sc *Scratch) (float64, bool) {
+func gridDistanceWithin(m Metric, p *PreparedSeries, y []float64, cutoff float64, sc *Scratch) (float64, Outcome) {
 	if !finite(y) {
-		return math.Inf(1), true
+		return math.Inf(1), Outcome{}
 	}
 	x := p.grid
 	switch m := m.(type) {
@@ -231,7 +255,7 @@ func gridDistanceWithin(m Metric, p *PreparedSeries, y []float64, cutoff float64
 			band = m.Band
 		}
 		prev, cur := sc.rows(len(y) + 1)
-		return dtwWithin(x, y, p.env, band, cutoff, prev, cur)
+		return dtwWithin(x, y, p.env, band, cutoff, prev, cur, p.fullCells)
 	case Euclidean:
 		return euclideanWithin(x, y, cutoff)
 	case Manhattan:
@@ -255,14 +279,16 @@ const lbKeoghSafety = 1 - 1e-12
 // endpoint bound, then the LB_Keogh envelope bound (when env covers y's
 // grid), then runs the DP with per-row early abandoning: every banded
 // warping path crosses every row, so the row minimum lower-bounds the final
-// accumulated cost. Returns (value, exact).
-func dtwWithin(x, y []float64, env *Envelope, band int, cutoff float64, prev, cur []float64) (float64, bool) {
+// accumulated cost. Returns the value plus the Outcome that settled it;
+// fullCells (a full pass's DP cell count, 0 when unknown) prices the
+// Outcome's Saved field without an extra loop here.
+func dtwWithin(x, y []float64, env *Envelope, band int, cutoff float64, prev, cur []float64, fullCells int) (float64, Outcome) {
 	n, m := len(x), len(y)
 	norm := float64(n + m)
 	cDTWCalls.Load().Inc()
 	if cutoff <= 0 {
 		// Distances are non-negative: 0 is a lower bound >= cutoff.
-		return 0, false
+		return 0, Outcome{Stage: StageAbandon, Saved: fullCells}
 	}
 	if band <= 0 {
 		band = ResampleN / 10
@@ -279,7 +305,7 @@ func dtwWithin(x, y []float64, env *Envelope, band int, cutoff float64, prev, cu
 		}
 		if lbKim/norm >= cutoff {
 			cLBPrunes.Load().Inc()
-			return lbKim / norm, false
+			return lbKim / norm, Outcome{Stage: StageLBKim, Saved: fullCells}
 		}
 		if env != nil && n == m && len(env.Lower) == m {
 			var s float64
@@ -294,7 +320,7 @@ func dtwWithin(x, y []float64, env *Envelope, band int, cutoff float64, prev, cu
 			lbk := s * lbKeoghSafety
 			if lbk/norm >= cutoff {
 				cLBPrunes.Load().Inc()
-				return lbk / norm, false
+				return lbk / norm, Outcome{Stage: StageLBKeogh, Saved: fullCells}
 			}
 		}
 	}
@@ -348,22 +374,26 @@ func dtwWithin(x, y []float64, env *Envelope, band int, cutoff float64, prev, cu
 		if abandon && rowMin/norm >= cutoff {
 			cDTWCells.Load().Add(int64(cells))
 			cEarlyAbandons.Load().Inc()
-			return rowMin / norm, false
+			saved := fullCells - cells
+			if saved < 0 {
+				saved = 0
+			}
+			return rowMin / norm, Outcome{Stage: StageAbandon, Row: i, Cells: cells, Saved: saved}
 		}
 		prev, cur = cur, prev
 	}
 	cDTWCells.Load().Add(int64(cells))
-	return prev[m] / norm, true
+	return prev[m] / norm, Outcome{Stage: StageFull, Cells: cells}
 }
 
 // euclideanWithin accumulates squared differences with running-sum
 // abandoning. The raw-units threshold is only a cheap filter; the
 // authoritative comparison happens in final (normalized, sqrt'd) units so
 // unit conversion can never flip an exact result into a pruned one.
-func euclideanWithin(x, y []float64, cutoff float64) (float64, bool) {
+func euclideanWithin(x, y []float64, cutoff float64) (float64, Outcome) {
 	n := len(x)
 	if cutoff <= 0 {
-		return 0, false
+		return 0, Outcome{Stage: StageAbandon, Saved: n}
 	}
 	raw := cutoff * cutoff * float64(n)
 	var sum float64
@@ -375,19 +405,19 @@ func euclideanWithin(x, y []float64, cutoff float64) (float64, bool) {
 			part := math.Sqrt(sum / float64(n))
 			if part >= cutoff {
 				cEarlyAbandons.Load().Inc()
-				return part, false
+				return part, Outcome{Stage: StageAbandon, Row: i + 1, Cells: i + 1, Saved: n - i - 1}
 			}
 		}
 	}
-	return math.Sqrt(sum / float64(n)), true
+	return math.Sqrt(sum / float64(n)), Outcome{Stage: StageFull, Cells: n}
 }
 
 // manhattanWithin accumulates absolute differences with running-sum
 // abandoning, confirming in final units like euclideanWithin.
-func manhattanWithin(x, y []float64, cutoff float64) (float64, bool) {
+func manhattanWithin(x, y []float64, cutoff float64) (float64, Outcome) {
 	n := len(x)
 	if cutoff <= 0 {
-		return 0, false
+		return 0, Outcome{Stage: StageAbandon, Saved: n}
 	}
 	raw := cutoff * float64(n)
 	var sum float64
@@ -398,11 +428,11 @@ func manhattanWithin(x, y []float64, cutoff float64) (float64, bool) {
 			part := sum / float64(n)
 			if part >= cutoff {
 				cEarlyAbandons.Load().Inc()
-				return part, false
+				return part, Outcome{Stage: StageAbandon, Row: i + 1, Cells: i + 1, Saved: n - i - 1}
 			}
 		}
 	}
-	return sum / float64(n), true
+	return sum / float64(n), Outcome{Stage: StageFull, Cells: n}
 }
 
 // frechetWithin is the discrete Fréchet kernel shared by Frechet.Distance
@@ -410,10 +440,10 @@ func manhattanWithin(x, y []float64, cutoff float64) (float64, bool) {
 // optimal traversal is <= the final minimax value and every traversal
 // crosses every row, so the row minimum is a valid lower bound; the
 // endpoint costs are as well (minimax includes both ends).
-func frechetWithin(x, y []float64, cutoff float64, prev, cur []float64) (float64, bool) {
+func frechetWithin(x, y []float64, cutoff float64, prev, cur []float64) (float64, Outcome) {
 	n, m := len(x), len(y)
 	if cutoff <= 0 {
-		return 0, false
+		return 0, Outcome{Stage: StageAbandon, Saved: n * m}
 	}
 	abandon := !math.IsInf(cutoff, 1)
 	if abandon && n > 0 && m > 0 {
@@ -423,7 +453,7 @@ func frechetWithin(x, y []float64, cutoff float64, prev, cur []float64) (float64
 		}
 		if lb >= cutoff {
 			cLBPrunes.Load().Inc()
-			return lb, false
+			return lb, Outcome{Stage: StageLBKim, Saved: n * m}
 		}
 	}
 	inf := math.Inf(1)
@@ -447,9 +477,9 @@ func frechetWithin(x, y []float64, cutoff float64, prev, cur []float64) (float64
 		}
 		if abandon && rowMin >= cutoff {
 			cEarlyAbandons.Load().Inc()
-			return rowMin, false
+			return rowMin, Outcome{Stage: StageAbandon, Row: i + 1, Cells: (i + 1) * m, Saved: (n - i - 1) * m}
 		}
 		prev, cur = cur, prev
 	}
-	return prev[m-1], true
+	return prev[m-1], Outcome{Stage: StageFull, Cells: n * m}
 }

@@ -266,7 +266,7 @@ func (d DTW) Distance(a, b Series) float64 {
 	}
 	prev := make([]float64, len(y)+1)
 	cur := make([]float64, len(y)+1)
-	v, _ := dtwWithin(x, y, nil, band, math.Inf(1), prev, cur)
+	v, _ := dtwWithin(x, y, nil, band, math.Inf(1), prev, cur, 0)
 	return v
 }
 

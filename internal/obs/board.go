@@ -46,6 +46,29 @@ type Run struct {
 	done     atomic.Bool
 	errMsg   atomic.Pointer[string]
 	endNS    atomic.Int64
+	funnel   atomic.Pointer[any]
+}
+
+// SetFunnel publishes the run's latest provenance funnel (an opaque,
+// JSON-marshalable value — obs never imports the core types). Served by
+// /runs/{name}/funnel.
+func (r *Run) SetFunnel(v any) {
+	if r == nil {
+		return
+	}
+	r.funnel.Store(&v)
+}
+
+// Funnel returns the latest published funnel, if any.
+func (r *Run) Funnel() (any, bool) {
+	if r == nil {
+		return nil, false
+	}
+	p := r.funnel.Load()
+	if p == nil {
+		return nil, false
+	}
+	return *p, true
 }
 
 // Start returns the named run entry, creating it (phase "starting", best
@@ -198,18 +221,37 @@ func (b *Board) Snapshots() []RunSnapshot {
 // name or its final path element (so /runs/reno-01.pcap finds the job
 // registered as traces/reno-01.pcap).
 func (b *Board) Get(name string) (RunSnapshot, bool) {
+	if run := b.find(name); run != nil {
+		return run.snapshot(), true
+	}
+	return RunSnapshot{}, false
+}
+
+// FunnelOf returns the latest funnel published by the named run, with the
+// same full-or-base-name matching as Get. The second result is false when
+// the run is unknown or has not published a funnel yet.
+func (b *Board) FunnelOf(name string) (any, bool) {
+	run := b.find(name)
+	if run == nil {
+		return nil, false
+	}
+	return run.Funnel()
+}
+
+// find resolves a run by full registered name or final path element.
+func (b *Board) find(name string) *Run {
 	if b == nil {
-		return RunSnapshot{}, false
+		return nil
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if run, ok := b.runs[name]; ok {
-		return run.snapshot(), true
+		return run
 	}
 	for _, full := range b.order {
 		if filepath.Base(full) == name {
-			return b.runs[full].snapshot(), true
+			return b.runs[full]
 		}
 	}
-	return RunSnapshot{}, false
+	return nil
 }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime/metrics"
+	"strings"
+)
+
+// runtimeSamples is the curated runtime/metrics set exported on /metrics:
+// heap footprint, GC activity, scheduler shape. A fixed list (rather than
+// metrics.All) keeps the exposition stable across Go releases and its
+// order deterministic.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/gomaxprocs:threads",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/allocs:bytes",
+}
+
+// runtimeHistograms are exported as a cumulative count plus p50/p90/p99
+// gauges — pause and scheduling latency distributions are what the live
+// dashboards actually read, and full bucket expositions would dwarf the
+// rest of /metrics.
+var runtimeHistograms = []string{
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// WriteRuntimeMetrics renders the curated Go runtime telemetry in
+// Prometheus text exposition, gauge names derived from the runtime/metrics
+// path ("/sched/goroutines:goroutines" -> "go_sched_goroutines_goroutines").
+// Metrics the running Go version does not support are skipped silently.
+func WriteRuntimeMetrics(w io.Writer) error {
+	names := make([]string, 0, len(runtimeSamples)+len(runtimeHistograms))
+	names = append(names, runtimeSamples...)
+	names = append(names, runtimeHistograms...)
+	samples := make([]metrics.Sample, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		name := promRuntimeName(s.Name)
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Value.Uint64()); err != nil {
+				return err
+			}
+		case metrics.KindFloat64:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, s.Value.Float64()); err != nil {
+				return err
+			}
+		case metrics.KindFloat64Histogram:
+			if err := writeRuntimeHistogram(w, name, s.Value.Float64Histogram()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promRuntimeName maps a runtime/metrics path to a Prometheus-safe gauge
+// name under the go_ prefix.
+func promRuntimeName(path string) string {
+	name := strings.TrimPrefix(path, "/")
+	name = strings.NewReplacer("/", "_", ":", "_", "-", "_").Replace(name)
+	return "go_" + name
+}
+
+// writeRuntimeHistogram renders a runtime histogram as its total count and
+// interpolation-free p50/p90/p99 quantiles (the upper edge of the bucket
+// the quantile falls in).
+func writeRuntimeHistogram(w io.Writer, name string, h *metrics.Float64Histogram) error {
+	if h == nil {
+		return nil
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s_count counter\n%s_count %d\n", name, name, total); err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		label string
+		frac  float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+		v := histogramQuantile(h, total, q.frac)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %g\n", name, q.label, name, q.label, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histogramQuantile returns the upper bucket boundary containing the given
+// quantile (0 when the histogram is empty). Infinite edges fall back to
+// the nearest finite boundary so the exposition stays parseable.
+func histogramQuantile(h *metrics.Float64Histogram, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			// Buckets[i+1] is this bucket's upper edge.
+			edge := h.Buckets[i+1]
+			if edge > 1e300 { // +Inf tail: report the finite lower edge
+				edge = h.Buckets[i]
+			}
+			if edge < -1e300 {
+				edge = 0
+			}
+			return edge
+		}
+	}
+	return 0
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestPromRuntimeName pins the path-to-gauge-name mapping.
+func TestPromRuntimeName(t *testing.T) {
+	for path, want := range map[string]string{
+		"/sched/goroutines:goroutines": "go_sched_goroutines_goroutines",
+		"/gc/cycles/total:gc-cycles":   "go_gc_cycles_total_gc_cycles",
+		"/sched/latencies:seconds":     "go_sched_latencies_seconds",
+	} {
+		if got := promRuntimeName(path); got != want {
+			t.Errorf("promRuntimeName(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestWriteRuntimeMetrics renders the curated set and checks shape: every
+// sample becomes a typed line, histograms expose count and quantiles, and
+// values parse (no Inf leaking into the exposition).
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRuntimeMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"go_sched_goroutines_goroutines ",
+		"go_memory_classes_total_bytes ",
+		"go_gc_pauses_seconds_count ",
+		"go_gc_pauses_seconds_p50 ",
+		"go_sched_latencies_seconds_p90 ",
+		"go_sched_latencies_seconds_p99 ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("runtime exposition missing %q:\n%s", want, body)
+		}
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, "Inf") || strings.Contains(line, "NaN") {
+			t.Errorf("non-finite value in exposition: %q", line)
+		}
+	}
+}
+
+// TestHistogramQuantile covers the empty and tail-bucket edge cases.
+func TestHistogramQuantile(t *testing.T) {
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := histogramQuantile(empty, 0, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if got := histogramQuantile(h, 100, 0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2 (upper edge of the median bucket)", got)
+	}
+	if got := histogramQuantile(h, 100, 0.99); got != 3 {
+		t.Errorf("p99 = %v, want 3", got)
+	}
+}

@@ -100,16 +100,22 @@ func (r *Registry) Handler(hub *EventHub) http.Handler {
 			return
 		}
 		fmt.Fprint(w, "abagnale live observability\n\n"+
-			"/metrics      Prometheus text exposition\n"+
-			"/runs         live batch state (JSON)\n"+
-			"/runs/{name}  one trace's live state\n"+
-			"/events       SSE event stream\n"+
-			"/flight       flight-recorder dump (JSONL)\n"+
-			"/debug/pprof  pprof\n")
+			"/metrics             Prometheus text exposition (+ Go runtime)\n"+
+			"/healthz             readiness + build info (JSON)\n"+
+			"/runs                live batch state (JSON)\n"+
+			"/runs/{name}         one trace's live state\n"+
+			"/runs/{name}/funnel  one trace's pruning funnel (JSON)\n"+
+			"/events              SSE event stream\n"+
+			"/flight              flight-recorder dump (JSONL)\n"+
+			"/debug/pprof         pprof\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
+		_ = WriteRuntimeMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, healthSnapshot(r))
 	})
 	mux.HandleFunc("/runs", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, r.Board().Snapshots())
@@ -118,6 +124,15 @@ func (r *Registry) Handler(hub *EventHub) http.Handler {
 		name := strings.TrimPrefix(req.URL.Path, "/runs/")
 		if un, err := url.PathUnescape(name); err == nil {
 			name = un
+		}
+		if base, ok := strings.CutSuffix(name, "/funnel"); ok {
+			funnel, ok := r.Board().FunnelOf(base)
+			if !ok {
+				http.NotFound(w, req)
+				return
+			}
+			writeJSON(w, funnel)
+			return
 		}
 		snap, ok := r.Board().Get(name)
 		if !ok {
@@ -139,6 +154,38 @@ func (r *Registry) Handler(hub *EventHub) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// procStart anchors the /healthz uptime to process start (package init).
+var procStart = time.Now()
+
+// Health is the /healthz payload: a readiness flag plus enough identity —
+// build info, uptime, run counts — for a smoke test or orchestrator probe
+// to tell which binary it reached and whether work is progressing.
+type Health struct {
+	Status     string    `json:"status"`
+	Build      BuildInfo `json:"build"`
+	UptimeSec  float64   `json:"uptime_sec"`
+	Runs       int       `json:"runs"`
+	ActiveRuns int       `json:"active_runs"`
+}
+
+// healthSnapshot assembles the current health view. The server answers as
+// soon as its listener is bound, so Status is unconditionally "ok" — the
+// probe's signal is reaching the endpoint at all.
+func healthSnapshot(r *Registry) Health {
+	h := Health{
+		Status:    "ok",
+		Build:     ReadBuild(),
+		UptimeSec: time.Since(procStart).Seconds(),
+	}
+	for _, snap := range r.Board().Snapshots() {
+		h.Runs++
+		if !snap.Done {
+			h.ActiveRuns++
+		}
+	}
+	return h
 }
 
 // writeJSON renders v as indented JSON.

@@ -57,6 +57,30 @@ func TestServerEndpoints(t *testing.T) {
 		!strings.Contains(body, "replay_score_ms_count 1") {
 		t.Errorf("/metrics missing instruments:\n%s", body)
 	}
+	if !strings.Contains(body, "go_sched_goroutines_goroutines") ||
+		!strings.Contains(body, "go_memory_classes_heap_objects_bytes") ||
+		!strings.Contains(body, "go_gc_pauses_seconds_count") ||
+		!strings.Contains(body, "go_sched_latencies_seconds_p99") {
+		t.Errorf("/metrics missing Go runtime telemetry:\n%s", body)
+	}
+
+	resp, body = get("/healthz")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/healthz content type = %q", ct)
+	}
+	var health Health
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if health.Status != "ok" {
+		t.Errorf("/healthz status = %q, want ok", health.Status)
+	}
+	if health.Build.GoVersion == "" {
+		t.Errorf("/healthz missing build info: %+v", health)
+	}
+	if health.Runs != 2 || health.ActiveRuns != 2 {
+		t.Errorf("/healthz run counts = %d/%d, want 2/2", health.ActiveRuns, health.Runs)
+	}
 
 	resp, body = get("/runs")
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
@@ -87,6 +111,21 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if resp, _ = get("/runs/nope.pcap"); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("/runs/nope.pcap status = %d, want 404", resp.StatusCode)
+	}
+
+	// The funnel endpoint 404s until the run publishes, then serves the
+	// published value verbatim (by full or base name).
+	if resp, _ = get("/runs/reno-01.pcap/funnel"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("funnel before publish status = %d, want 404", resp.StatusCode)
+	}
+	r.Board().Start("traces/reno-01.pcap", 0).SetFunnel(map[string]any{"enumerated": 42.0})
+	_, body = get("/runs/reno-01.pcap/funnel")
+	var funnel map[string]any
+	if err := json.Unmarshal([]byte(body), &funnel); err != nil || funnel["enumerated"] != 42.0 {
+		t.Errorf("/runs/{name}/funnel = %v (%v)", funnel, err)
+	}
+	if resp, _ = get("/runs/nope.pcap/funnel"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("funnel for unknown run status = %d, want 404", resp.StatusCode)
 	}
 
 	_, body = get("/flight")
@@ -205,5 +244,44 @@ func TestEventHubDropsSlowSubscriber(t *testing.T) {
 	defer cancel2()
 	if _, ok := <-ch2; ok {
 		t.Error("subscribe after close returned a live channel")
+	}
+}
+
+// TestEventHubSlowSubscriberDoesNotStarveFast: drops are per-subscriber —
+// a stalled listener loses its own events while a draining one sees all
+// of them.
+func TestEventHubSlowSubscriberDoesNotStarveFast(t *testing.T) {
+	hub := NewEventHub()
+	defer hub.Close()
+	slow, cancelSlow := hub.Subscribe(1)
+	defer cancelSlow()
+	fast, cancelFast := hub.Subscribe(128)
+	defer cancelFast()
+
+	const n = 100
+	received := make(chan int, 1)
+	go func() {
+		got := 0
+		for range fast {
+			if got++; got == n {
+				received <- got
+				return
+			}
+		}
+		received <- got
+	}()
+	for i := 0; i < n; i++ {
+		hub.Emit(Event{Kind: KindMetric, Value: float64(i)})
+	}
+	select {
+	case got := <-received:
+		if got != n {
+			t.Errorf("fast subscriber saw %d/%d events", got, n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fast subscriber starved behind a stalled one")
+	}
+	if len(slow) != 1 {
+		t.Errorf("slow subscriber buffered %d events, want its 1-slot fill", len(slow))
 	}
 }

@@ -1,0 +1,173 @@
+package replay
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// ledgerOffers builds a synthetic candidate population: n distinct keys
+// with distinct constant vectors.
+type fakeCandidate struct {
+	key  string
+	vals []float64
+}
+
+func fakeCandidates(n int) []fakeCandidate {
+	out := make([]fakeCandidate, n)
+	for i := range out {
+		out[i] = fakeCandidate{
+			key:  fmt.Sprintf("sketch-%d", i%17),
+			vals: []float64{float64(i), float64(i % 5)},
+		}
+	}
+	return out
+}
+
+// offerAll pushes the population through the ledger in the given order.
+func offerAll(l *Ledger, cands []fakeCandidate, order []int) {
+	for _, i := range order {
+		c := cands[i]
+		pri := l.priority(42, c.key, c.vals)
+		entry := LedgerEntry{Sketch: c.key, Handler: c.key, Consts: c.vals, Stage: "full"}
+		l.offer(pri, func() LedgerEntry { return entry })
+	}
+}
+
+// TestLedgerOrderIndependent: the sample is a pure function of the
+// candidate set — any offer order (including concurrent) yields identical
+// entries in identical order.
+func TestLedgerOrderIndependent(t *testing.T) {
+	cands := fakeCandidates(1000)
+	forward := make([]int, len(cands))
+	for i := range forward {
+		forward[i] = i
+	}
+	shuffled := append([]int(nil), forward...)
+	rand.New(rand.NewSource(9)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+
+	a := NewLedger(64, 1)
+	offerAll(a, cands, forward)
+	b := NewLedger(64, 1)
+	offerAll(b, cands, shuffled)
+	if !reflect.DeepEqual(a.Entries(), b.Entries()) {
+		t.Error("shuffled offer order changed the sample")
+	}
+
+	// Concurrent offers from several goroutines.
+	c := NewLedger(64, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(cands); i += 8 {
+				offerAll(c, cands, []int{i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(a.Entries(), c.Entries()) {
+		t.Error("concurrent offers changed the sample")
+	}
+}
+
+// TestLedgerSeedChangesSample: a different seed keys a different hash, so
+// the sampled subset moves.
+func TestLedgerSeedChangesSample(t *testing.T) {
+	cands := fakeCandidates(1000)
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	a := NewLedger(64, 1)
+	offerAll(a, cands, order)
+	b := NewLedger(64, 2)
+	offerAll(b, cands, order)
+	if reflect.DeepEqual(a.Entries(), b.Entries()) {
+		t.Error("different seeds produced the identical sample")
+	}
+}
+
+// TestLedgerBounded: the sample never exceeds its capacity; a small
+// population is kept in full.
+func TestLedgerBounded(t *testing.T) {
+	cands := fakeCandidates(1000)
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	l := NewLedger(64, 1)
+	offerAll(l, cands, order)
+	if got := l.Len(); got != 64 {
+		t.Errorf("Len = %d, want 64", got)
+	}
+	small := NewLedger(64, 1)
+	offerAll(small, cands[:10], order[:10])
+	if got := small.Len(); got != 10 {
+		t.Errorf("small population Len = %d, want 10", got)
+	}
+}
+
+// TestLedgerNilSafe: a nil ledger absorbs everything quietly.
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.offer(1, func() LedgerEntry { t.Fatal("build called on nil ledger"); return LedgerEntry{} })
+	if l.Len() != 0 || l.Entries() != nil {
+		t.Error("nil ledger not empty")
+	}
+}
+
+// TestLedgerLazyBuild: rejected candidates never pay for entry rendering.
+func TestLedgerLazyBuild(t *testing.T) {
+	l := NewLedger(4, 1)
+	builds := 0
+	mk := func() LedgerEntry { builds++; return LedgerEntry{} }
+	// Fill to capacity, then offer a guaranteed loser (max priority).
+	for i := uint64(0); i < 4; i++ {
+		l.offer(i, mk)
+	}
+	l.offer(math.MaxUint64, mk)
+	if builds != 4 {
+		t.Errorf("build called %d times, want 4 (loser must not render)", builds)
+	}
+}
+
+// TestLedgerWriteJSONL: the dump is one valid JSON object per line with
+// non-finite distances rendered as null.
+func TestLedgerWriteJSONL(t *testing.T) {
+	l := NewLedger(8, 1)
+	l.offer(1, func() LedgerEntry {
+		return LedgerEntry{Sketch: "a", Handler: "a", Distance: jsonFloat(1.5), Stage: "full", Segments: []string{"full"}}
+	})
+	l.offer(2, func() LedgerEntry {
+		return LedgerEntry{Sketch: "b", Handler: "b", Distance: jsonFloat(math.Inf(1)), Diverged: true, Stage: "diverged"}
+	})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var e map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if e["sketch"] == "b" && e["distance"] != nil {
+			t.Errorf("non-finite distance rendered as %v, want null", e["distance"])
+		}
+	}
+	if lines != 2 {
+		t.Errorf("dump has %d lines, want 2", lines)
+	}
+}

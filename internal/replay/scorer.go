@@ -41,6 +41,13 @@ type Scorer struct {
 	// progSrc, when set, supplies compiled programs shared beyond this
 	// scorer's lifetime (a batch corpus); see WithPrograms.
 	progSrc ProgramSource
+
+	// ledger, when set, samples candidates scored through ScoreDetail;
+	// ledgerTag salts the sample priority (core passes the segment-set
+	// fingerprint so the same candidate re-scored in a later iteration is
+	// a distinct ledger event). See WithLedger.
+	ledger    *Ledger
+	ledgerTag uint64
 }
 
 // ProgramSource supplies compiled register programs keyed by the
@@ -61,9 +68,13 @@ const progCacheCap = 512
 
 // compiledEntry is one cached program with its lazily-filled per-segment
 // prologues. Entries are never mutated after eviction, so a CompiledSketch
-// holding one stays valid even if the cache drops it.
+// holding one stays valid even if the cache drops it. key and src identify
+// the sketch for ledger sampling (the key doubles as the priority-hash
+// input; src renders the entry lazily on acceptance).
 type compiledEntry struct {
 	prog *dsl.Program
+	key  string
+	src  *dsl.Node
 	mu   sync.Mutex
 	pros []*dsl.Prologue
 }
@@ -135,6 +146,18 @@ func (s *Scorer) WithPrograms(ps ProgramSource) *Scorer {
 	return s
 }
 
+// WithLedger attaches a candidate ledger: every completion scored through
+// ScoreDetail with a non-nil CandidateOutcome is offered to it under the
+// ledger's deterministic sampling policy. tag salts the sample priority —
+// callers scoring the same candidates in distinct rounds (core's
+// refinement iterations) pass a round fingerprint so rounds sample
+// independently. A nil ledger is a no-op. Returns the scorer for chaining.
+func (s *Scorer) WithLedger(l *Ledger, tag uint64) *Scorer {
+	s.ledger = l
+	s.ledgerTag = tag
+	return s
+}
+
 // Metric returns the metric the scorer was built with.
 func (s *Scorer) Metric() dist.Metric { return s.metric }
 
@@ -175,6 +198,8 @@ func (s *Scorer) CompileSketch(sk *dsl.Node) *CompiledSketch {
 		}
 		e = &compiledEntry{
 			prog: prog,
+			key:  key,
+			src:  sk,
 			pros: make([]*dsl.Prologue, len(s.segs)),
 		}
 		s.progs[key] = e
@@ -203,29 +228,109 @@ func (s *Scorer) SegmentScore(h *dsl.Node, i int, cutoff float64) (float64, bool
 	return s.CompileSketch(h).SegmentScore(nil, i, cutoff)
 }
 
+// CandidateOutcome is the provenance of one scored candidate: how each
+// segment settled, which stage ended the computation, and the total DP cell
+// cost. A caller-owned value is reused across candidates (Segments keeps
+// its capacity); it is only valid until the next ScoreDetail call with the
+// same value.
+type CandidateOutcome struct {
+	// Distance and Exact restate ScoreDetail's return values.
+	Distance float64
+	Exact    bool
+	// Diverged reports the replay aborted on a non-finite window (the
+	// distance is +Inf, exactly).
+	Diverged bool
+	// Stage is the cascade rung that settled the candidate: StageFull for
+	// an exact score, the pruning stage otherwise. A candidate abandoned
+	// because the cross-segment running total reached the cutoff reports
+	// StageAbandon with Row 0.
+	Stage dist.Stage
+	// Segment is the index of the segment on which the candidate settled
+	// (the last segment scored); Row is the DP row within it (see
+	// dist.Outcome.Row).
+	Segment int
+	Row     int
+	// Cells and Saved total the DP cell cost over all segments scored.
+	Cells int
+	Saved int
+	// Segments holds the per-segment stage outcomes, one per segment
+	// scored before settling.
+	Segments []dist.Outcome
+}
+
+// reset clears the outcome for a new candidate, keeping Segments capacity.
+func (co *CandidateOutcome) reset() {
+	*co = CandidateOutcome{Segments: co.Segments[:0]}
+}
+
+// settle records the final value once scoring stops.
+func (co *CandidateOutcome) settle(d float64, exact bool, stage dist.Stage, seg, row int) {
+	co.Distance = d
+	co.Exact = exact
+	co.Stage = stage
+	co.Segment = seg
+	co.Row = row
+}
+
 // Score scores one completion of the sketch (vals in Bind order; nil for a
 // bound expression) under the Scorer.Score contract.
 func (cs *CompiledSketch) Score(vals []float64, cutoff float64) (float64, bool) {
+	return cs.ScoreDetail(vals, cutoff, nil)
+}
+
+// ScoreDetail is Score with per-candidate provenance: when out is non-nil
+// it is reset and filled with the candidate's stage outcomes, and the
+// candidate is offered to the scorer's ledger (when one is attached).
+// Passing a nil out is exactly Score — no provenance, no ledger traffic.
+func (cs *CompiledSketch) ScoreDetail(vals []float64, cutoff float64, out *CandidateOutcome) (float64, bool) {
 	s := cs.s
 	sc := s.pool.Get().(*scorerScratch)
 	defer s.pool.Put(sc)
+	if out != nil {
+		out.reset()
+	}
 	var total float64
 	last := len(s.segs) - 1
 	for i := range s.segs {
 		// The sub-cutoff over-approximates cutoff-total by a ulp so a
 		// segment is never abandoned when the true total is < cutoff.
 		segCut := math.Nextafter(cutoff-total, math.Inf(1))
-		d, exact := cs.segmentScore(vals, i, segCut, sc)
-		if !exact {
-			return total + d, false
+		d, o, diverged := cs.segmentScore(vals, i, segCut, sc)
+		if out != nil {
+			out.Segments = append(out.Segments, o)
+			out.Cells += o.Cells
+			out.Saved += o.Saved
+			out.Diverged = out.Diverged || diverged
+		}
+		if !o.Exact() {
+			total += d
+			if out != nil {
+				out.settle(total, false, o.Stage, i, o.Row)
+				cs.offer(vals, out)
+			}
+			return total, false
 		}
 		total += d
 		if math.IsInf(total, 1) {
+			if out != nil {
+				out.settle(total, true, dist.StageFull, i, 0)
+				cs.offer(vals, out)
+			}
 			return total, true
 		}
 		if total >= cutoff && i < last {
+			// Cross-segment abandon: the running sum of exact segment
+			// distances already reaches the cutoff.
+			if out != nil {
+				out.settle(total, false, dist.StageAbandon, i, 0)
+				cs.offer(vals, out)
+			}
 			return total, false
 		}
+	}
+	if out != nil {
+		out.settle(total, true, dist.StageFull, last, 0)
+		cs.offer(vals, out)
 	}
 	return total, true
 }
@@ -236,7 +341,8 @@ func (cs *CompiledSketch) SegmentScore(vals []float64, i int, cutoff float64) (f
 	s := cs.s
 	sc := s.pool.Get().(*scorerScratch)
 	defer s.pool.Put(sc)
-	return cs.segmentScore(vals, i, cutoff, sc)
+	d, o, _ := cs.segmentScore(vals, i, cutoff, sc)
+	return d, o.Exact()
 }
 
 // prologue returns segment i's hoisted output columns, computing them on
@@ -263,12 +369,15 @@ func (cs *CompiledSketch) prologue(i int) *dsl.Prologue {
 // segmentScore replays the program over segment i into sc's buffers and
 // measures the synthesized series against the prepared observed one.
 // Mirrors SynthesizeEnvs exactly (same clamping, same divergence
-// accounting) so Scorer scores match the closure path bit for bit.
-func (cs *CompiledSketch) segmentScore(vals []float64, i int, cutoff float64, sc *scorerScratch) (float64, bool) {
+// accounting) so Scorer scores match the closure path bit for bit. The
+// third result reports replay divergence (the +Inf is exact but came from
+// the VM, not the metric).
+func (cs *CompiledSketch) segmentScore(vals []float64, i int, cutoff float64, sc *scorerScratch) (float64, dist.Outcome, bool) {
 	s := cs.s
 	n := s.cols[i].N
 	if n == 0 {
-		return dist.PreparedDistanceWithin(s.metric, s.prepared[i], dist.Series{}, cutoff, sc.dist)
+		d, o := dist.PreparedDistanceDetail(s.metric, s.prepared[i], dist.Series{}, cutoff, sc.dist)
+		return d, o, false
 	}
 	cReplays.Load().Inc()
 	if cap(sc.values) < n {
@@ -281,7 +390,7 @@ func (cs *CompiledSketch) segmentScore(vals []float64, i int, cutoff float64, sc
 	cInstrs.Load().Add(int64(rows) * int64(prog.SuffixLen()))
 	if !ok {
 		cDiverged.Load().Inc()
-		return math.Inf(1), true
+		return math.Inf(1), dist.Outcome{}, true
 	}
 	if r := s.res[i]; r != nil {
 		// The segment's time vector is fixed, so the interpolation schedule
@@ -289,8 +398,10 @@ func (cs *CompiledSketch) segmentScore(vals []float64, i int, cutoff float64, sc
 		// gather instead of a validate + merge per call. Values are identical
 		// to the Series path's, so scores stay bit-for-bit equal.
 		r.Into(values, sc.grid)
-		return dist.PreparedDistanceWithinGrid(s.metric, s.prepared[i], sc.grid, cutoff, sc.dist)
+		d, o := dist.PreparedDistanceDetailGrid(s.metric, s.prepared[i], sc.grid, cutoff, sc.dist)
+		return d, o, false
 	}
 	synth := dist.Series{Times: s.times[i], Values: values}
-	return dist.PreparedDistanceWithin(s.metric, s.prepared[i], synth, cutoff, sc.dist)
+	d, o := dist.PreparedDistanceDetail(s.metric, s.prepared[i], synth, cutoff, sc.dist)
+	return d, o, false
 }

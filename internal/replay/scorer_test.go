@@ -217,3 +217,74 @@ func TestScorerNilMetricDefaultsDTW(t *testing.T) {
 		t.Errorf("nil metric %v != DTW %v", got, want)
 	}
 }
+
+// TestScoreDetailOutcome pins the candidate-outcome plumbing: an uncut
+// score settles fully with one outcome per segment, a tight cutoff settles
+// inexactly at a pruning stage, and a diverging handler is flagged.
+func TestScoreDetailOutcome(t *testing.T) {
+	segs := renoSegments(t)
+	sc := NewScorer(segs, dist.DTW{})
+
+	var co CandidateOutcome
+	h := dsl.MustParse("cwnd + reno-inc")
+	cs := sc.CompileSketch(h)
+	d, exact := cs.ScoreDetail(nil, math.Inf(1), &co)
+	if !exact || !co.Exact || co.Diverged {
+		t.Fatalf("uncut score: exact=%v co=%+v", exact, co)
+	}
+	if co.Distance != d || co.Stage != dist.StageFull {
+		t.Errorf("outcome (%v, %v), want (%v, full)", co.Distance, co.Stage, d)
+	}
+	if len(co.Segments) != len(segs) {
+		t.Errorf("outcome has %d segment entries, want %d", len(co.Segments), len(segs))
+	}
+	if co.Cells == 0 {
+		t.Error("full score attributed no cells")
+	}
+	for i, o := range co.Segments {
+		if o.Stage != dist.StageFull {
+			t.Errorf("segment %d stage = %v, want full", i, o.Stage)
+		}
+	}
+
+	// Reuse the same scratch outcome: a tight cutoff settles inexactly and
+	// the reset leaves no stale segments behind.
+	far := dsl.MustParse("cwnd + cwnd")
+	csFar := sc.CompileSketch(far)
+	d2, exact2 := csFar.ScoreDetail(nil, d*1e-6, &co)
+	if exact2 {
+		t.Fatalf("tight cutoff still exact: %v", d2)
+	}
+	if co.Exact || co.Stage == dist.StageFull {
+		t.Errorf("inexact settle with full-stage outcome: %+v", co)
+	}
+	if co.Segment >= len(segs) || len(co.Segments) > len(segs) {
+		t.Errorf("stale segment data after reuse: %+v", co)
+	}
+
+	div := dsl.MustParse("cwnd/(acked - acked)")
+	csDiv := sc.CompileSketch(div)
+	if _, _ = csDiv.ScoreDetail(nil, math.Inf(1), &co); !co.Diverged {
+		t.Errorf("diverging handler not flagged: %+v", co)
+	}
+	if !math.IsInf(co.Distance, 1) {
+		t.Errorf("diverged distance = %v, want +Inf", co.Distance)
+	}
+}
+
+// TestScoreDetailNilOutcome: the nil-outcome path is the plain Score and
+// stays bit-identical to the detailed one.
+func TestScoreDetailNilOutcome(t *testing.T) {
+	segs := renoSegments(t)
+	sc := NewScorer(segs, dist.DTW{})
+	h := dsl.MustParse("cwnd + 0.5*reno-inc")
+	cs := sc.CompileSketch(h)
+	var co CandidateOutcome
+	for _, cutoff := range []float64{math.Inf(1), 100, 1} {
+		d1, e1 := cs.ScoreDetail(nil, cutoff, nil)
+		d2, e2 := cs.ScoreDetail(nil, cutoff, &co)
+		if math.Float64bits(d1) != math.Float64bits(d2) || e1 != e2 {
+			t.Errorf("cutoff %v: nil-outcome (%v,%v) != outcome (%v,%v)", cutoff, d1, e1, d2, e2)
+		}
+	}
+}
