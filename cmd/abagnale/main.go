@@ -33,6 +33,15 @@
 // -cpuprofile/-memprofile capture pprof profiles.
 // SIGQUIT (ctrl-\) dumps the flight recorder to stderr without stopping
 // the run; a failed search dumps its tail automatically.
+//
+// Daemon mode (-daemon) turns the process into the synthesis service:
+// the versioned job API (/api/v1) is mounted on -serve's address next to
+// the observability endpoints, -jobs sizes the worker pool, -snapshots
+// persists warm corpora across restarts, and -dsl names corpora to
+// prewarm. cmd/abagnaled is the standalone daemon with client
+// subcommands; both run the same service.RunDaemon loop.
+//
+//	abagnale -daemon -serve :8080 -dsl reno -snapshots corpora/
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dist"
@@ -59,6 +69,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/replay"
+	"repro/internal/service"
 	"repro/internal/trace"
 )
 
@@ -77,21 +88,34 @@ func main() {
 		explain = flag.Bool("explain", false, "print the per-bucket convergence and pruning-funnel tables after the search")
 		ledger  = flag.String("ledger", "", "write a deterministic sampled candidate ledger (JSONL) here")
 		funnel  = flag.String("funnel", "", "write the run's pruning-funnel report (JSON, funneldiff input) here")
-		of      obs.Flags
+		daemon  = flag.Bool("daemon", false, "run as a synthesis daemon (job API on -serve's address; see abagnaled)")
+		snaps   = flag.String("snapshots", "", "daemon mode: corpus snapshot directory (empty disables warm restarts)")
 	)
-	of.Register(flag.CommandLine)
+	c := cli.Register("abagnale", flag.CommandLine)
 	flag.Parse()
 	batch := *dir != "" || *glob != ""
-	if flag.NArg() == 0 && !batch && !of.ShowVersion {
-		fmt.Fprintln(os.Stderr, "abagnale: no pcap files given")
-		flag.Usage()
-		os.Exit(2)
+	if *daemon {
+		// Daemon mode owns the observability server (the job API rides the
+		// same mux), so it bypasses the common Setup entirely.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err := service.RunDaemon(ctx, service.Config{
+			Workers:     *jobs,
+			SnapshotDir: *snaps,
+		}, service.DaemonOptions{
+			Listen:  c.Obs.Serve,
+			Prewarm: service.ParsePrewarm(*dslName),
+			Verbose: c.Obs.Verbose,
+		})
+		if err != nil {
+			c.Fatal(err)
+		}
+		return
 	}
-	reg, done, err := of.Setup()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "abagnale:", err)
-		os.Exit(1)
+	if flag.NArg() == 0 && !batch && !c.ShowVersion() {
+		c.UsageExit("no pcap files given")
 	}
+	reg, done := c.Setup()
 	// Route the process-wide replay/metric/VM instruments to this run.
 	replay.Observe(reg)
 	dist.Observe(reg)
@@ -122,13 +146,7 @@ func main() {
 			}
 		}
 	}
-	if err := done(); err != nil && runErr == nil {
-		runErr = err
-	}
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "abagnale:", runErr)
-		os.Exit(1)
-	}
+	c.Finish(runErr, done)
 }
 
 // pickDSL resolves the sub-DSL and metric from the flags.

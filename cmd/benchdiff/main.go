@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/obs"
 )
 
@@ -65,13 +66,11 @@ func main() {
 		dir       = flag.String("dir", "bench", "snapshot directory")
 		record    = flag.Bool("record", false, "write this run as a new JSON snapshot")
 		threshold = flag.Float64("threshold", 0.20, "regression tolerance (fraction)")
-		version   = flag.Bool("version", false, "print build information and exit")
 	)
+	c := cli.RegisterVersion("benchdiff", flag.CommandLine)
 	flag.Parse()
-	if *version {
-		fmt.Println(obs.ReadBuild().String())
-		return
-	}
+	_, done := c.Setup() // handles -version
+	defer func() { _ = done() }()
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/cli"
 	"repro/internal/dist"
 	"repro/internal/dsl"
 	"repro/internal/experiments"
@@ -32,31 +33,18 @@ func main() {
 		bwMbps = flag.Float64("bw", 10, "trace scenario bottleneck bandwidth, Mbit/s")
 		margin = flag.Float64("margin", 2.5, "Unknown-threshold margin over intra-CCA distance")
 		seed   = flag.Int64("seed", 1, "reference library seed")
-		of     obs.Flags
 	)
-	of.Register(flag.CommandLine)
+	c := cli.Register("classify", flag.CommandLine)
 	flag.Parse()
-	if flag.NArg() == 0 && !of.ShowVersion {
-		fmt.Fprintln(os.Stderr, "classify: no pcap files given")
-		flag.Usage()
-		os.Exit(2)
+	if flag.NArg() == 0 && !c.ShowVersion() {
+		c.UsageExit("no pcap files given")
 	}
-	reg, done, err := of.Setup()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "classify:", err)
-		os.Exit(1)
-	}
+	reg, done := c.Setup()
 	replay.Observe(reg)
 	dist.Observe(reg)
 	dsl.Observe(reg)
 	runErr := run(*rtt, *bwMbps*1e6/8, *margin, *seed, reg, flag.Args())
-	if err := done(); err != nil && runErr == nil {
-		runErr = err
-	}
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "classify:", runErr)
-		os.Exit(1)
-	}
+	c.Finish(runErr, done)
 }
 
 func run(rtt time.Duration, bwBps, margin float64, seed int64, reg *obs.Registry, files []string) error {

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/dist"
 	"repro/internal/dsl"
 	"repro/internal/experiments"
@@ -43,13 +44,11 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced trace volume and search budget")
 		seed  = flag.Int64("seed", 1, "random seed")
 		jobs  = flag.Int("jobs", 1, "concurrent synthesis runs (table2 rows)")
-		of    obs.Flags
 	)
-	of.Register(flag.CommandLine)
+	c := cli.Register("experiments", flag.CommandLine)
 	flag.Parse()
-	if flag.NArg() == 0 && !of.ShowVersion {
-		flag.Usage()
-		os.Exit(2)
+	if flag.NArg() == 0 && !c.ShowVersion() {
+		c.UsageExit("no experiment named (table2|table3|...)")
 	}
 	scale := experiments.FullScale()
 	if *quick {
@@ -57,11 +56,7 @@ func main() {
 	}
 	scale.Seed = *seed
 
-	reg, done, err := of.Setup()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	reg, done := c.Setup()
 	scale.Obs = reg
 	replay.Observe(reg)
 	dist.Observe(reg)
@@ -80,13 +75,7 @@ func main() {
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "experiments: interrupted — results above are best-so-far")
 	}
-	if err := done(); err != nil && runErr == nil {
-		runErr = err
-	}
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", runErr)
-		os.Exit(1)
-	}
+	c.Finish(runErr, done)
 }
 
 func run(name string, args []string, scale experiments.Scale, jobs int) error {

@@ -26,15 +26,18 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
 func main() {
 	threshold := flag.Float64("threshold", 0.05, "stage-share delta (fraction of enumerated) flagged as drift")
+	c := cli.RegisterVersion("funneldiff", flag.CommandLine)
 	flag.Parse()
+	_, done := c.Setup() // handles -version
+	defer func() { _ = done() }()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: funneldiff [-threshold 0.05] old.json new.json")
-		os.Exit(2)
+		c.UsageExit("usage: funneldiff [-threshold 0.05] old.json new.json")
 	}
 	a, err := loadFunnel(flag.Arg(0))
 	if err != nil {

@@ -17,8 +17,8 @@ import (
 	"time"
 
 	"repro/internal/cca"
+	"repro/internal/cli"
 	"repro/internal/experiments"
-	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,14 +31,11 @@ func main() {
 		loss     = flag.Float64("loss", 0.0005, "random loss rate (measurement noise)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		list     = flag.Bool("list", false, "list available CCAs and exit")
-		version  = flag.Bool("version", false, "print build information and exit")
 	)
+	c := cli.RegisterVersion("tracegen", flag.CommandLine)
 	flag.Parse()
-
-	if *version {
-		fmt.Println(obs.ReadBuild().String())
-		return
-	}
+	_, done := c.Setup() // handles -version
+	defer func() { _ = done() }()
 	if *list {
 		fmt.Println(strings.Join(cca.Names(), "\n"))
 		return
@@ -51,8 +48,7 @@ func main() {
 	scale.Seed = *seed
 
 	if err := run(*ccaName, *outDir, scale); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		c.Fatal(err)
 	}
 }
 

@@ -16,8 +16,8 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/dsl"
-	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -40,22 +40,17 @@ func main() {
 		minSeg  = flag.Int("min-segment", 16, "minimum ACK samples per segment")
 		width   = flag.Int("width", 72, "chart width")
 		height  = flag.Int("height", 18, "chart height")
-		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Var(&handlers, "handler", "DSL expression to replay over the trace (repeatable)")
+	c := cli.RegisterVersion("traceplot", flag.CommandLine)
 	flag.Parse()
-	if *version {
-		fmt.Println(obs.ReadBuild().String())
-		return
-	}
+	_, done := c.Setup() // handles -version
+	defer func() { _ = done() }()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "traceplot: exactly one pcap file expected")
-		flag.Usage()
-		os.Exit(2)
+		c.UsageExit("exactly one pcap file expected")
 	}
 	if err := run(flag.Arg(0), handlers, *segment, *minSeg, *width, *height); err != nil {
-		fmt.Fprintln(os.Stderr, "traceplot:", err)
-		os.Exit(1)
+		c.Fatal(err)
 	}
 }
 

@@ -1,0 +1,91 @@
+// Package cli centralizes the command-line surface and lifecycle that
+// every cmd/* tool used to repeat by hand: registering the shared
+// observability/profiling flags (-v, -events, -metrics-json, -serve,
+// -trace-out, -cpuprofile, -memprofile, -version), turning them into a
+// live obs.Registry, and the exit etiquette around failures. Tools keep
+// their own domain flags; this package owns only the common ones, so a
+// new flag added here appears in every binary at once.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Common is one tool's shared flag surface. Register (or
+// RegisterVersion) constructs it before flag parsing; Setup finishes it
+// after.
+type Common struct {
+	// Obs is the underlying observability flag bundle. Callers may adjust
+	// it between Parse and Setup (the daemon attaches its API mounts and
+	// defaults the listen address here).
+	Obs obs.Flags
+
+	tool string
+	fs   *flag.FlagSet
+}
+
+// Register declares the full common flag set on fs for the named tool.
+// Call before fs.Parse.
+func Register(tool string, fs *flag.FlagSet) *Common {
+	c := &Common{tool: tool, fs: fs}
+	c.Obs.Register(fs)
+	return c
+}
+
+// RegisterVersion declares only -version — the reduced surface for tools
+// with no run-time observability (tracegen, traceplot, benchdiff,
+// funneldiff).
+func RegisterVersion(tool string, fs *flag.FlagSet) *Common {
+	c := &Common{tool: tool, fs: fs}
+	fs.BoolVar(&c.Obs.ShowVersion, "version", false, "print build information (module version, VCS revision) and exit")
+	return c
+}
+
+// ShowVersion reports whether -version was passed; tools check it before
+// rejecting an otherwise-empty argument list.
+func (c *Common) ShowVersion() bool { return c.Obs.ShowVersion }
+
+// Setup builds whatever the common flags asked for: -version prints
+// build info and exits 0; otherwise profiling starts, the live server
+// binds, and the returned registry (nil when no observability flag is
+// set — every consumer is nil-safe) is ready. The returned done func
+// flushes reports/profiles and must run even on error paths. A setup
+// failure (unwritable profile path, busy listen address) exits 1.
+func (c *Common) Setup() (*obs.Registry, func() error) {
+	reg, done, err := c.Obs.Setup()
+	if err != nil {
+		c.Fatal(err)
+	}
+	return reg, done
+}
+
+// Fatal prints "tool: err" to stderr and exits 1.
+func (c *Common) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", c.tool, err)
+	os.Exit(1)
+}
+
+// UsageExit prints "tool: msg", the flag usage, and exits 2 — the shape
+// every tool used for bad invocations.
+func (c *Common) UsageExit(msg string) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", c.tool, msg)
+	c.fs.Usage()
+	os.Exit(2)
+}
+
+// Finish runs the observability teardown and folds its error into the
+// run's own: the run error wins, a teardown error surfaces only when the
+// run itself succeeded. Exits 1 on either.
+func (c *Common) Finish(runErr error, done func() error) {
+	if err := done(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", c.tool, runErr)
+		os.Exit(1)
+	}
+}

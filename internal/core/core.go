@@ -444,12 +444,17 @@ func Synthesize(ctx context.Context, segs []*trace.Segment, opts Options) (*Resu
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	opts = opts.withDefaults()
-	if opts.DSL == nil {
-		return nil, errors.New("core: Options.DSL is required")
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
+	opts = opts.withDefaults()
 	if len(segs) == 0 {
 		return nil, errors.New("core: no trace segments")
+	}
+	if opts.RunName == "" {
+		if name, ok := RunNameFromContext(ctx); ok {
+			opts.RunName = name
+		}
 	}
 	run := &runState{
 		ctx:    ctx,

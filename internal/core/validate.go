@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Validate rejects nonsensical option combinations explicitly, instead of
+// the scattered implicit checks Synthesize used to make as it went. It is
+// called at the top of Synthesize on the caller's options (before
+// defaulting, so zero values are still "use the paper default" and only
+// genuinely impossible configurations fail). Callers constructing Options
+// from external input — the service's job API — validate up front to turn
+// bad requests into 4xx responses rather than mid-run errors.
+func (o Options) Validate() error {
+	if o.DSL == nil {
+		return errors.New("core: Options.DSL is required")
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"InitialSamples", o.InitialSamples},
+		{"InitialKeep", o.InitialKeep},
+		{"InitialSegments", o.InitialSegments},
+		{"MaxCompletions", o.MaxCompletions},
+		{"MaxHandlers", o.MaxHandlers},
+		{"BucketCap", o.BucketCap},
+		{"ScanBudget", o.ScanBudget},
+		{"Workers", o.Workers},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("core: Options.%s is negative (%d); use 0 for the default", f.name, f.v)
+		}
+	}
+	if o.Gate != nil && o.Sketches == nil {
+		// A shared gate exists to bound concurrent runs over a shared
+		// sketch space; a gated run that privately re-enumerates defeats
+		// that sharing and indicates a miswired batch.
+		return errors.New("core: Options.Gate is set but Options.Sketches is nil; a gated run must share a SketchSource")
+	}
+	if o.Sketches == nil && o.Programs != nil {
+		// Programs are keyed by sketches the source hands out; a program
+		// source without the matching sketch source is a config splice.
+		return errors.New("core: Options.Programs is set but Options.Sketches is nil; share both or neither")
+	}
+	return nil
+}
+
+// runNameKey carries a job-scoped run name through a context.
+type runNameKey struct{}
+
+// WithRunName returns a context carrying a run name for Synthesize calls
+// that leave Options.RunName empty — how the service threads its job IDs
+// into the live Board and span attributes without every intermediate
+// layer forwarding a name explicitly.
+func WithRunName(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, runNameKey{}, name)
+}
+
+// RunNameFromContext returns the run name carried by ctx, if any.
+func RunNameFromContext(ctx context.Context) (string, bool) {
+	name, ok := ctx.Value(runNameKey{}).(string)
+	return name, ok && name != ""
+}

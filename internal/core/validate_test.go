@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/obs"
+)
+
+// TestOptionsValidate exercises every explicit rejection, one by one, and
+// confirms the zero-value-means-default contract still holds.
+func TestOptionsValidate(t *testing.T) {
+	base := func() Options { return Options{DSL: dsl.Reno()} }
+	if err := base().Validate(); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+	if err := (Options{}).Validate(); err == nil || !strings.Contains(err.Error(), "DSL") {
+		t.Errorf("nil DSL accepted: %v", err)
+	}
+
+	negatives := []struct {
+		name string
+		set  func(*Options)
+	}{
+		{"InitialSamples", func(o *Options) { o.InitialSamples = -1 }},
+		{"InitialKeep", func(o *Options) { o.InitialKeep = -2 }},
+		{"InitialSegments", func(o *Options) { o.InitialSegments = -1 }},
+		{"MaxCompletions", func(o *Options) { o.MaxCompletions = -5 }},
+		{"MaxHandlers", func(o *Options) { o.MaxHandlers = -1 }},
+		{"BucketCap", func(o *Options) { o.BucketCap = -100 }},
+		{"ScanBudget", func(o *Options) { o.ScanBudget = -1 }},
+		{"Workers", func(o *Options) { o.Workers = -4 }},
+	}
+	for _, tc := range negatives {
+		o := base()
+		tc.set(&o)
+		err := o.Validate()
+		if err == nil {
+			t.Errorf("negative %s accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("negative %s rejected without naming the field: %v", tc.name, err)
+		}
+	}
+
+	// A shared gate without a shared sketch source is a miswired batch.
+	gated := base()
+	gated.Gate = NewGate(1)
+	if err := gated.Validate(); err == nil || !strings.Contains(err.Error(), "Gate") {
+		t.Errorf("Gate without Sketches accepted: %v", err)
+	}
+	gated.Sketches = newEnumSource(gated.DSL, nil)
+	if err := gated.Validate(); err != nil {
+		t.Errorf("Gate with Sketches rejected: %v", err)
+	}
+
+	// A program source without the sketch source it is keyed by.
+	spliced := base()
+	spliced.Programs = progSourceStub{}
+	if err := spliced.Validate(); err == nil || !strings.Contains(err.Error(), "Programs") {
+		t.Errorf("Programs without Sketches accepted: %v", err)
+	}
+
+	// Synthesize routes through Validate.
+	segs := segmentsFor(t, "reno")
+	bad := base()
+	bad.MaxHandlers = -1
+	if _, err := Synthesize(context.Background(), segs, bad); err == nil {
+		t.Error("Synthesize accepted invalid options")
+	}
+}
+
+// progSourceStub satisfies replay.ProgramSource for validation tests.
+type progSourceStub struct{}
+
+func (progSourceStub) Program(key string, sk *dsl.Node) *dsl.Program {
+	return dsl.CompileProgram(sk)
+}
+
+// TestRunNameFromContext pins the job-scoped run-name threading: a
+// Synthesize whose Options.RunName is empty adopts the context's name on
+// the live Board, and an explicit RunName still wins.
+func TestRunNameFromContext(t *testing.T) {
+	segs := segmentsFor(t, "reno")
+	reg := obs.New()
+	o := quickOpts(dsl.Reno())
+	o.Obs = reg
+	ctx := WithRunName(context.Background(), "job-ctx")
+	if _, err := Synthesize(ctx, segs, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Board().Get("job-ctx"); !ok {
+		t.Errorf("run not registered under context name; board: %+v", reg.Board().Snapshots())
+	}
+
+	reg2 := obs.New()
+	o2 := quickOpts(dsl.Reno())
+	o2.Obs = reg2
+	o2.RunName = "explicit"
+	if _, err := Synthesize(ctx, segs, o2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg2.Board().Get("explicit"); !ok {
+		t.Error("explicit RunName overridden by context")
+	}
+	if name, ok := RunNameFromContext(context.Background()); ok || name != "" {
+		t.Errorf("bare context reported a run name %q", name)
+	}
+}

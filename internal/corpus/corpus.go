@@ -75,6 +75,7 @@ type SketchCorpus struct {
 	d          *dsl.DSL
 	bucketCap  int
 	scanBudget int
+	cfgHash    string
 	obsv       *obs.Registry
 
 	keys    []dsl.OpSet
@@ -98,6 +99,13 @@ type corpusBucket struct {
 	next      func() (*dsl.Node, bool)
 	stop      func()
 	exhausted bool
+	// loaded counts cache entries restored from a snapshot. A fresh
+	// enumerator (started only if a Take outgrows the restored prefix)
+	// must discard that many yields before appending: enumeration order
+	// is deterministic, so the discard replays exactly the constructions
+	// that produced the restored prefix, leaving the enumerator — scan
+	// budget included — in the same state as an unbroken run.
+	loaded int
 }
 
 // progShard is one lock stripe of the compiled-program cache.
@@ -124,6 +132,7 @@ func New(opts Options) (*SketchCorpus, error) {
 		d:           opts.DSL,
 		bucketCap:   opts.BucketCap,
 		scanBudget:  opts.ScanBudget,
+		cfgHash:     opts.ConfigHash(),
 		obsv:        opts.Obs,
 		keys:        e.Buckets(),
 		cShared:     opts.Obs.Counter("corpus.sketches_shared"),
@@ -164,10 +173,16 @@ func (c *SketchCorpus) Take(ops dsl.OpSet, n, capN, _ int) ([]*dsl.Node, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	cached := len(b.cache)
-	if b.next == nil && !b.exhausted {
+	if b.next == nil && !b.exhausted && len(b.cache) < n {
 		e := enum.New(c.d)
 		e.Obs = c.obsv
 		b.next, b.stop = iter.Pull(e.BucketLimited(b.ops, c.scanBudget))
+		for i := 0; i < b.loaded && !b.exhausted; i++ {
+			if _, ok := b.next(); !ok {
+				b.exhausted = true
+				b.stop()
+			}
+		}
 	}
 	for len(b.cache) < n && !b.exhausted {
 		sk, ok := b.next()

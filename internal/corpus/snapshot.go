@@ -1,0 +1,199 @@
+package corpus
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+)
+
+// Corpus snapshots persist the enumerated, canonicalized sketch space to
+// disk so a daemon restart is a load, not a re-enumeration: a warm start
+// from a snapshot performs zero candidate constructions (enum.candidates
+// stays 0) and serves byte-identical Take prefixes, so a job repeated
+// across a restart returns the identical handler and distance.
+//
+// Format: a gob stream of snapshotFile — a version tag, the DSL-config
+// hash the corpus was built under, and per bucket the materialized sketch
+// prefix plus its exhaustion flag. Sketch trees gob-encode directly
+// (dsl.Node has only exported fields; the unexported canonical-key memo is
+// recomputed at load). Compiled register programs are NOT serialized:
+// dsl.CompileProgram is deterministic and microseconds per sketch, so the
+// loader recompiles the persisted sketches into the program cache, which
+// is both smaller on disk and immune to VM-encoding drift across builds.
+//
+// Versioning rules: SnapshotVersion bumps whenever the gob shape, the
+// enumeration order, canonicalization, or anything else that decides which
+// sketches exist (or their order) changes; a snapshot with a different
+// version or a different config hash is rejected at load and the caller
+// falls back to enumeration. Snapshots are written atomically
+// (temp + rename), so a crashed writer never leaves a torn file behind.
+
+// SnapshotVersion tags the on-disk format. Bump on any change to the gob
+// shape or to enumeration/canonicalization order.
+const SnapshotVersion = 1
+
+// snapshotFile is the gob-encoded snapshot shape.
+type snapshotFile struct {
+	Version int
+	Config  string
+	DSLName string
+	Buckets []snapshotBucket
+}
+
+// snapshotBucket is one bucket's persisted enumeration state.
+type snapshotBucket struct {
+	Ops       dsl.OpSet
+	Sketches  []*dsl.Node
+	Exhausted bool
+}
+
+// ConfigHash fingerprints everything that decides which sketch space a
+// corpus holds: the full DSL definition (name alone is not enough — tests
+// and ablations override depth/node budgets) and the corpus's
+// materialization bounds. Two Options with equal hashes produce corpora
+// that serve identical Take prefixes; snapshots are keyed by this hash.
+func (o Options) ConfigHash() string {
+	if o.BucketCap == 0 {
+		o.BucketCap = core.DefaultBucketCap
+	}
+	if o.ScanBudget == 0 {
+		o.ScanBudget = core.DefaultScanBudget
+	}
+	d := o.DSL
+	h := fnv.New64a()
+	fmt.Fprintf(h, "dsl=%s|depth=%d|nodes=%d|unit=%t|", d.Name, d.MaxDepth, d.MaxNodes, d.UnitCheck)
+	for _, s := range d.Signals {
+		fmt.Fprintf(h, "s%d,", int(s))
+	}
+	for _, m := range d.Macros {
+		fmt.Fprintf(h, "m%d,", int(m))
+	}
+	for _, op := range d.NumOps {
+		fmt.Fprintf(h, "n%d,", int(op))
+	}
+	for _, op := range d.BoolOps {
+		fmt.Fprintf(h, "b%d,", int(op))
+	}
+	for _, c := range d.Constants {
+		fmt.Fprintf(h, "k%g,", c)
+	}
+	fmt.Fprintf(h, "|cap=%d|scan=%d", o.BucketCap, o.ScanBudget)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ConfigHash returns the hash of the configuration the corpus was built
+// with — the snapshot key.
+func (c *SketchCorpus) ConfigHash() string { return c.cfgHash }
+
+// WriteSnapshot serializes the corpus's materialized sketch space to w.
+// Safe to call while jobs are running: each bucket is copied under its
+// lock, so the snapshot is a consistent per-bucket prefix (entries are
+// immutable once published).
+func (c *SketchCorpus) WriteSnapshot(w io.Writer) error {
+	sf := snapshotFile{
+		Version: SnapshotVersion,
+		Config:  c.cfgHash,
+		DSLName: c.d.Name,
+	}
+	for _, ops := range c.keys {
+		b := c.buckets[ops]
+		b.mu.Lock()
+		sketches := append([]*dsl.Node(nil), b.cache...)
+		exhausted := b.exhausted
+		b.mu.Unlock()
+		if len(sketches) == 0 && !exhausted {
+			continue // never touched; nothing to restore
+		}
+		sf.Buckets = append(sf.Buckets, snapshotBucket{
+			Ops:       ops,
+			Sketches:  sketches,
+			Exhausted: exhausted,
+		})
+	}
+	sort.Slice(sf.Buckets, func(i, j int) bool { return sf.Buckets[i].Ops < sf.Buckets[j].Ops })
+	return gob.NewEncoder(w).Encode(&sf)
+}
+
+// SaveSnapshot writes the snapshot to path atomically (temp file in the
+// same directory, then rename), creating parent directories as needed.
+func (c *SketchCorpus) SaveSnapshot(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	if err := c.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSnapshot builds a corpus for opts and restores the sketch space from
+// the gob stream. The snapshot must carry the current SnapshotVersion and
+// the exact ConfigHash of opts; anything else is an error (callers fall
+// back to a cold New). Restored sketches have their canonical keys
+// memoized and their register programs compiled into the program cache, so
+// a subsequent run performs zero enumeration (a bucket saved
+// non-exhausted resumes its enumerator only if a Take outgrows the
+// restored prefix).
+func LoadSnapshot(r io.Reader, opts Options) (*SketchCorpus, error) {
+	var sf snapshotFile
+	if err := gob.NewDecoder(r).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("corpus: decoding snapshot: %w", err)
+	}
+	if sf.Version != SnapshotVersion {
+		return nil, fmt.Errorf("corpus: snapshot version %d, want %d", sf.Version, SnapshotVersion)
+	}
+	c, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if sf.Config != c.cfgHash {
+		return nil, fmt.Errorf("corpus: snapshot config %s does not match %s (DSL %s)",
+			sf.Config, c.cfgHash, opts.DSL.Name)
+	}
+	loaded := 0
+	for _, sb := range sf.Buckets {
+		b := c.buckets[sb.Ops]
+		if b == nil {
+			return nil, fmt.Errorf("corpus: snapshot bucket %s not in the %s DSL's space", sb.Ops, opts.DSL.Name)
+		}
+		for _, sk := range sb.Sketches {
+			// Recompute the canonical key (the unexported memo does not
+			// survive gob) before publication, exactly like Take, and warm
+			// the compiled-program cache from it.
+			c.Program(sk.Key(), sk)
+		}
+		b.cache = sb.Sketches
+		b.loaded = len(sb.Sketches)
+		b.exhausted = sb.Exhausted
+		loaded += len(sb.Sketches)
+	}
+	c.obsv.Counter("corpus.snapshot_sketches_loaded").Add(int64(loaded))
+	return c, nil
+}
+
+// LoadSnapshotFile is LoadSnapshot over a file.
+func LoadSnapshotFile(path string, opts Options) (*SketchCorpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSnapshot(f, opts)
+}

@@ -43,6 +43,10 @@ type Flags struct {
 	Verbose bool
 	// ShowVersion prints build info and exits (handled inside Setup).
 	ShowVersion bool
+	// Mounts attaches extra handler subtrees to the -serve mux — set
+	// programmatically (not a flag) by callers that co-host an API on
+	// the observability server, like the synthesis daemon's /api/v1.
+	Mounts []Mount
 }
 
 // Register declares the flags on fs.
@@ -125,7 +129,7 @@ func (f *Flags) Setup() (*Registry, func() error, error) {
 	if f.Serve != "" {
 		hub := NewEventHub()
 		reg.Attach(hub)
-		srv, err := Serve(f.Serve, reg, hub)
+		srv, err := Serve(f.Serve, reg, hub, f.Mounts...)
 		if err != nil {
 			return fail(err)
 		}

@@ -78,6 +78,16 @@ func (h *EventHub) Close() error {
 	return nil
 }
 
+// Mount attaches an extra handler subtree to the observability mux —
+// how the synthesis service exposes its /api/v1 job endpoints on the
+// same port as /metrics and /runs without obs importing the service.
+type Mount struct {
+	// Pattern is a ServeMux pattern ("/api/v1/" mounts a subtree).
+	Pattern string
+	// Handler serves the subtree.
+	Handler http.Handler
+}
+
 // Handler builds the live observability mux for the registry:
 //
 //	/            endpoint index
@@ -92,8 +102,12 @@ func (h *EventHub) Close() error {
 // live stream attach the hub to the registry themselves (Flags.Setup
 // does). The handler is safe to serve during a run — every view is a
 // lock-light snapshot.
-func (r *Registry) Handler(hub *EventHub) http.Handler {
+func (r *Registry) Handler(hub *EventHub, mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
+	var extra strings.Builder
+	for _, m := range mounts {
+		fmt.Fprintf(&extra, "%-21s mounted subtree\n", m.Pattern)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
@@ -107,7 +121,8 @@ func (r *Registry) Handler(hub *EventHub) http.Handler {
 			"/runs/{name}/funnel  one trace's pruning funnel (JSON)\n"+
 			"/events              SSE event stream\n"+
 			"/flight              flight-recorder dump (JSONL)\n"+
-			"/debug/pprof         pprof\n")
+			"/debug/pprof         pprof\n"+
+			extra.String())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -153,6 +168,9 @@ func (r *Registry) Handler(hub *EventHub) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	return mux
 }
 
@@ -244,12 +262,12 @@ type Server struct {
 // ":0" picks a free port — read the result's Addr). It returns once the
 // listener is bound; serving continues in a background goroutine until
 // Close.
-func Serve(addr string, r *Registry, hub *EventHub) (*Server, error) {
+func Serve(addr string, r *Registry, hub *EventHub, mounts ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: r.Handler(hub)}
+	srv := &http.Server{Handler: r.Handler(hub, mounts...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{srv: srv, ln: ln}, nil
 }

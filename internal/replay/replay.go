@@ -155,37 +155,3 @@ func SynthesizeEnvs(h *dsl.Node, seg *trace.Segment, envs []dsl.Env) (dist.Serie
 func clamp(v, lo, hi float64) float64 {
 	return math.Min(math.Max(v, lo), hi)
 }
-
-// Distance scores one handler against one segment under the metric: the
-// distance between the observed CWND series and the synthesized one.
-// Diverging handlers score +Inf.
-//
-// Deprecated: construct a Scorer once per segment set and use Score /
-// SegmentScore; this wrapper rebuilds the prepared state on every call.
-func Distance(h *dsl.Node, seg *trace.Segment, m dist.Metric) float64 {
-	d, _ := NewScorer([]*trace.Segment{seg}, m).Score(h, math.Inf(1))
-	return d
-}
-
-// DistanceEnvs is Distance with pre-computed environments and observed
-// series.
-//
-// Deprecated: a Scorer owns the environments and the prepared observed
-// series; use Scorer.SegmentScore instead of threading them by hand.
-func DistanceEnvs(h *dsl.Node, seg *trace.Segment, envs []dsl.Env, observed dist.Series, m dist.Metric) float64 {
-	synth, err := SynthesizeEnvs(h, seg, envs)
-	if err != nil {
-		return math.Inf(1)
-	}
-	return m.Distance(observed, synth)
-}
-
-// TotalDistance sums a handler's distance across segments — the score
-// Table 2 reports per CCA (a sum of per-segment DTW distances).
-//
-// Deprecated: construct a Scorer once per segment set and call Score; this
-// wrapper rebuilds the prepared state on every call.
-func TotalDistance(h *dsl.Node, segs []*trace.Segment, m dist.Metric) float64 {
-	d, _ := NewScorer(segs, m).Score(h, math.Inf(1))
-	return d
-}

@@ -158,29 +158,6 @@ func TestSynthesizeEnvsMismatch(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersMatchScorer keeps the deprecated entry points
-// honest: every wrapper must agree bit-for-bit with the Scorer it now
-// routes through (in-repo callers have all migrated to Scorer).
-func TestDeprecatedWrappersMatchScorer(t *testing.T) {
-	segs := renoSegments(t)
-	m := dist.DTW{}
-	sc := NewScorer(segs, m)
-	for _, src := range []string{"cwnd + reno-inc", "mss", "cwnd/(acked - acked)"} {
-		h := dsl.MustParse(src)
-		total, _ := sc.Score(h, math.Inf(1))
-		if got := TotalDistance(h, segs, m); got != total {
-			t.Errorf("%q: TotalDistance %v != Score %v", src, got, total)
-		}
-		seg0, _ := sc.SegmentScore(h, 0, math.Inf(1))
-		if got := Distance(h, segs[0], m); got != seg0 {
-			t.Errorf("%q: Distance %v != SegmentScore %v", src, got, seg0)
-		}
-		if got := DistanceEnvs(h, segs[0], Envs(segs[0]), segs[0].Series(), m); got != seg0 {
-			t.Errorf("%q: DistanceEnvs %v != SegmentScore %v", src, got, seg0)
-		}
-	}
-}
-
 func TestBetterConstantScoresBetter(t *testing.T) {
 	// On a Reno trace, the handler with Reno's true increment (1.0x)
 	// should beat a far-off constant (0.1x) — the property Figure 3's

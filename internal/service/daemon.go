@@ -1,0 +1,124 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/obs"
+	"repro/internal/replay"
+)
+
+// DefaultListen is the daemon's default bind address.
+const DefaultListen = ":8080"
+
+// DaemonOptions configures RunDaemon beyond the service sizing.
+type DaemonOptions struct {
+	// Listen is the HTTP bind address (default DefaultListen; ":0" picks
+	// a free port, printed to Log).
+	Listen string
+	// Prewarm names sub-DSLs whose corpora are materialized (or restored
+	// from snapshots) and persisted before the first job.
+	Prewarm []string
+	// Verbose attaches a live progress sink on Log.
+	Verbose bool
+	// Log receives startup lines and progress (default os.Stderr).
+	Log io.Writer
+	// Ready, when non-nil, receives the bound address once the server is
+	// accepting — how tests and the CI smoke script learn a ":0" port.
+	Ready chan<- string
+}
+
+// RunDaemon is the daemon run loop shared by cmd/abagnaled and abagnale
+// -daemon: it builds the observability registry and event hub, mounts
+// the service's /api/v1 next to /metrics, /runs and /events on one
+// server, optionally prewarms corpora, and serves until ctx is
+// cancelled. Shutdown persists the corpus pool so the next start is
+// warm.
+func RunDaemon(ctx context.Context, cfg Config, opts DaemonOptions) error {
+	log := opts.Log
+	if log == nil {
+		log = os.Stderr
+	}
+	if opts.Listen == "" {
+		opts.Listen = DefaultListen
+	}
+
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	reg.EnableFlight(obs.DefaultFlightEvents)
+	if opts.Verbose {
+		reg.Attach(obs.NewProgressSink(log))
+	}
+	hub := obs.NewEventHub()
+	reg.Attach(hub)
+	// Route the process-wide replay/metric/VM instruments to this
+	// registry, like the CLIs do.
+	replay.Observe(reg)
+	dist.Observe(reg)
+	dsl.Observe(reg)
+
+	cfg.Obs = reg
+	svc := New(cfg)
+
+	srv, err := obs.Serve(opts.Listen, reg, hub, svc.Mounts()...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(log, "abagnaled: job API on http://%s%s/ (obs: /metrics /runs /events /flight)\n",
+		srv.Addr(), APIPrefix)
+	if cfg.SnapshotDir != "" {
+		fmt.Fprintf(log, "abagnaled: corpus snapshots in %s\n", cfg.SnapshotDir)
+	}
+	if opts.Ready != nil {
+		opts.Ready <- srv.Addr()
+	}
+
+	for _, name := range opts.Prewarm {
+		if err := svc.Prewarm(ctx, name); err != nil {
+			srv.Close()
+			return fmt.Errorf("prewarm %s: %w", name, err)
+		}
+		fmt.Fprintf(log, "abagnaled: corpus %s warm\n", name)
+	}
+	svc.Start()
+
+	<-ctx.Done()
+	fmt.Fprintf(log, "abagnaled: shutting down (%s queued)\n", plural(svc.queue.Len(), "job"))
+	closeErr := srv.Close()
+	if err := svc.Close(); err != nil {
+		return fmt.Errorf("persisting corpora on shutdown: %w", err)
+	}
+	if err := reg.Close(); err != nil && closeErr == nil {
+		closeErr = err
+	}
+	return closeErr
+}
+
+// plural renders "1 job" / "3 jobs".
+func plural(n int, noun string) string {
+	if n == 1 {
+		return fmt.Sprintf("1 %s", noun)
+	}
+	return fmt.Sprintf("%d %ss", n, noun)
+}
+
+// ParsePrewarm splits a comma-separated -prewarm flag value.
+func ParsePrewarm(v string) []string {
+	if v == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Enqueue when admission would exceed the
+// queue's global capacity. The HTTP layer translates it into 429 Too
+// Many Requests with a Retry-After header — backpressure is explicit,
+// never an unbounded in-memory backlog.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// jobQueue is a bounded multi-tenant queue. Admission counts jobs
+// globally (one capacity shared by everyone), but dequeue order is
+// round-robin across tenants' FIFOs: a tenant that submits a hundred
+// jobs cannot starve one that submits a single job — the single job
+// waits behind at most one job per other tenant, not behind the whole
+// backlog.
+type jobQueue struct {
+	mu     sync.Mutex
+	cap    int
+	size   int
+	closed bool
+	fifos  map[string][]*job
+	// ring holds tenant names in first-seen order; rr is the next ring
+	// slot Dequeue inspects. Empty FIFOs stay in the ring (tenant churn
+	// is low) and are skipped.
+	ring []string
+	rr   int
+	// ready carries one token per queued job so Dequeue can block on a
+	// channel (and therefore also on ctx) without spinning.
+	ready chan struct{}
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &jobQueue{
+		cap:   capacity,
+		fifos: map[string][]*job{},
+		ready: make(chan struct{}, capacity),
+	}
+}
+
+// Enqueue admits j under its tenant's FIFO, or fails fast with
+// ErrQueueFull.
+func (q *jobQueue) Enqueue(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("service: queue closed")
+	}
+	if q.size >= q.cap {
+		return ErrQueueFull
+	}
+	if _, ok := q.fifos[j.tenant]; !ok {
+		q.ring = append(q.ring, j.tenant)
+	}
+	q.fifos[j.tenant] = append(q.fifos[j.tenant], j)
+	q.size++
+	q.ready <- struct{}{}
+	return nil
+}
+
+// Dequeue blocks until a job is available (round-robin across tenants)
+// or ctx is cancelled / the queue closed, reporting ok=false for both.
+func (q *jobQueue) Dequeue(ctx context.Context) (*job, bool) {
+	select {
+	case _, ok := <-q.ready:
+		if !ok {
+			return nil, false
+		}
+	case <-ctx.Done():
+		return nil, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// A token guarantees at least one non-empty FIFO; scan the ring from
+	// the round-robin cursor.
+	for i := 0; i < len(q.ring); i++ {
+		t := q.ring[(q.rr+i)%len(q.ring)]
+		fifo := q.fifos[t]
+		if len(fifo) == 0 {
+			continue
+		}
+		j := fifo[0]
+		q.fifos[t] = fifo[1:]
+		q.size--
+		q.rr = (q.rr + i + 1) % len(q.ring)
+		return j, true
+	}
+	return nil, false // unreachable unless closed raced the token
+}
+
+// Close wakes every blocked Dequeue with ok=false. Queued jobs are left
+// in place (the daemon reports them as still queued at shutdown).
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.ready)
+}
+
+// Len reports the number of queued jobs.
+func (q *jobQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Position reports j's 1-based position within its tenant's FIFO, or 0
+// when j is no longer queued.
+func (q *jobQueue) Position(j *job) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, queued := range q.fifos[j.tenant] {
+		if queued == j {
+			return i + 1
+		}
+	}
+	return 0
+}

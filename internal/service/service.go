@@ -1,0 +1,426 @@
+package service
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dist"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Config sizes the synthesis service.
+type Config struct {
+	// QueueDepth bounds admitted-but-unstarted jobs across all tenants
+	// (default 64). A full queue rejects with ErrQueueFull / HTTP 429.
+	QueueDepth int
+	// Workers is the number of jobs run concurrently (default 2). Total
+	// scoring CPU is bounded separately by one shared core.Gate sized to
+	// GOMAXPROCS, so workers contend for cores, never oversubscribe them.
+	Workers int
+	// SnapshotDir persists the per-config sketch corpora across restarts
+	// ("" keeps them in memory only — every cold start re-enumerates).
+	SnapshotDir string
+	// Obs receives all service, corpus, and search instruments. Default:
+	// a private registry.
+	Obs *obs.Registry
+}
+
+// job is the service's mutable record of one submitted JobSpec.
+type job struct {
+	id     string
+	tenant string
+	spec   JobSpec // defaults resolved; TraceB64 cleared after decode
+	pcap   []byte  // decoded upload (nil for trace_path jobs)
+
+	mu        sync.Mutex
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       error
+	result    *JobResult
+}
+
+// Service accepts, queues, and runs synthesis jobs over a pool of warm
+// sketch corpora. One Service is one daemon; tests drive it directly and
+// cmd/abagnaled wraps it in a process.
+type Service struct {
+	cfg     Config
+	reg     *obs.Registry
+	corpora *corpus.Registry
+	queue   *jobQueue
+	gate    core.Gate
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	gQueue  *obs.Gauge
+	gActive *obs.Gauge
+}
+
+// New assembles a Service; Start launches its workers.
+func New(cfg Config) *Service {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		reg:     cfg.Obs,
+		corpora: corpus.NewRegistry(cfg.SnapshotDir, cfg.Obs),
+		queue:   newJobQueue(cfg.QueueDepth),
+		gate:    core.NewGate(runtime.GOMAXPROCS(0)),
+		jobs:    map[string]*job{},
+		ctx:     ctx,
+		cancel:  cancel,
+		gQueue:  cfg.Obs.Gauge("service.queue_depth"),
+		gActive: cfg.Obs.Gauge("service.active_jobs"),
+	}
+	return s
+}
+
+// Obs returns the registry all service instruments report into.
+func (s *Service) Obs() *obs.Registry { return s.reg }
+
+// Start launches the worker pool. It returns immediately.
+func (s *Service) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, ok := s.queue.Dequeue(s.ctx)
+				if !ok {
+					return
+				}
+				s.gQueue.Set(float64(s.queue.Len()))
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Close stops accepting work, cancels running jobs, waits for the
+// workers, and persists the corpus pool (warm restarts).
+func (s *Service) Close() error {
+	s.cancel()
+	s.queue.Close()
+	s.wg.Wait()
+	err := s.corpora.Save()
+	s.corpora.Close()
+	return err
+}
+
+// SaveSnapshots persists every live corpus now (also done on Close).
+func (s *Service) SaveSnapshots() error { return s.corpora.Save() }
+
+// Prewarm materializes (or restores) the corpus for the named sub-DSL
+// and persists it, so the first job of that config is a cache read.
+func (s *Service) Prewarm(ctx context.Context, dslName string) error {
+	d, err := dsl.Named(dslName)
+	if err != nil {
+		return err
+	}
+	_, err = s.corpora.Prewarm(ctx, corpus.Options{
+		DSL:        d,
+		BucketCap:  core.DefaultBucketCap,
+		ScanBudget: core.DefaultScanBudget,
+	}, runtime.GOMAXPROCS(0))
+	return err
+}
+
+// Submit validates and admits a job. A full queue returns ErrQueueFull
+// (HTTP 429); an invalid spec returns a plain error (HTTP 400).
+func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.validate(); err != nil {
+		return JobStatus{}, err
+	}
+	spec = spec.withDefaults()
+	// Resolve the search config now: a bad DSL name, metric, or trace
+	// encoding is the submitter's error, not a failed job.
+	if _, _, _, err := pickSearch(spec); err != nil {
+		return JobStatus{}, err
+	}
+	var pcap []byte
+	if spec.TraceB64 != "" {
+		b, err := base64.StdEncoding.DecodeString(spec.TraceB64)
+		if err != nil {
+			return JobStatus{}, fmt.Errorf("trace_b64 is not valid base64: %w", err)
+		}
+		pcap = b
+		spec.TraceB64 = "" // never echo megabytes back
+	}
+
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		tenant:    spec.Tenant,
+		spec:      spec,
+		pcap:      pcap,
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+	if j.spec.Name == "" {
+		j.spec.Name = j.id
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	if err := s.queue.Enqueue(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		s.reg.Counter("service.jobs_rejected").Inc()
+		return JobStatus{}, err
+	}
+	s.gQueue.Set(float64(s.queue.Len()))
+	s.reg.Counter("service.jobs_submitted").Inc()
+	s.reg.Counter("service.tenant_submitted." + sanitizeTenant(spec.Tenant)).Inc()
+	// Show the job on the live Board immediately; core adopts the same
+	// run when it starts, so /runs tracks queued → searching → done.
+	s.reg.Board().Start(j.id, int64(spec.Budget)).SetPhase("queued")
+	return s.statusOf(j), nil
+}
+
+// Status reports one job.
+func (s *Service) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.statusOf(j), true
+}
+
+// Jobs lists every job, newest first.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	all := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(a, b int) bool { return all[a].id > all[b].id })
+	out := make([]JobStatus, len(all))
+	for i, j := range all {
+		out[i] = s.statusOf(j)
+	}
+	return out
+}
+
+// Result returns a finished job's result. ok=false means unknown ID;
+// a nil result with ok=true means the job has not finished (or failed —
+// check Status).
+func (s *Service) Result(id string) (*JobResult, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, true
+}
+
+// statusOf renders a job's wire status.
+func (s *Service) statusOf(j *job) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		APIVersion:  APIVersion,
+		State:       j.state,
+		Tenant:      j.tenant,
+		Spec:        j.spec,
+		SubmittedAt: j.submitted,
+	}
+	if j.state == JobQueued {
+		st.QueuePosition = s.queue.Position(j)
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// pickSearch resolves a spec's sub-DSL and metric exactly like the CLI's
+// pickDSL: explicit dsl, else hint_cca's family, else vegas.
+func pickSearch(spec JobSpec) (string, *dsl.DSL, dist.Metric, error) {
+	name := spec.DSL
+	if name == "" {
+		if spec.HintCCA != "" {
+			name = expr.DSLHint(spec.HintCCA)
+		} else {
+			name = "vegas"
+		}
+	}
+	d, err := dsl.Named(name)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	m, err := dist.ByName(spec.Metric)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return name, d, m, nil
+}
+
+// runJob executes one job start to finish on a worker goroutine.
+func (s *Service) runJob(j *job) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.gActive.Set(s.countActive())
+
+	res, err := s.synthesize(j)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = JobFailed
+		j.err = err
+	} else {
+		j.state = JobDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	s.gActive.Set(s.countActive())
+	if err != nil {
+		s.reg.Counter("service.jobs_failed").Inc()
+		// core only finishes Board runs it started; analysis-stage
+		// failures must close the queued entry themselves.
+		s.reg.Board().Start(j.id, 0).Finish(err)
+	} else {
+		s.reg.Counter("service.jobs_completed").Inc()
+	}
+}
+
+// synthesize is the job body: analyze the trace, fetch the warm corpus,
+// run the search.
+func (s *Service) synthesize(j *job) (*JobResult, error) {
+	sp := s.reg.StartSpan("service.job").SetAttr("job", j.id).SetAttr("tenant", j.tenant)
+	defer sp.End()
+
+	_, d, m, err := pickSearch(j.spec)
+	if err != nil {
+		return nil, err
+	}
+	pcap := j.pcap
+	if pcap == nil {
+		pcap, err = os.ReadFile(j.spec.TracePath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tr, err := trace.AnalyzeBytes(pcap)
+	if err != nil {
+		return nil, err
+	}
+	segs := tr.Split(j.spec.MinSegment)
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("no usable trace segments (min_segment %d too high for %d samples?)",
+			j.spec.MinSegment, len(tr.Samples))
+	}
+
+	c, err := s.corpora.Get(corpus.Options{
+		DSL:        d,
+		BucketCap:  core.DefaultBucketCap,
+		ScanBudget: core.DefaultScanBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	res, err := core.Synthesize(core.WithRunName(s.ctx, j.id), segs, core.Options{
+		DSL:         d,
+		Metric:      m,
+		MaxHandlers: j.spec.Budget,
+		Seed:        j.spec.Seed,
+		Sketches:    c,
+		Programs:    c,
+		Gate:        s.gate,
+		Obs:         s.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	handler := dsl.Simplify(res.Handler)
+	return &JobResult{
+		ID:         j.id,
+		APIVersion: APIVersion,
+		Name:       j.spec.Name,
+		Synthesis: Synthesis{
+			Handler:        handler.String(),
+			Sketch:         res.Sketch.String(),
+			Distance:       core.ReportFloat(res.Distance),
+			Segments:       len(segs),
+			Iterations:     len(res.Stats.Iterations),
+			HandlersScored: res.Stats.HandlersScored,
+			Interrupted:    res.Stats.Interrupted,
+		},
+		DurationSec: time.Since(start).Seconds(),
+	}, nil
+}
+
+// countActive reports jobs currently running.
+func (s *Service) countActive() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n float64
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == JobRunning {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// sanitizeTenant maps a tenant name onto the metric-name alphabet.
+func sanitizeTenant(t string) string {
+	out := []byte(t)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

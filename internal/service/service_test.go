@@ -1,0 +1,358 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// renoPcap simulates one reno trace and renders it as pcap bytes — the
+// job payload every test submits. Cached: simulation dominates test time.
+var (
+	pcapOnce  sync.Once
+	pcapBytes []byte
+)
+
+func renoPcap(t *testing.T) []byte {
+	t.Helper()
+	pcapOnce.Do(func() {
+		res, err := sim.Run(sim.Config{
+			CCA:       "reno",
+			Bandwidth: 10e6 / 8,
+			RTT:       40 * time.Millisecond,
+			Duration:  12 * time.Second,
+			Seed:      1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcapBytes, err = res.WritePcap()
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if pcapBytes == nil {
+		t.Skip("pcap fixture failed in an earlier test")
+	}
+	return pcapBytes
+}
+
+// quickSpec is a job small enough for a unit test: the tiny budget is the
+// only divergence from the documented defaults.
+func quickSpec() JobSpec {
+	return JobSpec{DSL: "reno", Budget: 3000}
+}
+
+// waitJob polls until the job leaves the queue/running states.
+func waitJob(t *testing.T, s *Service, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, ok := s.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State == JobDone || st.State == JobFailed {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+// TestQueueFairness pins the admission contract: dequeue order is
+// round-robin across tenants, so an uneven backlog (A floods, B submits
+// one) still serves B's job second, not fifth.
+func TestQueueFairness(t *testing.T) {
+	q := newJobQueue(16)
+	mk := func(tenant, id string) *job { return &job{id: id, tenant: tenant} }
+	for _, j := range []*job{
+		mk("alpha", "a1"), mk("alpha", "a2"), mk("alpha", "a3"), mk("alpha", "a4"),
+		mk("beta", "b1"), mk("beta", "b2"),
+	} {
+		if err := q.Enqueue(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"a1", "b1", "a2", "b2", "a3", "a4"}
+	for i, w := range want {
+		j, ok := q.Dequeue(context.Background())
+		if !ok {
+			t.Fatalf("dequeue %d: queue closed early", i)
+		}
+		if j.id != w {
+			t.Fatalf("dequeue %d = %s, want %s (round-robin violated)", i, j.id, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not drained: %d left", q.Len())
+	}
+}
+
+// TestQueueBounded pins the backpressure contract at the queue layer.
+func TestQueueBounded(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.Enqueue(&job{id: "1", tenant: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(&job{id: "2", tenant: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(&job{id: "3", tenant: "t"}); err != ErrQueueFull {
+		t.Fatalf("third enqueue: got %v, want ErrQueueFull", err)
+	}
+	// Draining one slot reopens admission.
+	if _, ok := q.Dequeue(context.Background()); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if err := q.Enqueue(&job{id: "4", tenant: "t"}); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+	// A cancelled Dequeue returns promptly instead of blocking forever.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	empty := newJobQueue(1)
+	if _, ok := empty.Dequeue(ctx); ok {
+		t.Error("cancelled Dequeue reported a job")
+	}
+}
+
+// TestHTTPAdmission drives the wire surface without running any jobs
+// (workers never started, so everything stays queued): submission status
+// codes, 429 + Retry-After backpressure, status/list/result phases, and
+// input rejection.
+func TestHTTPAdmission(t *testing.T) {
+	reg := obs.New()
+	svc := New(Config{QueueDepth: 2, Workers: 1, Obs: reg})
+	defer func() {
+		svc.cancel() // workers never started; just unblock Close's queue drain
+		svc.queue.Close()
+	}()
+	ts := httptest.NewServer(reg.Handler(nil, svc.Mounts()...))
+	defer ts.Close()
+
+	b64 := base64.StdEncoding.EncodeToString(renoPcap(t))
+	post := func(spec JobSpec, tenant string) *http.Response {
+		body, _ := json.Marshal(spec)
+		req, _ := http.NewRequest("POST", ts.URL+APIPrefix+"/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	decode := func(resp *http.Response, v any) {
+		t.Helper()
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spec := quickSpec()
+	spec.TraceB64 = b64
+
+	var first JobStatus
+	resp := post(spec, "alice")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %s", resp.Status)
+	}
+	decode(resp, &first)
+	if first.State != JobQueued || first.Tenant != "alice" || first.APIVersion != APIVersion {
+		t.Fatalf("first status: %+v", first)
+	}
+	if first.Spec.TraceB64 != "" {
+		t.Error("status echoed the trace upload")
+	}
+	if first.Spec.Budget != 3000 || first.Spec.Metric != DefaultMetric || first.Spec.Seed != DefaultSeed {
+		t.Errorf("defaults not resolved in echo: %+v", first.Spec)
+	}
+
+	resp = post(spec, "bob")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Queue (depth 2) is full: explicit 429 backpressure with Retry-After.
+	resp = post(spec, "carol")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	resp.Body.Close()
+	if got := reg.CounterValues("service.")["service.jobs_rejected"]; got != 1 {
+		t.Errorf("jobs_rejected = %d, want 1", got)
+	}
+
+	// Status, list, and the not-finished result phase.
+	var st JobStatus
+	r, err := http.Get(ts.URL + APIPrefix + "/jobs/" + first.ID)
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("status GET: %v %v", err, r.Status)
+	}
+	decode(r, &st)
+	if st.QueuePosition != 1 {
+		t.Errorf("queue_position = %d, want 1 (first in alice's FIFO)", st.QueuePosition)
+	}
+	var list []JobStatus
+	r, err = http.Get(ts.URL + APIPrefix + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(r, &list)
+	if len(list) != 2 {
+		t.Fatalf("job list has %d entries, want 2", len(list))
+	}
+	r, err = http.Get(ts.URL + APIPrefix + "/jobs/" + first.ID + "/result")
+	if err != nil || r.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued result GET: %v %v, want 202", err, r.Status)
+	}
+	r.Body.Close()
+	r, err = http.Get(ts.URL + APIPrefix + "/jobs/nope/result")
+	if err != nil || r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %v %v, want 404", err, r.Status)
+	}
+	r.Body.Close()
+
+	// Input rejection is a 400, never an accepted-then-failed job.
+	for name, bad := range map[string]JobSpec{
+		"no trace":        {DSL: "reno"},
+		"both traces":     {DSL: "reno", TraceB64: b64, TracePath: "/x.pcap"},
+		"bad dsl":         {DSL: "nope", TraceB64: b64},
+		"bad metric":      {DSL: "reno", Metric: "nope", TraceB64: b64},
+		"negative budget": {DSL: "reno", Budget: -1, TraceB64: b64},
+		"bad base64":      {DSL: "reno", TraceB64: "!!!"},
+	} {
+		resp := post(bad, "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %s, want 400", name, resp.Status)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestServiceMatchesCLI pins daemon-vs-CLI determinism: a job through the
+// full service path (upload, queue, warm corpus, gate) returns the same
+// handler and distance as a direct core.Synthesize with the CLI's
+// options over the same trace.
+func TestServiceMatchesCLI(t *testing.T) {
+	pcap := renoPcap(t)
+
+	// The CLI path: analyze, split, synthesize with defaults.
+	tr, err := trace.AnalyzeBytes(pcap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := tr.Split(DefaultMinSegment)
+	res, err := core.Synthesize(context.Background(), segs, core.Options{
+		DSL:         dsl.Reno(),
+		MaxHandlers: 3000,
+		Seed:        DefaultSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHandler := dsl.Simplify(res.Handler).String()
+
+	// The daemon path.
+	svc := New(Config{QueueDepth: 4, Workers: 1, Obs: obs.New()})
+	svc.Start()
+	defer svc.Close()
+	spec := quickSpec()
+	spec.TraceB64 = base64.StdEncoding.EncodeToString(pcap)
+	st, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, svc, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("job failed: %s", fin.Error)
+	}
+	jr, ok := svc.Result(st.ID)
+	if !ok || jr == nil {
+		t.Fatal("no result for done job")
+	}
+	if jr.Synthesis.Handler != wantHandler {
+		t.Errorf("daemon handler %q != CLI handler %q", jr.Synthesis.Handler, wantHandler)
+	}
+	if float64(jr.Synthesis.Distance) != res.Distance {
+		t.Errorf("daemon distance %v != CLI distance %v", jr.Synthesis.Distance, res.Distance)
+	}
+	if jr.Synthesis.Segments != len(segs) {
+		t.Errorf("daemon scored %d segments, CLI %d", jr.Synthesis.Segments, len(segs))
+	}
+}
+
+// TestWarmRestartByteIdentical is the tentpole acceptance pin: stop a
+// daemon, start a new one over the same snapshot directory, submit the
+// same job — the warm process performs zero candidate enumeration
+// (enum.candidates == 0) and returns a byte-identical Synthesis.
+func TestWarmRestartByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	pcapPath := filepath.Join(dir, "reno.pcap")
+	if err := os.WriteFile(pcapPath, renoPcap(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapDir := filepath.Join(dir, "corpora")
+	spec := quickSpec()
+	spec.TracePath = pcapPath
+
+	runOnce := func(reg *obs.Registry) []byte {
+		t.Helper()
+		svc := New(Config{QueueDepth: 4, Workers: 1, SnapshotDir: snapDir, Obs: reg})
+		svc.Start()
+		st, err := svc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin := waitJob(t, svc, st.ID)
+		if fin.State != JobDone {
+			t.Fatalf("job failed: %s", fin.Error)
+		}
+		jr, _ := svc.Result(st.ID)
+		b, err := json.Marshal(jr.Synthesis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatalf("close (snapshot save): %v", err)
+		}
+		return b
+	}
+
+	cold := runOnce(obs.New())
+	warmReg := obs.New()
+	warm := runOnce(warmReg)
+
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("restart changed the result:\ncold %s\nwarm %s", cold, warm)
+	}
+	if got := warmReg.CounterValues("corpus.")["corpus.registry_snapshot_loads"]; got != 1 {
+		t.Errorf("registry_snapshot_loads = %d, want 1", got)
+	}
+	if got := warmReg.CounterValues("enum.")["enum.candidates"]; got != 0 {
+		t.Errorf("warm daemon enumerated %d candidates, want 0", got)
+	}
+}
