@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -352,6 +353,74 @@ func BenchmarkScoreHandlerExact(b *testing.B) { benchmarkScoreHandler(b, false) 
 // BenchmarkScoreHandlerCutoff is the pruned steady state.
 func BenchmarkScoreHandlerCutoff(b *testing.B) { benchmarkScoreHandler(b, true) }
 
+// benchmarkScoreHandlerLanes pins the per-sketch steady state the search
+// core actually runs mid-search: the bucket best is already good and its
+// handler is settled by the memo cache, so one op is replay.Lanes fresh
+// completions of "cwnd + c1*reno-inc" — mediocre factors and a runaway —
+// each proving under the incumbent's cutoff that it cannot win. Every
+// lane here settles by lower bound on the first segment, which is the
+// dominant fate in the real funnel once an incumbent exists (lb_prunes
+// dwarf full scores); the cost is replay plus envelope passes, not DP
+// cells, so this is the regime the K-wide VM was built for. The batch
+// variant scores the set in one ScoreBatch call (one K-wide VM replay
+// plus one multi-series lower-bound pass); the scalar variant walks the
+// identical lane set one completion at a time, so the pair measures the
+// batching win on identical work.
+func benchmarkScoreHandlerLanes(b *testing.B, batch bool) {
+	res, err := sim.Run(sim.Config{
+		CCA: "reno", Bandwidth: 10e6 / 8, RTT: 40 * time.Millisecond,
+		Duration: 30 * time.Second, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.AnalyzeRecords(res.Records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	segs := tr.Split(16)
+	sc := replay.NewScorer(segs, dist.DTW{})
+	cs := sc.CompileSketch(dsl.MustParse("cwnd + c1*reno-inc"))
+	valsK := [][]float64{{0.5}, {0.4}, {0.3}, {0.25}, {0.2}, {0.1}, {0.05}, {2}}
+	if len(valsK) != replay.Lanes {
+		b.Fatalf("workload has %d lanes, want replay.Lanes = %d", len(valsK), replay.Lanes)
+	}
+	cutoff, _ := sc.Score(dsl.MustParse("cwnd + reno-inc"), math.Inf(1))
+	cutoffs := make([]float64, len(valsK))
+	for l := range cutoffs {
+		cutoffs[l] = cutoff
+	}
+	ds := make([]float64, len(valsK))
+	exacts := make([]bool, len(valsK))
+	reg := obs.New()
+	dist.Observe(reg)
+	defer dist.Observe(nil)
+	cellsBefore := reg.Report().Counters["dist.dtw_cells"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			cs.ScoreBatch(valsK, cutoffs, ds, exacts)
+		} else {
+			for l := range valsK {
+				ds[l], exacts[l] = cs.Score(valsK[l], cutoffs[l])
+			}
+		}
+	}
+	b.StopTimer()
+	cells := reg.Report().Counters["dist.dtw_cells"] - cellsBefore
+	b.ReportMetric(float64(cells)/float64(b.N), "cells/op")
+}
+
+// BenchmarkScoreHandlerCutoffBatch is the lane-batched steady state — the
+// acceptance number for the K-wide scoring path.
+func BenchmarkScoreHandlerCutoffBatch(b *testing.B) { benchmarkScoreHandlerLanes(b, true) }
+
+// BenchmarkScoreHandlerCutoffScalarLanes is the identical lane workload
+// scored one completion at a time — the batched variant's direct scalar
+// baseline.
+func BenchmarkScoreHandlerCutoffScalarLanes(b *testing.B) { benchmarkScoreHandlerLanes(b, false) }
+
 // --- Register-VM replay micro-benchmarks --------------------------------
 //
 // BenchmarkReplayProgram isolates the replay inner loop the Scorer runs per
@@ -407,6 +476,43 @@ func BenchmarkReplayProgram(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cols.N), "acks/op")
+}
+
+// BenchmarkEvalSeriesBatch sweeps the K-wide VM over lane widths: one op
+// replays a fixed workload of 16 completions of "cwnd + c1*reno-inc" over
+// the standard segment, in batches of K lanes. K=1 is the batch kernel's
+// own scalar degenerate (its overhead floor); wider K amortizes the
+// per-row dispatch across lanes.
+func BenchmarkEvalSeriesBatch(b *testing.B) {
+	seg := benchReplaySegment(b)
+	cols := replay.NewCols(seg)
+	prog := dsl.CompileProgram(dsl.MustParse("cwnd + c1*reno-inc"))
+	pro := prog.RunPrologue(cols)
+	mss := seg.MSS
+	cwnd0 := math.Max(seg.Samples[0].Cwnd, mss)
+	const candidates = 16
+	valsK := make([][]float64, candidates)
+	outs := make([][]float64, candidates)
+	for l := range valsK {
+		valsK[l] = []float64{0.1 + 0.05*float64(l)}
+		outs[l] = make([]float64, cols.N)
+	}
+	for _, k := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			rows := make([]int, k)
+			oks := make([]bool, k)
+			ex := dsl.NewBatchExec()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for at := 0; at < candidates; at += k {
+					prog.EvalSeriesBatch(cols, pro, valsK[at:at+k],
+						cwnd0, mss, (1<<20)*mss, mss, outs[at:at+k], rows, oks, ex)
+				}
+			}
+			b.ReportMetric(float64(cols.N*candidates), "acks/op")
+		})
+	}
 }
 
 func BenchmarkReplayClosure(b *testing.B) {

@@ -97,6 +97,13 @@ type Options struct {
 	// so this is a debugging/differential-testing knob, not an accuracy
 	// one.
 	ExactScoring bool
+	// ScalarScoring disables the lane-batched scoring path: completions
+	// are scored one at a time through the scalar replay kernel instead
+	// of replay.Lanes-wide batches. The batched path is bit-identical to
+	// scalar scoring — same best handler, distances, funnel, and ledger —
+	// so like ExactScoring this is a differential-testing/debugging knob,
+	// not an accuracy one.
+	ScalarScoring bool
 	// GreedyPruning additionally lets scoring workers use the global
 	// best-so-far distance (an atomic shared across buckets) as their
 	// cutoff instead of only bucket-local state. This prunes deeper but
@@ -865,8 +872,8 @@ func (r *runState) segmentSetID(segs []*trace.Segment) uint64 {
 // number of handlers scored.
 //
 // Cutoff discipline: each bucket's workers prune against bucket-local
-// state only (the bucket's best score so far, tightened by exact sketch
-// results) unless GreedyPruning opts into the shared atomic best. Pruned
+// state only (the bucket's best score, fixed per sketch at scoreSketch
+// entry) unless GreedyPruning opts into the shared atomic best. Pruned
 // (inexact) scores never update bucket or global bests — the exact flag
 // guards every comparison — which is what makes the fast path return the
 // identical result as ExactScoring for a fixed seed: a candidate is only
@@ -906,11 +913,11 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 			busy := time.Now()
 			b.sketches, b.exhausted = r.src.Take(b.ops, n, r.opts.BucketCap, r.opts.ScanBudget)
 			handlers := 0
-			// One funnel and one reusable outcome scratch per worker: the
-			// hot path tallies into stack-local state, folded into the
-			// bucket (and the obs counters, in bulk) once per iteration.
+			// One funnel and one reusable lane scratch per worker: the hot
+			// path tallies into worker-local state, folded into the bucket
+			// (and the obs counters, in bulk) once per iteration.
 			var fl Funnel
-			var co replay.CandidateOutcome
+			scr := newLaneScratch()
 			for _, sk := range b.sketches {
 				if handlers >= perBkt {
 					break
@@ -918,7 +925,7 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 				if r.ctx.Err() != nil {
 					break
 				}
-				h, d, exact, hn := r.scoreSketch(sk, scorer, setID, b.score, &fl, &co)
+				h, d, exact, hn := r.scoreSketch(sk, scorer, setID, b.score, &fl, scr)
 				handlers += hn
 				r.live.AddHandlers(hn)
 				if exact && d < b.score {
@@ -989,57 +996,6 @@ func (r *runState) cutoff(c float64) float64 {
 		}
 	}
 	return c
-}
-
-// scoreSketch concretizes a sketch's holes from the constant pool and
-// returns the best handler, its distance (with its exactness flag), and
-// the number of handlers evaluated. Each candidate's fate lands in fl
-// (the worker's funnel); co is the worker's reusable outcome scratch.
-// Sampling is deterministic per (sketch, seed). The pruning cutoff
-// starts at the bucket's best and is tightened only by exact results
-// within the sketch, so an abandoned candidate is always one whose true
-// score could not have updated either the sketch-best or the
-// bucket-best — which also makes fl.NewBest identical between pruned
-// and ExactScoring runs: an improving candidate is never pruned.
-func (r *runState) scoreSketch(sk *dsl.Node, scorer *replay.Scorer, setID uint64, bucketBest float64, fl *Funnel, co *replay.CandidateOutcome) (*dsl.Node, float64, bool, int) {
-	holes := sk.Holes()
-	// One register program per sketch: every completion below executes it
-	// with patched constants and shares its hoisted prologue columns.
-	cs := scorer.CompileSketch(sk)
-	if holes == 0 {
-		d, exact := r.scoreHandler(sk, cs, nil, setID, r.cutoff(bucketBest), fl, co)
-		if exact && d < bucketBest {
-			fl.NewBest++
-		}
-		return sk, d, exact, 1
-	}
-	pool := r.opts.DSL.Constants
-	assignments := completions(sk, pool, holes, r.opts.MaxCompletions, r.opts.Seed)
-	r.cCompletions.Add(int64(len(assignments)))
-	bestD := math.Inf(1)
-	bestExact := false
-	var bestH *dsl.Node
-	runBest := bucketBest
-	for _, vals := range assignments {
-		h, err := sk.Bind(vals)
-		if err != nil {
-			fl.count(FunnelRejected)
-			continue
-		}
-		cut := bucketBest
-		if bestExact && bestD < cut {
-			cut = bestD
-		}
-		d, exact := r.scoreHandler(h, cs, vals, setID, r.cutoff(cut), fl, co)
-		if exact && d < runBest {
-			runBest = d
-			fl.NewBest++
-		}
-		if d < bestD {
-			bestD, bestH, bestExact = d, h, exact
-		}
-	}
-	return bestH, bestD, bestExact, len(assignments)
 }
 
 // scoreHandler scores one concrete handler over the iteration's segment

@@ -1,0 +1,247 @@
+// Lane-batched bounded distances. The scoring loops in internal/replay
+// score K constant-pool completions of one sketch against the same
+// prepared trace segment; calling PreparedDistanceDetailGrid K times
+// repeats the per-call setup and walks the trace grid K times. The batch
+// entry point here shares one pass over the cascade instead: LB_Kim and
+// LB_Keogh run lane-by-lane against the one prepared envelope (hot in
+// cache across lanes), and the surviving lanes enter a single banded DP
+// whose row loop is shared — each row's band bounds and x value are
+// computed once, every live lane fills its own DP row, and a lane that
+// early-abandons drops out of the live set so it stops paying for cells.
+// Per lane the arithmetic is exactly the scalar kernel's (same operations,
+// same order), so values and Outcomes are bit-identical lane by lane to
+// PreparedDistanceDetailGrid; the batch-vs-scalar tests pin this.
+package dist
+
+import "math"
+
+// BatchScratch holds the per-lane DP rows and live-lane index lists for
+// batched distance computations. Buffers grow on demand and are retained
+// across calls; a BatchScratch must not be used concurrently.
+type BatchScratch struct {
+	rows  []float64 // 2*K*(m+1) slab backing the per-lane DP rows
+	prevs [][]float64
+	curs  [][]float64
+	idx   []int
+	live  []int
+}
+
+// NewBatchScratch returns empty scratch; buffers are sized on first use.
+func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
+
+// laneRows returns per-lane (prev, cur) DP rows of length n, all carved
+// from one reused slab.
+func (sc *BatchScratch) laneRows(k, n int) (prevs, curs [][]float64) {
+	if need := 2 * k * n; cap(sc.rows) < need {
+		sc.rows = make([]float64, need)
+	}
+	slab := sc.rows[:2*k*n]
+	if cap(sc.prevs) < k {
+		sc.prevs = make([][]float64, k)
+		sc.curs = make([][]float64, k)
+	}
+	prevs, curs = sc.prevs[:k], sc.curs[:k]
+	for l := 0; l < k; l++ {
+		prevs[l] = slab[2*l*n : (2*l+1)*n]
+		curs[l] = slab[(2*l+1)*n : (2*l+2)*n]
+	}
+	return prevs, curs
+}
+
+// PreparedDistanceWithinGridBatch scores K candidates — each already on
+// the common resample grid — against one prepared series with per-lane
+// cutoffs, writing the per-lane value into ds and the cascade Outcome
+// into outs (both must have at least len(ys) entries). Lane l's results
+// are bit-identical to PreparedDistanceDetailGrid(m, p, ys[l],
+// cutoffs[l], ...): the same exactness contract, the same stage
+// attribution, the same cell accounting. Like the scalar grid entry
+// point it supports only the four built-in metrics and panics otherwise.
+func PreparedDistanceWithinGridBatch(m Metric, p *PreparedSeries, ys [][]float64, cutoffs []float64, ds []float64, outs []Outcome, sc *BatchScratch) {
+	switch m.(type) {
+	case DTW, Euclidean, Manhattan, Frechet:
+	default:
+		panic("dist: PreparedDistanceWithinGridBatch requires a built-in metric")
+	}
+	k := len(ys)
+	if k == 0 {
+		return
+	}
+	if sc == nil {
+		sc = NewBatchScratch()
+	}
+	if !p.ok {
+		for l := 0; l < k; l++ {
+			ds[l], outs[l] = math.Inf(1), Outcome{}
+		}
+		return
+	}
+	idx := sc.idx[:0]
+	for l := 0; l < k; l++ {
+		if len(ys[l]) != ResampleN || !finite(ys[l]) {
+			ds[l], outs[l] = math.Inf(1), Outcome{}
+			continue
+		}
+		idx = append(idx, l)
+	}
+	sc.idx = idx
+	if len(idx) == 0 {
+		return
+	}
+	x := p.grid
+	switch m := m.(type) {
+	case DTW:
+		band := p.band
+		if band <= 0 {
+			band = m.Band
+		}
+		dtwWithinGridBatch(x, ys, p.env, band, cutoffs, p.fullCells, idx, ds, outs, sc)
+	case Euclidean:
+		for _, l := range idx {
+			ds[l], outs[l] = euclideanWithin(x, ys[l], cutoffs[l])
+		}
+	case Manhattan:
+		for _, l := range idx {
+			ds[l], outs[l] = manhattanWithin(x, ys[l], cutoffs[l])
+		}
+	default: // Frechet
+		prevs, curs := sc.laneRows(1, ResampleN+1)
+		for _, l := range idx {
+			m := len(ys[l])
+			ds[l], outs[l] = frechetWithin(x, ys[l], cutoffs[l], prevs[0][:m], curs[0][:m])
+		}
+	}
+}
+
+// dtwWithinGridBatch is the lane-batched form of dtwWithin for candidates
+// on the common grid (all ys[lanes] have equal length, so every lane
+// shares the same band geometry). The LB cascade runs per lane; survivors
+// enter one row-major DP where abandoned lanes leave the live set.
+func dtwWithinGridBatch(x []float64, ys [][]float64, env *Envelope, band int, cutoffs []float64, fullCells int, lanes []int, ds []float64, outs []Outcome, sc *BatchScratch) {
+	n := len(x)
+	if band <= 0 {
+		band = ResampleN / 10
+	}
+	cDTWCalls.Load().Add(int64(len(lanes)))
+	live := sc.live[:0]
+	for _, l := range lanes {
+		y := ys[l]
+		m := len(y)
+		norm := float64(n + m)
+		cutoff := cutoffs[l]
+		if cutoff <= 0 {
+			// Distances are non-negative: 0 is a lower bound >= cutoff.
+			ds[l], outs[l] = 0, Outcome{Stage: StageAbandon, Saved: fullCells}
+			continue
+		}
+		if !math.IsInf(cutoff, 1) && n > 0 && m > 0 {
+			var lbKim float64
+			if n+m > 2 {
+				lbKim = math.Abs(x[0]-y[0]) + math.Abs(x[n-1]-y[m-1])
+			} else {
+				lbKim = math.Abs(x[0] - y[0])
+			}
+			if lbKim/norm >= cutoff {
+				cLBPrunes.Load().Inc()
+				ds[l], outs[l] = lbKim/norm, Outcome{Stage: StageLBKim, Saved: fullCells}
+				continue
+			}
+			if env != nil && n == m && len(env.Lower) == m {
+				var s float64
+				for j := 0; j < m; j++ {
+					v := y[j]
+					if v > env.Upper[j] {
+						s += v - env.Upper[j]
+					} else if v < env.Lower[j] {
+						s += env.Lower[j] - v
+					}
+				}
+				lbk := s * lbKeoghSafety
+				if lbk/norm >= cutoff {
+					cLBPrunes.Load().Inc()
+					ds[l], outs[l] = lbk/norm, Outcome{Stage: StageLBKeogh, Saved: fullCells}
+					continue
+				}
+			}
+		}
+		live = append(live, l)
+	}
+	sc.live = live
+	if len(live) == 0 {
+		return
+	}
+	m := len(ys[live[0]])
+	norm := float64(n + m)
+	prevs, curs := sc.laneRows(len(ys), m+1)
+	inf := math.Inf(1)
+	for _, l := range live {
+		prev := prevs[l]
+		for j := range prev {
+			prev[j] = inf
+		}
+		prev[0] = 0
+	}
+	cells := 0
+	for i := 1; i <= n && len(live) > 0; i++ {
+		lo, hi := i-band, i+band
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > m {
+			hi = m
+		}
+		// Every live lane pays the same band this row, so one running count
+		// prices each lane's abandonment exactly as the scalar kernel does.
+		cells += hi - lo + 1
+		xv := x[i-1]
+		nl := live[:0]
+		for _, l := range live {
+			prev, cur := prevs[l], curs[l]
+			cur[lo-1] = inf
+			if hi < m {
+				cur[hi+1] = inf
+			}
+			rowMin := inf
+			pj1 := prev[lo-1]
+			cj1 := inf
+			cc := cur[lo : hi+1]
+			py := prev[lo : hi+1][:len(cc)]
+			yy := ys[l][lo-1 : hi][:len(cc)]
+			for j := range cc {
+				pj := py[j]
+				best := pj
+				if pj1 < best {
+					best = pj1
+				}
+				if cj1 < best {
+					best = cj1
+				}
+				v := math.Abs(xv-yy[j]) + best
+				cc[j] = v
+				cj1 = v
+				pj1 = pj
+				if v < rowMin {
+					rowMin = v
+				}
+			}
+			if cutoff := cutoffs[l]; !math.IsInf(cutoff, 1) && rowMin/norm >= cutoff {
+				cDTWCells.Load().Add(int64(cells))
+				cEarlyAbandons.Load().Inc()
+				saved := fullCells - cells
+				if saved < 0 {
+					saved = 0
+				}
+				ds[l] = rowMin / norm
+				outs[l] = Outcome{Stage: StageAbandon, Row: i, Cells: cells, Saved: saved}
+				continue
+			}
+			prevs[l], curs[l] = cur, prev
+			nl = append(nl, l)
+		}
+		live = nl
+	}
+	for _, l := range live {
+		cDTWCells.Load().Add(int64(cells))
+		ds[l] = prevs[l][m] / norm
+		outs[l] = Outcome{Stage: StageFull, Cells: cells}
+	}
+}

@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPreparedDistanceWithinGridBatchMatchesScalar is the batch kernel's
+// exactness oracle: for every built-in metric, random candidates, and a
+// sweep of per-lane cutoffs (loose, tight, zero, +Inf), each lane's value
+// and Outcome must bit-match the scalar grid path.
+func TestPreparedDistanceWithinGridBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, m := range Metrics() {
+		p := Prepare(m, randomSeries(rng, 240))
+		sc := NewScratch()
+		bsc := NewBatchScratch()
+		for trial := 0; trial < 12; trial++ {
+			k := 1 + rng.Intn(12)
+			ys := make([][]float64, k)
+			cutoffs := make([]float64, k)
+			for l := range ys {
+				b := randomSeries(rng, 80+rng.Intn(200))
+				ys[l] = Resample(b, ResampleN)
+				switch rng.Intn(5) {
+				case 0:
+					cutoffs[l] = math.Inf(1)
+				case 1:
+					cutoffs[l] = 0
+				case 2: // below any plausible distance: prunes immediately
+					cutoffs[l] = 1e-6
+				case 3: // near the true distance: exercises the DP abandon race
+					cutoffs[l] = m.Distance(p.src, b) * (0.9 + 0.2*rng.Float64())
+				default: // loose: full pass
+					cutoffs[l] = m.Distance(p.src, b) * 10
+				}
+			}
+			// An occasional malformed lane must settle to +Inf without
+			// disturbing its neighbours.
+			if k > 2 && trial%3 == 0 {
+				ys[1] = ys[1][:ResampleN-1]
+				ys[k-1] = append([]float64{math.NaN()}, ys[k-1][1:]...)
+			}
+			ds := make([]float64, k)
+			outs := make([]Outcome, k)
+			PreparedDistanceWithinGridBatch(m, p, ys, cutoffs, ds, outs, bsc)
+			for l := 0; l < k; l++ {
+				wd, wo := PreparedDistanceDetailGrid(m, p, ys[l], cutoffs[l], sc)
+				if math.Float64bits(ds[l]) != math.Float64bits(wd) || outs[l] != wo {
+					t.Fatalf("%s trial %d lane %d/%d (cutoff %v): batch (%v, %+v) != scalar (%v, %+v)",
+						m.Name(), trial, l, k, cutoffs[l], ds[l], outs[l], wd, wo)
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedDistanceWithinGridBatchUnusablePrepared: every lane of a
+// batch against an unusable prepared series scores +Inf, like the scalar
+// path.
+func TestPreparedDistanceWithinGridBatchUnusablePrepared(t *testing.T) {
+	p := Prepare(DTW{}, Series{})
+	ys := [][]float64{make([]float64, ResampleN), make([]float64, ResampleN)}
+	ds := make([]float64, 2)
+	outs := []Outcome{{Stage: StageAbandon}, {Stage: StageAbandon}}
+	PreparedDistanceWithinGridBatch(DTW{}, p, ys, []float64{1, 1}, ds, outs, nil)
+	for l, d := range ds {
+		if !math.IsInf(d, 1) || outs[l] != (Outcome{}) {
+			t.Fatalf("lane %d: got (%v, %+v), want (+Inf, zero Outcome)", l, d, outs[l])
+		}
+	}
+}
+
+// TestPreparedDistanceWithinGridBatchPanicsOnUnknownMetric mirrors the
+// scalar grid entry point's contract.
+func TestPreparedDistanceWithinGridBatchPanicsOnUnknownMetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-built-in metric")
+		}
+	}()
+	var m fakeMetric
+	PreparedDistanceWithinGridBatch(m, &PreparedSeries{}, [][]float64{nil}, []float64{1}, make([]float64, 1), make([]Outcome, 1), nil)
+}
+
+type fakeMetric struct{}
+
+func (fakeMetric) Name() string                 { return "fake" }
+func (fakeMetric) Distance(a, b Series) float64 { return 0 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package replay
+
+const raceEnabled = false

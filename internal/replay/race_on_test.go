@@ -1,0 +1,8 @@
+//go:build race
+
+package replay
+
+// raceEnabled reports whether the race detector is compiled in; some
+// contracts (zero-alloc steady states backed by sync.Pool) are not
+// observable under it.
+const raceEnabled = true

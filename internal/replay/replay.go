@@ -27,6 +27,8 @@ var (
 	cProHits   atomic.Pointer[obs.Counter]
 	cProMisses atomic.Pointer[obs.Counter]
 	cInstrs    atomic.Pointer[obs.Counter]
+	cBatches   atomic.Pointer[obs.Counter]
+	cLanes     atomic.Pointer[obs.Counter]
 )
 
 // Observe routes the package's instruments to the registry:
@@ -35,7 +37,10 @@ var (
 //	          replay.diverged (replays aborted on non-finite windows),
 //	          replay.prologue_hits / replay.prologue_misses (reuse of
 //	          hoisted per-(sketch, segment) prologue columns),
-//	          replay.instrs_executed (VM instructions run by EvalSeries)
+//	          replay.instrs_executed (VM instructions run by EvalSeries),
+//	          replay.batches_executed / replay.lanes_filled (lane-batched
+//	          scoring calls and the candidates they carried — occupancy is
+//	          lanes_filled / (batches_executed * Lanes))
 //
 // Passing nil uninstalls them. Process-wide; call once at tool startup.
 func Observe(r *obs.Registry) {
@@ -44,6 +49,8 @@ func Observe(r *obs.Registry) {
 	cProHits.Store(r.Counter("replay.prologue_hits"))
 	cProMisses.Store(r.Counter("replay.prologue_misses"))
 	cInstrs.Store(r.Counter("replay.instrs_executed"))
+	cBatches.Store(r.Counter("replay.batches_executed"))
+	cLanes.Store(r.Counter("replay.lanes_filled"))
 }
 
 // Window guards: a handler may compute nonsense transiently; the replay

@@ -34,6 +34,7 @@ type Scorer struct {
 	prepared []*dist.PreparedSeries
 	res      []*dist.Resampler // per-segment grid schedules (nil: Series path)
 	pool     sync.Pool
+	bpool    sync.Pool // batchScratch for the lane-batched path
 
 	mu    sync.Mutex
 	progs map[string]*compiledEntry
@@ -134,6 +135,7 @@ func NewScorer(segs []*trace.Segment, m dist.Metric) *Scorer {
 			exec: dsl.NewExec(),
 		}
 	}
+	s.bpool.New = func() any { return newBatchScratch() }
 	return s
 }
 
