@@ -31,5 +31,5 @@ bench:
 THRESH ?= 0.20
 bench-compare:
 	@mkdir -p bench
-	$(GO) test -bench='ScoreHandler|ReplayProgram|ReplayClosure|DTWDistance|TraceAnalysis|Obs|PcapRead|BatchSynthesize|BatchSequential|EvalSeriesBatch' -benchmem -run='^$$' . \
+	$(GO) test -bench='ScoreHandler|ReplayProgram|ReplayClosure|DTWDistance|TraceAnalysis|Obs|PcapRead|BatchSynthesize|BatchSequential|EvalSeriesBatch|ShardedSynthesize' -benchmem -run='^$$' . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchdiff -record -dir bench -threshold $(THRESH)

@@ -1,0 +1,149 @@
+// Horizontal-sharding benchmark: a 24-trace batch workload scored by two
+// single-core worker processes versus one single-core in-process run. Both
+// sides are pinned to one scoring core per process (workers get
+// GOMAXPROCS=1, the baseline a 1-slot CPU gate), so on a machine with two
+// or more cores the ratio isolates the fan-out win: near-2x minus process
+// spawn, snapshot load, and per-worker program compilation. On a
+// single-core machine the two workers timeshare the same core and the
+// ratio instead measures sharding overhead (expect ~1x or a modest
+// slowdown) — check the cores/op metric before reading the comparison as
+// a speedup claim. The sharded per-trace results are pinned identical to
+// corpus.Run's by internal/shard's equality tests.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestMain lets this test binary serve as its own shard worker fleet (the
+// sharded benchmark re-execs it with the join environment set).
+func TestMain(m *testing.M) {
+	shard.MaybeRunWorker()
+	os.Exit(m.Run())
+}
+
+// benchShardOpts is benchBatchOpts with a handler budget big enough that
+// scoring dominates the sharded side's fixed costs (process spawn and
+// snapshot load are a constant regardless of workload; the speedup claim
+// is about scoring throughput, not about amortizing a tiny run's setup).
+func benchShardOpts() core.Options {
+	o := benchBatchOpts()
+	o.MaxHandlers = 12000
+	return o
+}
+
+// benchShardJobs triples the batch benchmark's 8-trace workload by varying
+// the simulation seed: 24 traces, enough scoring work that each worker's
+// one-time fixed cost (spawn, snapshot load, compiling its own program
+// cache) is a small fraction of its share.
+func benchShardJobs(b *testing.B) []corpus.Job {
+	b.Helper()
+	var jobs []corpus.Job
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			res, err := sim.Run(sim.Config{
+				CCA:       "reno",
+				Bandwidth: float64(5+i) * 1e6 / 8,
+				RTT:       time.Duration(25+10*i) * time.Millisecond,
+				Duration:  12 * time.Second,
+				Seed:      int64(8*round + i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := trace.AnalyzeRecords(res.Records)
+			if err != nil {
+				b.Fatal(err)
+			}
+			segs := tr.Split(16)
+			if len(segs) == 0 {
+				b.Fatal("trace produced no segments")
+			}
+			jobs = append(jobs, corpus.Job{
+				Name:     fmt.Sprintf("reno-r%d-%d", round, i),
+				Segments: segs,
+			})
+		}
+	}
+	return jobs
+}
+
+// benchShardSnapshots prewarms a shared snapshot dir (outside the timer)
+// so per-iteration worker start-up is a snapshot load, not enumeration.
+func benchShardSnapshots(b *testing.B) string {
+	b.Helper()
+	dir := b.TempDir()
+	o := benchShardOpts()
+	reg := corpus.NewRegistry(dir, obs.New())
+	defer reg.Close()
+	if _, err := reg.Prewarm(context.Background(), corpus.Options{
+		DSL:        o.DSL,
+		BucketCap:  o.BucketCap,
+		ScanBudget: o.ScanBudget,
+	}, 0); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkShardedSynthesize compares the batch workload on one in-process
+// core ("baseline") against two spawned single-core workers ("workers=2").
+func BenchmarkShardedSynthesize(b *testing.B) {
+	jobs := benchShardJobs(b)
+
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := corpus.Run(context.Background(), jobs, corpus.RunOptions{
+				Jobs:  1,
+				Procs: 1,
+				Core:  benchShardOpts(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tr := range res.Traces {
+				if tr.Err != nil {
+					b.Fatal(tr.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(jobs)), "traces/op")
+		b.ReportMetric(float64(runtime.NumCPU()), "cores")
+	})
+
+	b.Run("workers=2", func(b *testing.B) {
+		dir := benchShardSnapshots(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, rep, err := shard.Run(context.Background(), jobs, shard.Options{
+				Workers:     2,
+				WorkerProcs: 1,
+				SnapshotDir: dir,
+				Core:        benchShardOpts(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tr := range res.Traces {
+				if tr.Err != nil {
+					b.Fatal(tr.Err)
+				}
+			}
+			b.ReportMetric(float64(rep.Counters["shard.leases_issued"]), "leases/op")
+		}
+		b.ReportMetric(float64(len(jobs)), "traces/op")
+		b.ReportMetric(float64(runtime.NumCPU()), "cores")
+	})
+}

@@ -70,10 +70,14 @@ import (
 	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
 func main() {
+	// A copy of this binary exec'd by -shard-workers detours into the
+	// worker loop here, before any flag parsing.
+	shard.MaybeRunWorker()
 	var (
 		dslName = flag.String("dsl", "", "sub-DSL to search (reno|cubic|delay|vegas)")
 		hintCCA = flag.String("hint-cca", "", "pick the sub-DSL from this CCA's family")
@@ -90,6 +94,14 @@ func main() {
 		funnel  = flag.String("funnel", "", "write the run's pruning-funnel report (JSON, funneldiff input) here")
 		daemon  = flag.Bool("daemon", false, "run as a synthesis daemon (job API on -serve's address; see abagnaled)")
 		snaps   = flag.String("snapshots", "", "daemon mode: corpus snapshot directory (empty disables warm restarts)")
+
+		shardWorkers = flag.Int("shard-workers", 0, "shard scoring across N spawned local worker processes")
+		shardWait    = flag.Int("shard-wait", 0, "also wait for N joined workers (abagnaled -worker -join) before searching")
+		shardListen  = flag.String("shard-listen", "", "shard coordinator listen address (default 127.0.0.1, ephemeral port)")
+		shardSnaps   = flag.String("shard-snapshots", "", "shared corpus snapshot dir shard workers warm-start from")
+		shardPrewarm = flag.Bool("shard-prewarm", false, "materialize and snapshot the sketch space into -shard-snapshots before spawning workers")
+		bucketCap    = flag.Int("bucket-cap", 0, "max sketches materialized per bucket (default: core's)")
+		scanBudget   = flag.Int("scan-budget", 0, "max candidate constructions per bucket enumeration (default: core's)")
 	)
 	c := cli.Register("abagnale", flag.CommandLine)
 	flag.Parse()
@@ -124,16 +136,21 @@ func main() {
 	// so far is still printed and the run report (via done()) still written.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	sh := shardFlags{
+		workers: *shardWorkers, wait: *shardWait, listen: *shardListen,
+		snaps: *shardSnaps, prewarm: *shardPrewarm,
+		bucketCap: *bucketCap, scanBudget: *scanBudget,
+	}
 	var runErr error
 	if batch {
 		if *ledger != "" || *funnel != "" {
 			fmt.Fprintln(os.Stderr, "abagnale: -ledger/-funnel apply to single-trace runs; ignored in batch mode")
 		}
 		runErr = runBatch(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed,
-			*dir, *glob, *jobs, *report, *explain, reg, flag.Args())
+			*dir, *glob, *jobs, *report, *explain, sh, reg, flag.Args())
 	} else {
 		runErr = run(ctx, *dslName, *hintCCA, *metric, *budget, *minSeg, *seed,
-			*explain, *ledger, *funnel, reg, flag.Args())
+			*explain, *ledger, *funnel, sh, reg, flag.Args())
 	}
 	if runErr != nil {
 		// A failed search dumps the flight recorder's tail — the last thing
@@ -147,6 +164,48 @@ func main() {
 		}
 	}
 	c.Finish(runErr, done)
+}
+
+// shardFlags bundles the -shard-* and corpus-sizing flags.
+type shardFlags struct {
+	workers, wait         int
+	listen, snaps         string
+	prewarm               bool
+	bucketCap, scanBudget int
+}
+
+// active reports whether the run is sharded at all (spawned or external
+// workers).
+func (s shardFlags) active() bool { return s.workers > 0 || s.wait > 0 }
+
+// options renders the flags as shard.Options around the core config.
+func (s shardFlags) options(o core.Options, reg *obs.Registry) shard.Options {
+	return shard.Options{
+		Workers:     s.workers,
+		WaitWorkers: s.wait,
+		Listen:      s.listen,
+		SnapshotDir: s.snaps,
+		Prewarm:     s.prewarm,
+		Core:        o,
+		Obs:         reg,
+	}
+}
+
+// printShardSummary writes the per-worker accounting to stderr (stdout is
+// reserved for results and reports).
+func printShardSummary(rep *shard.Report) {
+	for _, w := range rep.Workers {
+		state := ""
+		if w.Lost {
+			state = "  [lost mid-run]"
+		}
+		fmt.Fprintf(os.Stderr, "shard: worker %d (pid %d): %d leases (%d stolen), %d handlers, %d cutoffs applied%s\n",
+			w.ID, w.PID, w.Leases, w.Stolen, w.Handlers, w.Applied, state)
+	}
+	fmt.Fprintf(os.Stderr, "shard: %d leases issued, %d stolen, %d reissued; %d cutoff broadcasts (%d applied)\n",
+		rep.Counters["shard.leases_issued"], rep.Counters["shard.leases_stolen"],
+		rep.Counters["shard.leases_reissued"], rep.Counters["shard.cutoff_broadcasts"],
+		rep.Counters["shard.cutoff_applied"])
 }
 
 // pickDSL resolves the sub-DSL and metric from the flags.
@@ -169,7 +228,7 @@ func pickDSL(dslName, hintCCA, metricName string) (string, *dsl.DSL, dist.Metric
 	return dslName, d, m, nil
 }
 
-func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, explain bool, ledgerPath, funnelPath string, reg *obs.Registry, files []string) error {
+func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, explain bool, ledgerPath, funnelPath string, sh shardFlags, reg *obs.Registry, files []string) error {
 	dslName, d, m, err := pickDSL(dslName, hintCCA, metricName)
 	if err != nil {
 		return err
@@ -199,14 +258,27 @@ func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSe
 		led = replay.NewLedger(0, seed)
 	}
 	start := time.Now()
-	res, err := core.Synthesize(ctx, segs, core.Options{
+	copts := core.Options{
 		DSL:         d,
 		Metric:      m,
 		MaxHandlers: budget,
+		BucketCap:   sh.bucketCap,
+		ScanBudget:  sh.scanBudget,
 		Seed:        seed,
 		Ledger:      led,
 		Obs:         reg,
-	})
+	}
+	var res *core.Result
+	if sh.active() {
+		reg.Progressf("sharding across %d spawned workers (waiting for %d)", sh.workers, max(sh.wait, sh.workers))
+		var srep *shard.Report
+		res, srep, err = shard.Synthesize(ctx, segs, sh.options(copts, reg))
+		if srep != nil {
+			printShardSummary(srep)
+		}
+	} else {
+		res, err = core.Synthesize(ctx, segs, copts)
+	}
 	if err != nil {
 		return err
 	}
@@ -395,7 +467,7 @@ func slicesCompact(s []string) []string {
 
 // runBatch is the -dir/-glob mode: one synthesis per pcap, all sharing a
 // compiled sketch corpus and one CPU gate, plus an aggregate JSON report.
-func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, dir, glob string, jobs int, reportPath string, explain bool, reg *obs.Registry, args []string) error {
+func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, minSeg int, seed int64, dir, glob string, jobs int, reportPath string, explain bool, sh shardFlags, reg *obs.Registry, args []string) error {
 	dslName, d, m, err := pickDSL(dslName, hintCCA, metricName)
 	if err != nil {
 		return err
@@ -431,16 +503,32 @@ func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, 
 	reg.Progressf("batch: %d traces, %d jobs, %s DSL (budget %d handlers each)",
 		len(batch), jobs, dslName, budget)
 
-	res, err := corpus.Run(ctx, batch, corpus.RunOptions{
-		Jobs: jobs,
-		Core: core.Options{
-			DSL:         d,
-			Metric:      m,
-			MaxHandlers: budget,
-			Seed:        seed,
-		},
-		Obs: reg,
-	})
+	copts := core.Options{
+		DSL:         d,
+		Metric:      m,
+		MaxHandlers: budget,
+		BucketCap:   sh.bucketCap,
+		ScanBudget:  sh.scanBudget,
+		Seed:        seed,
+	}
+	var (
+		res  *corpus.BatchResult
+		srep *shard.Report
+	)
+	if sh.active() {
+		reg.Progressf("sharding %d traces across %d spawned workers (waiting for %d)",
+			len(batch), sh.workers, max(sh.wait, sh.workers))
+		res, srep, err = shard.Run(ctx, batch, sh.options(copts, reg))
+		if srep != nil {
+			printShardSummary(srep)
+		}
+	} else {
+		res, err = corpus.Run(ctx, batch, corpus.RunOptions{
+			Jobs: jobs,
+			Core: copts,
+			Obs:  reg,
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -465,6 +553,9 @@ func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, 
 	}
 
 	rep := res.Report(jobs)
+	if srep != nil {
+		rep.Shard = srep
+	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

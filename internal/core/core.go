@@ -129,6 +129,16 @@ type Options struct {
 	// ledger regardless of worker scheduling. Candidates settled by the
 	// memo cache are not re-offered; it never changes search behavior.
 	Ledger *replay.Ledger
+	// LeaseExec, when set, delegates each iteration's bucket scoring to an
+	// external executor (internal/shard's coordinator): Algorithm 1's outer
+	// loop — segment selection, ranking, top-k, budget, termination — stays
+	// in-process and consumes the run's rand stream exactly as a local run
+	// would, while the per-bucket scoring work is leased out. Per-bucket
+	// scoring is deterministic, so results match the in-process path in the
+	// default and ExactScoring modes. Sketches/Programs/Gate are unused on
+	// the coordinating side when set (the executor's workers hold their
+	// own).
+	LeaseExec LeaseExecutor
 	// Gate, when set, replaces the per-run Workers semaphore with a
 	// shared concurrency bound: scoring workers and the run's own
 	// goroutine each hold one slot while doing CPU work, so concurrent
@@ -548,6 +558,7 @@ type scoredHandler struct {
 type bucket struct {
 	ops       dsl.OpSet
 	sketches  []*dsl.Node
+	taken     int // enumeration prefix length of the latest Take (remote leases carry no sketch slice)
 	exhausted bool
 	score     float64
 	best      scoredHandler
@@ -624,26 +635,31 @@ func (r *runState) run() (*Result, error) {
 		} else {
 			segs = trace.SelectDiverse(r.segs, nseg, r.opts.Metric, r.rng)
 		}
-		scorer := replay.NewScorer(segs, r.opts.Metric).WithPrograms(r.opts.Programs)
 		setID := r.segmentSetID(segs)
-		if r.opts.Ledger != nil {
-			// The segment-set fingerprint doubles as the ledger round tag:
-			// re-scoring a candidate in a later iteration (different
-			// segments) is a distinct provenance event.
-			scorer.WithLedger(r.opts.Ledger, setID)
-		}
 		ssp.End()
 
 		r.live.SetPhase("score")
 		scsp := isp.Child("core.score")
-		handlers := r.scoreBuckets(live, n, scorer, setID, scsp)
+		var handlers int
+		if r.opts.LeaseExec != nil {
+			handlers = r.execLeased(iterIdx, n, live, segs, setID)
+		} else {
+			scorer := replay.NewScorer(segs, r.opts.Metric).WithPrograms(r.opts.Programs)
+			if r.opts.Ledger != nil {
+				// The segment-set fingerprint doubles as the ledger round
+				// tag: re-scoring a candidate in a later iteration
+				// (different segments) is a distinct provenance event.
+				scorer.WithLedger(r.opts.Ledger, setID)
+			}
+			handlers = r.scoreBuckets(live, n, scorer, setID, scsp)
+		}
 		scsp.End()
 		r.live.SetPhase("rank")
 
 		// Drop buckets that turned out empty, then rank.
 		nonEmpty := live[:0:0]
 		for _, b := range live {
-			if len(b.sketches) > 0 {
+			if b.taken > 0 {
 				nonEmpty = append(nonEmpty, b)
 			}
 		}
@@ -711,7 +727,7 @@ func (r *runState) run() (*Result, error) {
 		// sampled (covers the single-bucket case).
 		allDone := true
 		for _, b := range live {
-			if !b.exhausted || len(b.sketches) > n {
+			if !b.exhausted || b.taken > n {
 				allDone = false
 				break
 			}
@@ -767,7 +783,7 @@ func (r *runState) finishBucketStats() {
 		bs = append(bs, BucketStats{
 			Ops:            b.ops,
 			Iterations:     b.iters,
-			SketchesTaken:  len(b.sketches),
+			SketchesTaken:  b.taken,
 			HandlersScored: b.handlers,
 			Pruned:         b.pruned,
 			Funnel:         b.funnel,
@@ -912,6 +928,7 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 			wsp := parent.Child("core.score_bucket")
 			busy := time.Now()
 			b.sketches, b.exhausted = r.src.Take(b.ops, n, r.opts.BucketCap, r.opts.ScanBudget)
+			b.taken = len(b.sketches)
 			handlers := 0
 			// One funnel and one reusable lane scratch per worker: the hot
 			// path tallies into worker-local state, folded into the bucket
@@ -942,7 +959,7 @@ func (r *runState) scoreBuckets(live []*bucket, n int, scorer *replay.Scorer, se
 			wsp.End()
 			mu.Lock()
 			total += handlers
-			sketchN += len(b.sketches)
+			sketchN += b.taken
 			if b.best.handler != nil && b.best.distance < r.best.distance {
 				r.best = b.best
 				r.storeBest(b.best.distance)

@@ -37,6 +37,10 @@ type RunOptions struct {
 	// built with the same DSL, BucketCap and ScanBudget as Core (after
 	// defaulting). When nil the engine builds one from Core.
 	Corpus *SketchCorpus
+	// Procs caps the batch's total scoring concurrency (the shared CPU
+	// gate). Default GOMAXPROCS. Benchmarks pin it to compare a
+	// single-core in-process baseline against sharded workers honestly.
+	Procs int
 	// Obs receives engine and corpus instruments and is passed to every
 	// trace job. Default: Core.Obs, else a private registry (the report
 	// needs the corpus counters).
@@ -114,7 +118,11 @@ func Run(ctx context.Context, jobs []Job, opts RunOptions) (*BatchResult, error)
 	base.Sketches = c
 	base.Programs = c
 
-	gate := core.NewGate(runtime.GOMAXPROCS(0))
+	procs := opts.Procs
+	if procs < 1 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	gate := core.NewGate(procs)
 	jsem := make(chan struct{}, opts.Jobs)
 
 	// Register every job on the live board up front so /runs shows the
@@ -171,7 +179,11 @@ type Report struct {
 	WallSec     float64          `json:"wall_sec"`
 	Interrupted bool             `json:"interrupted,omitempty"`
 	Corpus      map[string]int64 `json:"corpus"`
-	Traces      []TraceReport    `json:"traces"`
+	// Shard carries the shard.Report of a sharded batch (any to avoid an
+	// import cycle: internal/shard imports corpus). Omitted when the batch
+	// ran in-process.
+	Shard  any           `json:"shard,omitempty"`
+	Traces []TraceReport `json:"traces"`
 }
 
 // TraceReport is one trace's row in the batch report.

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dsl"
@@ -121,13 +122,22 @@ func (c *SketchCorpus) WriteSnapshot(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&sf)
 }
 
-// SaveSnapshot writes the snapshot to path atomically (temp file in the
-// same directory, then rename), creating parent directories as needed.
+// SaveSnapshot writes the snapshot to path atomically and durably: a temp
+// file in the same directory, fsync'd before the rename and with the
+// directory fsync'd after, so a process killed at any instant — SIGKILL'd
+// shard workers included — leaves either the old snapshot or the complete
+// new one, never a torn gob, even across a host crash that drops dirty
+// page-cache state. Parent directories are created as needed, and stale
+// temp files abandoned by crashed writers are swept (age-gated, so a
+// concurrent writer's in-flight temp in a shared snapshot dir is never
+// touched).
 func (c *SketchCorpus) SaveSnapshot(path string) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	sweepStaleTemps(dir)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
 	if err != nil {
 		return err
 	}
@@ -136,11 +146,49 @@ func (c *SketchCorpus) SaveSnapshot(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Durability of the rename itself: fsync the directory so the new
+	// entry survives a crash. Best-effort — some filesystems reject
+	// directory fsync, and the rename already guarantees atomicity.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// staleTempAge is how old an abandoned .snapshot-* temp must be before the
+// sweeper removes it. Generous enough that no live writer — even one
+// serializing a huge corpus on a loaded host — holds a temp this long.
+const staleTempAge = time.Hour
+
+// sweepStaleTemps garbage-collects temp files left behind by writers that
+// died between CreateTemp and Rename. Shared snapshot dirs can have
+// several concurrent writers (shard workers, a daemon), so only temps
+// older than staleTempAge are removed; a freshly created temp always
+// belongs to someone.
+func sweepStaleTemps(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, ".snapshot-*"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil && time.Since(fi.ModTime()) > staleTempAge {
+			os.Remove(m)
+		}
+	}
 }
 
 // LoadSnapshot builds a corpus for opts and restores the sketch space from

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dsl"
 	"repro/internal/obs"
@@ -201,5 +202,69 @@ func TestRegistryWarmStart(t *testing.T) {
 	}
 	if got := reg2.CounterValues("enum.")["enum.candidates"]; got != 0 {
 		t.Errorf("warm-started registry enumerated %d candidates, want 0", got)
+	}
+}
+
+// TestSaveSnapshotCrashSafe pins the atomic-save contract: a save never
+// leaves its own temp file behind, an abandoned temp from a crashed writer
+// is swept once it ages out, and a concurrent writer's fresh temp in a
+// shared snapshot dir is left alone.
+func TestSaveSnapshotCrashSafe(t *testing.T) {
+	c, err := New(snapOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Prewarm(context.Background(), 4)
+
+	dir := t.TempDir()
+	// A crashed writer's abandoned temp (aged out) and a live concurrent
+	// writer's fresh one.
+	stale := filepath.Join(dir, ".snapshot-stale")
+	fresh := filepath.Join(dir, ".snapshot-fresh")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "reno-test.snapshot")
+	if err := c.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp not swept")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp of a concurrent writer was removed")
+	}
+	os.Remove(fresh)
+	temps, err := filepath.Glob(filepath.Join(dir, ".snapshot-*"))
+	if err != nil || len(temps) != 0 {
+		t.Errorf("save left temps behind: %v", temps)
+	}
+
+	// The saved file is a complete, loadable snapshot serving the same
+	// space.
+	warm, err := LoadSnapshotFile(path, snapOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if warm.ConfigHash() != c.ConfigHash() {
+		t.Errorf("loaded snapshot hash %s, want %s", warm.ConfigHash(), c.ConfigHash())
+	}
+
+	// Saving over an existing snapshot replaces it atomically (same
+	// content, no error, still loadable).
+	if err := c.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotFile(path, snapOpts(nil)); err != nil {
+		t.Fatal(err)
 	}
 }

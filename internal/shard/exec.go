@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Local workers are self-exec'd: the coordinator re-runs its own binary
+// with ABAGNALE_SHARD_JOIN set, and MaybeRunWorker — called first thing in
+// every participating main (and test main) — detours that process into
+// RunWorker before any flag parsing. This keeps `abagnale -shard-workers
+// N` a single-binary affair: no separate worker executable to build,
+// install, or version-skew against.
+const (
+	envJoin      = "ABAGNALE_SHARD_JOIN"
+	envSnapshots = "ABAGNALE_SHARD_SNAPSHOTS"
+	envProcs     = "ABAGNALE_SHARD_PROCS"
+)
+
+// MaybeRunWorker turns the current process into a shard worker when the
+// join environment is set, never returning in that case (the process
+// exits when the coordinator disconnects). A no-op otherwise. Call it at
+// the very top of main.
+func MaybeRunWorker() {
+	addr := os.Getenv(envJoin)
+	if addr == "" {
+		return
+	}
+	procs, _ := strconv.Atoi(os.Getenv(envProcs))
+	cfg := WorkerConfig{
+		SnapshotDir: os.Getenv(envSnapshots),
+		Procs:       procs,
+		Obs:         obs.New(),
+	}
+	if err := RunWorker(context.Background(), addr, cfg); err != nil && err != context.Canceled {
+		fmt.Fprintf(os.Stderr, "shard worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// SpawnWorkers execs n copies of the current binary as workers joined to
+// addr. procs > 0 pins each worker's GOMAXPROCS (used by benchmarks to
+// compare core-for-core against an in-process baseline). The returned
+// commands expose Process for fault injection; kill them (or cancel ctx)
+// to stop the fleet — workers also exit on their own when the coordinator
+// closes.
+func SpawnWorkers(ctx context.Context, n int, addr, snapshotDir string, procs int) ([]*exec.Cmd, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("shard: resolving own binary: %w", err)
+	}
+	env := append(os.Environ(),
+		envJoin+"="+addr,
+		envSnapshots+"="+snapshotDir,
+	)
+	if procs > 0 {
+		env = append(env,
+			envProcs+"="+strconv.Itoa(procs),
+			"GOMAXPROCS="+strconv.Itoa(procs),
+		)
+	}
+	var cmds []*exec.Cmd
+	for i := 0; i < n; i++ {
+		cmd := exec.CommandContext(ctx, self)
+		cmd.Env = env
+		cmd.Stdout = os.Stderr // a worker's stray prints must not corrupt the coordinator's stdout report
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds {
+				c.Process.Kill()
+			}
+			return nil, fmt.Errorf("shard: spawning worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	return cmds, nil
+}
+
+// pid is the worker's own process ID (for the coordinator's report).
+func pid() int { return os.Getpid() }

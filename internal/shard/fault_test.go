@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/obs"
+)
+
+// TestShardedWorkerDeathConverges is the fault-injection pin: SIGKILL one
+// of two workers mid-search, the coordinator requeues its inflight leases
+// for the survivor, and the run still converges to the single-process
+// winner (lease outcomes are pure functions of the lease, so re-execution
+// cannot change the answer).
+func TestShardedWorkerDeathConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker fleets")
+	}
+	segs := segmentsFor(t, "reno")
+	opts := quickOpts(dsl.Reno())
+
+	single, err := core.Synthesize(context.Background(), segs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obsv := obs.New()
+	co, err := NewCoordinator("", obsv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	ctx := context.Background()
+	cmds, err := SpawnWorkers(ctx, 2, co.Addr(), "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}()
+	if err := co.AwaitWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	jm := &jobMsg{
+		ID:       "job-1",
+		Name:     "fault",
+		DSL:      opts.DSL,
+		Metric:   metricName(opts),
+		Segments: segs,
+		Opts:     wireOptions(opts),
+	}
+	j := co.NewJob(jm.ID, jm, nil)
+
+	// Kill one worker while every worker holds an inflight lease — then the
+	// victim's lease is lost with near-certainty and the coordinator must
+	// reissue it to the survivor.
+	go func() {
+		for {
+			co.mu.Lock()
+			busy := len(co.workers) == 2
+			for _, wc := range co.workers {
+				if len(wc.inflight) == 0 {
+					busy = false
+				}
+			}
+			co.mu.Unlock()
+			if busy {
+				cmds[0].Process.Kill()
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	copts := opts
+	copts.LeaseExec = j
+	copts.Obs = obsv
+	res, err := core.Synthesize(ctx, segs, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.EndJob(j)
+	rep := co.Report()
+
+	if got, want := res.Handler.String(), single.Handler.String(); got != want {
+		t.Errorf("handler after worker death %q, single-process %q", got, want)
+	}
+	if math.Float64bits(res.Distance) != math.Float64bits(single.Distance) {
+		t.Errorf("distance after worker death %v, single-process %v", res.Distance, single.Distance)
+	}
+	if rep.Counters["shard.worker_deaths"] != 1 {
+		t.Errorf("shard.worker_deaths = %d, want 1", rep.Counters["shard.worker_deaths"])
+	}
+	if rep.Counters["shard.leases_reissued"] == 0 {
+		t.Error("no leases reissued after SIGKILL")
+	}
+	if !rep.Merged.Funnel.Reconciles() {
+		t.Error("merged funnel does not reconcile after worker death")
+	}
+	var lost int
+	for _, w := range rep.Workers {
+		if w.Lost {
+			lost++
+		}
+	}
+	if lost != 1 {
+		t.Errorf("report marks %d workers lost, want 1", lost)
+	}
+}

@@ -1,0 +1,14 @@
+package shard
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary serve as its own worker fleet: SpawnWorkers
+// re-execs this binary with the join environment set, and MaybeRunWorker
+// detours those copies into RunWorker before any test runs.
+func TestMain(m *testing.M) {
+	MaybeRunWorker()
+	os.Exit(m.Run())
+}
