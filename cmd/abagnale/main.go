@@ -100,6 +100,9 @@ func main() {
 		shardListen  = flag.String("shard-listen", "", "shard coordinator listen address (default 127.0.0.1, ephemeral port)")
 		shardSnaps   = flag.String("shard-snapshots", "", "shared corpus snapshot dir shard workers warm-start from")
 		shardPrewarm = flag.Bool("shard-prewarm", false, "materialize and snapshot the sketch space into -shard-snapshots before spawning workers")
+		shardBeat    = flag.Duration("shard-heartbeat", 0, "worker heartbeat cadence (default 500ms; negative disables)")
+		shardPM      = flag.String("shard-postmortems", "", "write a JSONL postmortem bundle per worker lost mid-run into this directory")
+		fleet        = flag.Bool("fleet", false, "print the per-worker fleet telemetry table after a sharded run")
 		bucketCap    = flag.Int("bucket-cap", 0, "max sketches materialized per bucket (default: core's)")
 		scanBudget   = flag.Int("scan-budget", 0, "max candidate constructions per bucket enumeration (default: core's)")
 	)
@@ -139,6 +142,7 @@ func main() {
 	sh := shardFlags{
 		workers: *shardWorkers, wait: *shardWait, listen: *shardListen,
 		snaps: *shardSnaps, prewarm: *shardPrewarm,
+		heartbeat: *shardBeat, postmortems: *shardPM, fleet: *fleet,
 		bucketCap: *bucketCap, scanBudget: *scanBudget,
 	}
 	var runErr error
@@ -171,6 +175,9 @@ type shardFlags struct {
 	workers, wait         int
 	listen, snaps         string
 	prewarm               bool
+	heartbeat             time.Duration
+	postmortems           string
+	fleet                 bool
 	bucketCap, scanBudget int
 }
 
@@ -181,19 +188,22 @@ func (s shardFlags) active() bool { return s.workers > 0 || s.wait > 0 }
 // options renders the flags as shard.Options around the core config.
 func (s shardFlags) options(o core.Options, reg *obs.Registry) shard.Options {
 	return shard.Options{
-		Workers:     s.workers,
-		WaitWorkers: s.wait,
-		Listen:      s.listen,
-		SnapshotDir: s.snaps,
-		Prewarm:     s.prewarm,
-		Core:        o,
-		Obs:         reg,
+		Workers:       s.workers,
+		WaitWorkers:   s.wait,
+		Listen:        s.listen,
+		SnapshotDir:   s.snaps,
+		Prewarm:       s.prewarm,
+		Heartbeat:     s.heartbeat,
+		PostmortemDir: s.postmortems,
+		Core:          o,
+		Obs:           reg,
 	}
 }
 
 // printShardSummary writes the per-worker accounting to stderr (stdout is
-// reserved for results and reports).
-func printShardSummary(rep *shard.Report) {
+// reserved for results and reports); with -fleet it also renders the
+// cluster telemetry table.
+func (s shardFlags) printShardSummary(rep *shard.Report) {
 	for _, w := range rep.Workers {
 		state := ""
 		if w.Lost {
@@ -206,6 +216,37 @@ func printShardSummary(rep *shard.Report) {
 		rep.Counters["shard.leases_issued"], rep.Counters["shard.leases_stolen"],
 		rep.Counters["shard.leases_reissued"], rep.Counters["shard.cutoff_broadcasts"],
 		rep.Counters["shard.cutoff_applied"])
+	if s.fleet {
+		printFleet(rep)
+	}
+}
+
+// printFleet renders the cluster snapshot as the per-worker telemetry
+// table: the same data /cluster serves live, at end-of-run.
+func printFleet(rep *shard.Report) {
+	if rep.Cluster == nil {
+		fmt.Fprintln(os.Stderr, "fleet: no cluster snapshot in report")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "\nfleet: per-worker telemetry")
+	tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  WORKER\tSTATE\tLAST BEAT\tRTT\tLEASES\tSTOLEN\tREISSUED\tCANDIDATES\tCAND/S\tENUMERATION")
+	for _, w := range rep.Cluster.Workers {
+		state := "up"
+		if w.Lost {
+			state = "lost"
+		} else if !w.Connected {
+			state = "done"
+		}
+		beat := "never"
+		if w.LastBeatSec >= 0 {
+			beat = fmt.Sprintf("%.1fs ago", w.LastBeatSec)
+		}
+		fmt.Fprintf(tw, "  %02d (pid %d)\t%s\t%s\t%.2fms\t%d\t%d\t%d\t%d\t%.0f\t%s\n",
+			w.ID, w.PID, state, beat, w.RTTMs, w.Leases, w.Stolen, w.Reissued,
+			w.Handlers, w.CandidatesPerSec, w.Enumeration)
+	}
+	tw.Flush()
 }
 
 // pickDSL resolves the sub-DSL and metric from the flags.
@@ -274,7 +315,7 @@ func run(ctx context.Context, dslName, hintCCA, metricName string, budget, minSe
 		var srep *shard.Report
 		res, srep, err = shard.Synthesize(ctx, segs, sh.options(copts, reg))
 		if srep != nil {
-			printShardSummary(srep)
+			sh.printShardSummary(srep)
 		}
 	} else {
 		res, err = core.Synthesize(ctx, segs, copts)
@@ -520,7 +561,7 @@ func runBatch(ctx context.Context, dslName, hintCCA, metricName string, budget, 
 			len(batch), sh.workers, max(sh.wait, sh.workers))
 		res, srep, err = shard.Run(ctx, batch, sh.options(copts, reg))
 		if srep != nil {
-			printShardSummary(srep)
+			sh.printShardSummary(srep)
 		}
 	} else {
 		res, err = corpus.Run(ctx, batch, corpus.RunOptions{

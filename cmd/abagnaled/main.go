@@ -75,6 +75,7 @@ func main() {
 		worker    = flag.Bool("worker", false, "run as a shard worker instead of a daemon (requires -join)")
 		join      = flag.String("join", "", "worker mode: shard coordinator address (host:port)")
 		procs     = flag.Int("procs", 0, "worker mode: scoring parallelism (default GOMAXPROCS)")
+		serve     = flag.String("serve", "", "worker mode: expose this worker's own obs surface (/metrics, /healthz, /flight) on host:port")
 	)
 	c := cli.RegisterVersion("abagnaled", flag.CommandLine)
 	flag.Parse()
@@ -89,10 +90,24 @@ func main() {
 		if *join == "" {
 			c.UsageExit("-worker requires -join host:port")
 		}
+		reg := obs.New()
+		if *serve != "" {
+			// A remote worker has no coordinator-side HTTP surface, so it can
+			// serve its own: local metrics/flight before federation folds them.
+			hub := obs.NewEventHub()
+			reg.Attach(hub)
+			srv, err := obs.Serve(*serve, reg, hub)
+			if err != nil {
+				c.Finish(err, done)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "abagnaled: worker obs on http://%s/ (/metrics /flight /events)\n", srv.Addr())
+			defer srv.Close()
+		}
 		err := shard.RunWorker(ctx, *join, shard.WorkerConfig{
 			SnapshotDir: *snapshots,
 			Procs:       *procs,
-			Obs:         obs.New(),
+			Obs:         reg,
 		})
 		c.Finish(err, done)
 		return

@@ -554,18 +554,22 @@ func TestCDGBacksOffOnRisingDelay(t *testing.T) {
 	}
 }
 
-// Property: after any single loss event, every algorithm leaves a usable
-// window (>= 2 MSS) and a finite positive ssthresh or +Inf (BBR).
+// Property: a single loss event never shrinks the window below the 2-MSS
+// floor — algorithms that back off clamp there, and algorithms that leave
+// the window alone on fast loss (BBR, Westwood's min, rate-based student3)
+// cannot be forced under it by a degenerate sub-floor starting window —
+// and ssthresh lands at a finite positive value or +Inf (BBR).
 func TestQuickLossLeavesUsableWindow(t *testing.T) {
 	names := append(KernelNames(), StudentNames()...)
 	f := func(cwndPkts uint8, timeout bool, nameIdx uint8) bool {
 		name := names[int(nameIdx)%len(names)]
 		s := newState()
 		s.Cwnd = math.Max(float64(cwndPkts), 1) * mss
+		floor := math.Min(2*mss, s.Cwnd)
 		a, _ := New(name)
 		a.Reset(s)
 		a.OnLoss(s, timeout)
-		if s.Cwnd < 2*mss-1e-9 || math.IsNaN(s.Cwnd) {
+		if s.Cwnd < floor-1e-9 || math.IsNaN(s.Cwnd) {
 			return false
 		}
 		return s.Ssthresh >= 2*mss-1e-9 || math.IsInf(s.Ssthresh, 1)

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestHistSnapshotDeltaMerge pins the histogram federation substrate:
+// snapshots subtract into deltas, deltas merge losslessly into another
+// histogram, and replaying a snapshot plus a later delta reproduces the
+// source state exactly — the roundtrip worker heartbeats perform.
+func TestHistSnapshotDeltaMerge(t *testing.T) {
+	r := New()
+	h := r.Histogram("x")
+	h.Observe(1)
+	h.Observe(4)
+	prev := h.Snapshot()
+	h.Observe(0.25)
+	h.Observe(16)
+	cur := h.Snapshot()
+
+	d := cur.Delta(prev)
+	if d.Count != 2 || d.Sum != 16.25 {
+		t.Errorf("delta count=%d sum=%v, want 2, 16.25", d.Count, d.Sum)
+	}
+	// Min/Max are absolutes, not differences.
+	if d.Min != 0.25 || d.Max != 16 {
+		t.Errorf("delta min=%v max=%v, want absolutes 0.25, 16", d.Min, d.Max)
+	}
+
+	m := New().Histogram("y")
+	m.Merge(prev.Delta(HistSnapshot{}))
+	m.Merge(d)
+	if got := m.Snapshot(); !reflect.DeepEqual(got, cur) {
+		t.Errorf("merge roundtrip diverged:\ngot  %+v\nwant %+v", got, cur)
+	}
+	if st := m.Stats(); st.Count != 4 || st.Min != 0.25 || st.Max != 16 {
+		t.Errorf("merged stats = %+v", st)
+	}
+
+	// An empty delta must not contaminate the fold with its ±Inf extremes.
+	before := m.Snapshot()
+	m.Merge(New().Histogram("z").Snapshot())
+	if got := m.Snapshot(); !reflect.DeepEqual(got, before) {
+		t.Errorf("empty-delta merge mutated the histogram:\ngot  %+v\nwant %+v", got, before)
+	}
+
+	// Empty snapshots carry ±Inf extremes by construction (Observe's
+	// running min/max start there) — the contract the Count==0 guard
+	// exists for.
+	empty := New().Histogram("w").Snapshot()
+	if !math.IsInf(empty.Min, 1) || !math.IsInf(empty.Max, -1) {
+		t.Errorf("empty snapshot extremes = %v, %v", empty.Min, empty.Max)
+	}
+
+	// Nil handles no-op.
+	var nilH *Histogram
+	if got := nilH.Snapshot(); got != (HistSnapshot{}) {
+		t.Errorf("nil snapshot = %+v", got)
+	}
+	nilH.Merge(d)
+}
+
+// TestValuesSnapshots covers the prefix-filtered bulk snapshots the worker
+// reporter flushes from.
+func TestValuesSnapshots(t *testing.T) {
+	r := New()
+	r.Counter("core.a").Add(1)
+	r.Gauge("core.g").Set(2.5)
+	r.Gauge("other.g").Set(9)
+	r.Histogram("core.h").Observe(1)
+
+	if got := r.GaugeValues("core."); len(got) != 1 || got["core.g"] != 2.5 {
+		t.Errorf("GaugeValues(core.) = %v", got)
+	}
+	if got := r.GaugeValues(""); len(got) != 2 {
+		t.Errorf("GaugeValues() = %v", got)
+	}
+	hv := r.HistogramValues("")
+	if len(hv) != 1 || hv["core.h"].Count != 1 {
+		t.Errorf("HistogramValues() = %v", hv)
+	}
+	var nilReg *Registry
+	if nilReg.GaugeValues("") != nil || nilReg.HistogramValues("") != nil {
+		t.Error("nil registry snapshots should be nil")
+	}
+}

@@ -20,9 +20,16 @@ import (
 //	          shard.leases_reissued, shard.cutoff_broadcasts,
 //	          shard.cutoff_applied, shard.worker_deaths
 //	gauges    shard.workers
+//	hists     shard.heartbeat_rtt_seconds (wire latency, from the beat
+//	          exchange); federated per-worker copies of every worker
+//	          instrument under {worker="N"} labels plus a {worker="fleet"}
+//	          aggregate — including shard.cutoff_propagation_seconds,
+//	          measured worker-side from tighten-broadcast to CAS.
 //	board     one "shard/worker-NN" row per connected worker, with the
-//	          current lease as its phase and handler progress — the /runs
-//	          view of a sharded run.
+//	          current lease as its phase and handler progress at heartbeat
+//	          cadence — the /runs view of a sharded run.
+//	records   shard.worker_joined / shard.worker_died (retained, on the
+//	          SSE feed); shard.lease_stolen as transient SSE-only events.
 
 // Coordinator accepts worker connections and hands out leases. Workers
 // pull (Want → Lease); each lease is tracked until its first Done — a
@@ -34,6 +41,10 @@ type Coordinator struct {
 	ln            net.Listener
 	leaseDeadline time.Duration
 
+	// PostmortemDir, when set before workers join, receives one JSONL
+	// bundle per worker lost mid-run (meta header + last flight tail).
+	PostmortemDir string
+
 	mu       sync.Mutex
 	cond     *sync.Cond // signals queue growth, worker joins, and close
 	workers  map[int]*workerConn
@@ -42,8 +53,9 @@ type Coordinator struct {
 	pending  map[int64]*pendingLease // issued or queued, not yet completed
 	nextWID  int
 	nextLID  int64
-	nextPref int // round-robin preferred-worker assignment cursor
-	dead     []WorkerReport
+	nextPref int           // round-robin preferred-worker assignment cursor
+	dead     []*workerConn // lost (or shutdown-released) workers, accounting retained
+	spans    []obs.TrackSpan
 	closed   bool
 
 	gWorkers    *obs.Gauge
@@ -53,6 +65,7 @@ type Coordinator struct {
 	cReissued   *obs.Counter
 	cBroadcasts *obs.Counter
 	cApplied    *obs.Counter
+	hBeatRTT    *obs.Histogram
 }
 
 // workerConn is the coordinator's view of one connected worker.
@@ -63,13 +76,24 @@ type workerConn struct {
 	sent     map[string]bool // job definitions already shipped
 	inflight map[int64]*pendingLease
 	live     *obs.Run
+	joined   time.Time
 
 	leases   int
 	stolen   int
+	reissued int // leases taken back from this worker (death or straggle)
 	handlers int
 	counters map[string]int64
 	applied  int64
 	stats    core.SearchStats
+
+	// Telemetry-plane state (under co.mu unless noted).
+	fedTotals   map[string]int64 // federated counter running totals
+	lastBeat    time.Time        // zero until the first heartbeat
+	rttNanos    int64            // last reported beat RTT
+	offsetNanos int64            // best clock-offset estimate (coord − worker)
+	lastFlight  []obs.FlightEvent
+	lost        bool
+	diedAt      time.Time
 }
 
 // job is one synthesis job being sharded.
@@ -88,9 +112,10 @@ type pendingLease struct {
 	id        int64
 	job       *job
 	msg       *leaseMsg
-	preferred int       // worker the round-robin planner assigned it to
-	issuedAt  time.Time // zero until first issue
-	requeued  bool      // currently back on the queue after a loss
+	preferred int         // worker the round-robin planner assigned it to
+	holder    *workerConn // worker currently executing it (nil when queued)
+	issuedAt  time.Time   // zero until first issue
+	requeued  bool        // currently back on the queue after a loss
 	done      bool
 
 	// Iteration leases: where this chunk's outcomes land.
@@ -141,8 +166,10 @@ func NewCoordinator(addr string, obsv *obs.Registry, leaseDeadline time.Duration
 		cReissued:     obsv.Counter("shard.leases_reissued"),
 		cBroadcasts:   obsv.Counter("shard.cutoff_broadcasts"),
 		cApplied:      obsv.Counter("shard.cutoff_applied"),
+		hBeatRTT:      obsv.Histogram("shard.heartbeat_rtt_seconds"),
 	}
 	co.cond = sync.NewCond(&co.mu)
+	obsv.SetCluster(func() any { return co.ClusterSnapshot() })
 	go co.accept()
 	if leaseDeadline > 0 {
 		go co.reapLoop()
@@ -179,12 +206,14 @@ func (co *Coordinator) serveConn(w *wire) {
 	}
 	co.nextWID++
 	wc := &workerConn{
-		id:       co.nextWID,
-		pid:      fr.Hello.PID,
-		w:        w,
-		sent:     map[string]bool{},
-		inflight: map[int64]*pendingLease{},
-		counters: map[string]int64{},
+		id:        co.nextWID,
+		pid:       fr.Hello.PID,
+		w:         w,
+		sent:      map[string]bool{},
+		inflight:  map[int64]*pendingLease{},
+		counters:  map[string]int64{},
+		fedTotals: map[string]int64{},
+		joined:    time.Now(),
 	}
 	co.workers[wc.id] = wc
 	co.gWorkers.Set(float64(len(co.workers)))
@@ -192,6 +221,7 @@ func (co *Coordinator) serveConn(w *wire) {
 	co.mu.Unlock()
 	wc.live = co.obsv.Board().Start(fmt.Sprintf("shard/worker-%02d", wc.id), 0)
 	wc.live.SetPhase("idle")
+	co.obsv.Record("shard.worker_joined", map[string]any{"worker": wc.id, "pid": wc.pid})
 
 	for {
 		fr, err := w.read()
@@ -209,8 +239,48 @@ func (co *Coordinator) serveConn(w *wire) {
 			co.handleDone(wc, fr.Done)
 		case fr.Improve != nil:
 			co.handleImprove(wc, fr.Improve)
+		case fr.Beat != nil:
+			co.handleBeat(wc, fr.Beat)
+		case fr.Flight != nil:
+			co.handleFlight(wc, fr.Flight)
 		}
 	}
+}
+
+// handleBeat answers the NTP exchange and folds the heartbeat's payload:
+// telemetry deltas, clock estimates, liveness, and the piggybacked flight
+// tail. Acks go out before the fold so queueing behind federation work
+// never inflates the RTT samples.
+func (co *Coordinator) handleBeat(wc *workerConn, b *beatMsg) {
+	recv := time.Now()
+	_ = wc.w.write(&frame{BeatAck: &beatAckMsg{T1: b.T1, T2: recv.UnixNano(), T3: time.Now().UnixNano()}})
+	co.foldTelemetry(wc, b.Telemetry)
+	if b.LastRTTNanos > 0 {
+		co.hBeatRTT.Observe(float64(b.LastRTTNanos) / 1e9)
+	}
+	co.mu.Lock()
+	wc.lastBeat = recv
+	if b.HasClock {
+		wc.rttNanos = b.LastRTTNanos
+		wc.offsetNanos = b.OffsetNanos
+	}
+	if len(b.Flight) > 0 {
+		wc.lastFlight = b.Flight
+	}
+	co.mu.Unlock()
+}
+
+// handleFlight retains a worker-shipped flight tail (error, SIGQUIT, or
+// exit) and surfaces the shipment on the event feed.
+func (co *Coordinator) handleFlight(wc *workerConn, f *flightMsg) {
+	co.mu.Lock()
+	if len(f.Events) > 0 {
+		wc.lastFlight = f.Events
+	}
+	co.mu.Unlock()
+	co.obsv.Transient("shard.worker_flight", map[string]any{
+		"worker": wc.id, "reason": f.Reason, "events": len(f.Events),
+	})
 }
 
 // issueNext blocks until a lease is available and sends it (preceded by
@@ -232,9 +302,11 @@ func (co *Coordinator) issueNext(wc *workerConn) bool {
 	}
 	pl.issuedAt = time.Now()
 	pl.requeued = false
+	pl.holder = wc
 	wc.inflight[pl.id] = pl
 	wc.leases++
-	if pl.preferred != wc.id {
+	stolen := pl.preferred != wc.id
+	if stolen {
 		wc.stolen++
 		co.cStolen.Inc()
 	}
@@ -244,6 +316,11 @@ func (co *Coordinator) issueNext(wc *workerConn) bool {
 		wc.sent[pl.job.msg.ID] = true
 	}
 	co.mu.Unlock()
+	if stolen {
+		co.obsv.Transient("shard.lease_stolen", map[string]any{
+			"lease": pl.id, "worker": wc.id, "from": pl.preferred,
+		})
+	}
 
 	if needJob {
 		if err := wc.w.write(&frame{Job: pl.job.msg}); err != nil {
@@ -282,9 +359,21 @@ func (co *Coordinator) popLocked(workerID int) *pendingLease {
 // reissued lease whose original executor survived) are dropped. Worker
 // telemetry folds into the per-worker report state.
 func (co *Coordinator) handleDone(wc *workerConn, d *leaseDoneMsg) {
+	// Telemetry folds exactly once per Done — even a duplicate completion
+	// (reissue race) carries deltas for work that genuinely ran, and its
+	// flush drained the same telescoping stream the heartbeats use, so
+	// dropping the result below never drops or double-counts instrument
+	// increments. (/runs board rows advance here too, via the fold.)
+	co.foldTelemetry(wc, d.Telemetry)
 	co.mu.Lock()
-	pl, ok := co.pending[d.ID]
+	executed := wc.inflight[d.ID]
 	delete(wc.inflight, d.ID)
+	if d.EndNanos > d.StartNanos {
+		// The fleet trace records every execution, winner or duplicate:
+		// the lane shows what the worker actually spent its time on.
+		co.spans = append(co.spans, workerTrackSpan(wc, executed, d, co.obsv.StartTime()))
+	}
+	pl, ok := co.pending[d.ID]
 	if !ok || pl.done {
 		co.mu.Unlock()
 		return
@@ -310,11 +399,9 @@ func (co *Coordinator) handleDone(wc *workerConn, d *leaseDoneMsg) {
 		wc.counters[k] = v
 	}
 	part := outcomesStats(d)
-	handlers := part.HandlersScored
-	wc.handlers += handlers
+	wc.handlers += part.HandlersScored
 	wc.stats.Merge(part)
 	co.mu.Unlock()
-	wc.live.AddHandlers(handlers)
 
 	if len(d.Ledger) > 0 {
 		pl.job.mu.Lock()
@@ -405,7 +492,7 @@ func (co *Coordinator) broadcastCutoff(jobID string, d float64, exceptID int) {
 	}
 	co.mu.Unlock()
 	for _, wc := range targets {
-		if wc.w.write(&frame{Cutoff: &cutoffMsg{JobID: jobID, Distance: d}}) == nil {
+		if wc.w.write(&frame{Cutoff: &cutoffMsg{JobID: jobID, Distance: d, SentNanos: time.Now().UnixNano()}}) == nil {
 			co.cBroadcasts.Inc()
 		}
 	}
@@ -422,30 +509,61 @@ func (co *Coordinator) dropWorker(wc *workerConn, err error) {
 	delete(co.workers, wc.id)
 	co.gWorkers.Set(float64(len(co.workers)))
 	// A dead worker's completed leases already merged into its stats; keep
-	// the row so Report's cross-worker aggregate stays a full accounting.
-	row := workerReportRow(wc)
-	row.Lost = !co.closed
-	co.dead = append(co.dead, row)
+	// the conn so Report's cross-worker aggregate (and the cluster view)
+	// stays a full accounting.
+	wc.lost = !co.closed
+	wc.diedAt = time.Now()
+	co.dead = append(co.dead, wc)
+	// Gather the postmortem while the inflight map is still intact.
+	meta := postmortemMeta{
+		Postmortem:  fmt.Sprintf("worker-%02d", wc.id),
+		Worker:      wc.id,
+		PID:         wc.pid,
+		LastBeatSec: -1,
+		Counters:    wc.fedTotals,
+	}
+	if err != nil {
+		meta.Cause = err.Error()
+	} else if !co.closed {
+		// Noticed via a failed send rather than the read loop (e.g. a lease
+		// write to a SIGKILLed worker) — there is no read error to quote.
+		meta.Cause = "connection lost"
+	}
+	if !wc.lastBeat.IsZero() {
+		meta.LastBeatSec = time.Since(wc.lastBeat).Seconds()
+	}
+	tail := wc.lastFlight
 	requeued := 0
 	for id, pl := range wc.inflight {
 		delete(wc.inflight, id)
 		if pl.done || pl.requeued {
 			continue
 		}
+		meta.Inflight = append(meta.Inflight, pl.id)
 		pl.requeued = true
 		co.queue = append([]*pendingLease{pl}, co.queue...)
 		requeued++
 	}
+	sortInt64s(meta.Inflight)
+	wc.reissued += requeued
 	if requeued > 0 {
 		co.cReissued.Add(int64(requeued))
 		co.cond.Broadcast()
 	}
 	closed := co.closed
+	pmDir := co.PostmortemDir
 	co.mu.Unlock()
 	wc.w.close()
 	if !closed {
 		co.cDeaths.Inc()
 		wc.live.Finish(fmt.Errorf("shard: worker %d (pid %d) lost: %v", wc.id, wc.pid, err))
+		co.obsv.Record("shard.worker_died", map[string]any{
+			"worker": wc.id, "pid": wc.pid, "cause": meta.Cause,
+			"reissued": requeued,
+		})
+		if pmDir != "" {
+			co.writePostmortem(pmDir, meta, tail)
+		}
 	} else {
 		wc.live.Finish(nil)
 	}
@@ -470,6 +588,9 @@ func (co *Coordinator) reapLoop() {
 			}
 			if time.Since(pl.issuedAt) > co.leaseDeadline {
 				pl.requeued = true
+				if pl.holder != nil {
+					pl.holder.reissued++
+				}
 				co.queue = append(co.queue, pl)
 				n++
 			}
@@ -677,6 +798,10 @@ type WorkerReport struct {
 	Handlers int              `json:"handlers"`
 	Applied  int64            `json:"cutoffs_applied,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Federated is the worker's counter totals as accumulated from its
+	// shipped telemetry deltas (heartbeats + lease completions) — the
+	// per-worker values behind the {worker="N"} series on /metrics.
+	Federated map[string]int64 `json:"federated,omitempty"`
 	// Lost marks a worker that died mid-run (its completed leases remain
 	// in the merged stats; its inflight ones were reissued).
 	Lost bool `json:"lost,omitempty"`
@@ -689,20 +814,22 @@ type WorkerReport struct {
 // co.mu).
 func workerReportRow(wc *workerConn) WorkerReport {
 	return WorkerReport{
-		ID:       wc.id,
-		PID:      wc.pid,
-		Leases:   wc.leases,
-		Stolen:   wc.stolen,
-		Handlers: wc.handlers,
-		Applied:  wc.applied,
-		Counters: wc.counters,
-		Stats:    wc.stats,
+		ID:        wc.id,
+		PID:       wc.pid,
+		Leases:    wc.leases,
+		Stolen:    wc.stolen,
+		Handlers:  wc.handlers,
+		Applied:   wc.applied,
+		Counters:  wc.counters,
+		Federated: wc.fedTotals,
+		Lost:      wc.lost,
+		Stats:     wc.stats,
 	}
 }
 
 // Report summarizes a sharded run: per-worker accounting, the merged
-// cross-worker SearchStats (via core.SearchStats.Merge), and the shard.*
-// counters.
+// cross-worker SearchStats (via core.SearchStats.Merge), the shard.*
+// counters, and the final cluster snapshot.
 type Report struct {
 	Workers []WorkerReport `json:"workers"`
 	// Merged is every worker's partial stats folded together — the
@@ -712,6 +839,9 @@ type Report struct {
 	// MergedFunnel is Merged.Funnel rendered for JSON consumers.
 	MergedFunnel core.FunnelReport `json:"merged_funnel"`
 	Counters     map[string]int64  `json:"counters"`
+	// Cluster is the fleet view at report time (heartbeat ages, clock
+	// estimates, per-worker rates) — what /cluster served live.
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
 }
 
 // Report snapshots the coordinator's accounting. Live workers and dead
@@ -722,7 +852,9 @@ func (co *Coordinator) Report() *Report {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	rep := &Report{Counters: co.obsv.CounterValues("shard.")}
-	rep.Workers = append(rep.Workers, co.dead...)
+	for _, wc := range co.dead {
+		rep.Workers = append(rep.Workers, workerReportRow(wc))
+	}
 	for _, wc := range co.workers {
 		rep.Workers = append(rep.Workers, workerReportRow(wc))
 	}
@@ -732,11 +864,14 @@ func (co *Coordinator) Report() *Report {
 	// Map iteration is random; report rows by worker ID.
 	sort.Slice(rep.Workers, func(i, k int) bool { return rep.Workers[i].ID < rep.Workers[k].ID })
 	rep.MergedFunnel = rep.Merged.Funnel.Report()
+	rep.Cluster = co.clusterLocked()
 	return rep
 }
 
 // Close stops the coordinator: the listener closes, blocked pulls return,
-// and every worker connection is torn down.
+// every worker connection is torn down, and the buffered fleet-trace
+// spans flush into the registry's trace sinks (before the CLI closes
+// them — coordinator teardown precedes registry teardown everywhere).
 func (co *Coordinator) Close() {
 	co.mu.Lock()
 	if co.closed {
@@ -748,8 +883,11 @@ func (co *Coordinator) Close() {
 	for _, wc := range co.workers {
 		workers = append(workers, wc)
 	}
+	spans := co.spans
+	co.spans = nil
 	co.cond.Broadcast()
 	co.mu.Unlock()
+	co.obsv.AddTrackSpans(spans)
 	co.ln.Close()
 	for _, wc := range workers {
 		wc.w.close()

@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -20,6 +21,7 @@ const (
 	envJoin      = "ABAGNALE_SHARD_JOIN"
 	envSnapshots = "ABAGNALE_SHARD_SNAPSHOTS"
 	envProcs     = "ABAGNALE_SHARD_PROCS"
+	envBeatMS    = "ABAGNALE_SHARD_BEAT_MS" // heartbeat cadence; <0 disables
 )
 
 // MaybeRunWorker turns the current process into a shard worker when the
@@ -32,9 +34,11 @@ func MaybeRunWorker() {
 		return
 	}
 	procs, _ := strconv.Atoi(os.Getenv(envProcs))
+	beatMS, _ := strconv.Atoi(os.Getenv(envBeatMS))
 	cfg := WorkerConfig{
 		SnapshotDir: os.Getenv(envSnapshots),
 		Procs:       procs,
+		Heartbeat:   time.Duration(beatMS) * time.Millisecond,
 		Obs:         obs.New(),
 	}
 	if err := RunWorker(context.Background(), addr, cfg); err != nil && err != context.Canceled {
@@ -46,11 +50,11 @@ func MaybeRunWorker() {
 
 // SpawnWorkers execs n copies of the current binary as workers joined to
 // addr. procs > 0 pins each worker's GOMAXPROCS (used by benchmarks to
-// compare core-for-core against an in-process baseline). The returned
-// commands expose Process for fault injection; kill them (or cancel ctx)
-// to stop the fleet — workers also exit on their own when the coordinator
-// closes.
-func SpawnWorkers(ctx context.Context, n int, addr, snapshotDir string, procs int) ([]*exec.Cmd, error) {
+// compare core-for-core against an in-process baseline); beat sets the
+// heartbeat cadence (0 default, negative disables). The returned commands
+// expose Process for fault injection; kill them (or cancel ctx) to stop
+// the fleet — workers also exit on their own when the coordinator closes.
+func SpawnWorkers(ctx context.Context, n int, addr, snapshotDir string, procs int, beat time.Duration) ([]*exec.Cmd, error) {
 	self, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("shard: resolving own binary: %w", err)
@@ -59,6 +63,9 @@ func SpawnWorkers(ctx context.Context, n int, addr, snapshotDir string, procs in
 		envJoin+"="+addr,
 		envSnapshots+"="+snapshotDir,
 	)
+	if beat != 0 {
+		env = append(env, envBeatMS+"="+strconv.Itoa(int(beat/time.Millisecond)))
+	}
 	if procs > 0 {
 		env = append(env,
 			envProcs+"="+strconv.Itoa(procs),

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dsl"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
@@ -51,6 +52,9 @@ type frame struct {
 	Improve *improveMsg
 	Cutoff  *cutoffMsg
 	JobEnd  *jobEndMsg
+	Beat    *beatMsg
+	BeatAck *beatAckMsg
+	Flight  *flightMsg
 }
 
 // helloMsg introduces a worker.
@@ -127,8 +131,75 @@ type leaseDoneMsg struct {
 	Ledger []replay.LedgerItem
 	// Counters snapshots the worker's obs counters (absolute values) —
 	// how warm-start claims like "zero enumeration on workers" become
-	// assertable from the coordinator's report.
+	// assertable from the coordinator's report. Captured in the same
+	// critical section as Telemetry, so the shipped deltas telescope to
+	// exactly these values.
 	Counters map[string]int64
+	// Telemetry carries the instrument increments since the previous
+	// flush (heartbeat or completion — both drain the same stream, so
+	// nothing is ever counted twice, even when the lease result itself is
+	// a dropped duplicate).
+	Telemetry *telemetryMsg
+	// StartNanos/EndNanos stamp the lease's execution span on the
+	// worker's clock (unix nanos); the coordinator corrects them by the
+	// estimated clock offset when merging the fleet trace.
+	StartNanos int64
+	EndNanos   int64
+}
+
+// telemetryMsg is one worker's instrument increments since its previous
+// telemetry flush. Counters and histogram Count/Sum/Buckets are deltas
+// (consecutive flushes telescope to the absolute instrument values);
+// gauges are absolutes (last write wins). Shipped on every heartbeat and
+// every lease completion.
+type telemetryMsg struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Hists    map[string]obs.HistSnapshot
+}
+
+// beatMsg is a worker heartbeat: liveness, telemetry deltas, the NTP-style
+// clock exchange, and a small flight-ring tail so the coordinator always
+// holds a recent postmortem candidate even if the worker dies without a
+// goodbye (SIGKILL).
+type beatMsg struct {
+	// T1 is the worker's send time (unix nanos, worker clock); the
+	// coordinator echoes it in the ack.
+	T1 int64
+	// LastRTTNanos is the round-trip measured by the previous beat's ack
+	// (0 until one completes); feeds shard.heartbeat_rtt_seconds.
+	LastRTTNanos int64
+	// OffsetNanos is the worker's best estimate of coordinator-clock
+	// minus worker-clock, from the lowest-RTT exchange so far.
+	OffsetNanos int64
+	// HasClock reports whether OffsetNanos is a real estimate yet.
+	HasClock bool
+	// Lease is the lease ID currently executing (0 when idle).
+	Lease int64
+	// Telemetry is the delta flush riding this beat (nil when idle and
+	// nothing moved).
+	Telemetry *telemetryMsg
+	// Flight is a short tail of the worker's flight ring.
+	Flight []obs.FlightEvent
+	// Final marks the last beat before a clean exit.
+	Final bool
+}
+
+// beatAckMsg answers a heartbeat with the two coordinator-side timestamps
+// of the NTP exchange: T2 receive, T3 send (coordinator clock); T1 echoes
+// the worker's send time.
+type beatAckMsg struct {
+	T1 int64
+	T2 int64
+	T3 int64
+}
+
+// flightMsg ships a worker's flight-ring tail out of band: on lease
+// error, on SIGQUIT, and in the final frame before exit.
+type flightMsg struct {
+	// Reason is why the tail shipped ("error: ...", "sigquit", "exit").
+	Reason string
+	Events []obs.FlightEvent
 }
 
 // traceOutcome is one whole-trace lease's synthesis result, mirroring
@@ -152,6 +223,10 @@ type improveMsg struct {
 type cutoffMsg struct {
 	JobID    string
 	Distance float64
+	// SentNanos stamps the broadcast on the coordinator's clock; a worker
+	// whose bound actually tightens measures propagation latency against
+	// it (clock-offset-corrected).
+	SentNanos int64
 }
 
 // jobEndMsg tells a worker to release a job's state.

@@ -37,6 +37,13 @@ type Options struct {
 	// LeaseDeadline, when positive, reissues leases not completed within
 	// it (straggler backstop). Worker death always reissues.
 	LeaseDeadline time.Duration
+	// Heartbeat is the worker telemetry cadence (delta federation, clock
+	// exchange, flight tails). 0 means the 500ms default; negative disables
+	// heartbeats entirely (telemetry then rides lease completions only).
+	Heartbeat time.Duration
+	// PostmortemDir, when set, receives one JSONL bundle (meta header +
+	// last flight tail) per worker lost mid-run.
+	PostmortemDir string
 	// Core is the synthesis configuration, exactly as a single-process
 	// run would use it.
 	Core core.Options
@@ -131,8 +138,9 @@ func startCluster(ctx context.Context, o Options, obsv *obs.Registry) (*cluster,
 	if err != nil {
 		return nil, err
 	}
+	co.PostmortemDir = o.PostmortemDir
 	if o.Workers > 0 {
-		if _, err := SpawnWorkers(ctx, o.Workers, co.Addr(), o.SnapshotDir, o.WorkerProcs); err != nil {
+		if _, err := SpawnWorkers(ctx, o.Workers, co.Addr(), o.SnapshotDir, o.WorkerProcs, o.Heartbeat); err != nil {
 			co.Close()
 			return nil, err
 		}

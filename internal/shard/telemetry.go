@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the fleet telemetry plane. Workers flush instrument
+// *deltas* — not absolute snapshots — on every heartbeat and every lease
+// completion; the coordinator folds each delta exactly once into labeled
+// per-worker series (`core.handlers_scored{worker="2"}`) plus a cluster
+// aggregate (`{worker="fleet"}`), so one /metrics scrape shows the whole
+// fleet and the invariant fleet == Σ workers holds unconditionally.
+// Because heartbeats and completions drain the same telescoping stream,
+// duplicate lease completions (reissue races) cannot double-count: the
+// duplicate's *result* is dropped by the lease logic, but its telemetry
+// reflects work that genuinely happened and folds exactly once.
+
+// defaultHeartbeat is the worker telemetry cadence. Off the scoring hot
+// path: one goroutine, one wire frame per tick.
+const defaultHeartbeat = 500 * time.Millisecond
+
+// beatFlightTail bounds the flight-ring tail piggybacked on each beat;
+// shipFlightTail is the deeper tail shipped on error/SIGQUIT/exit.
+const (
+	beatFlightTail = 32
+	shipFlightTail = 256
+)
+
+// reporter tracks what a worker has already shipped so every counter and
+// histogram increment reaches the coordinator exactly once.
+type reporter struct {
+	mu       sync.Mutex
+	obsv     *obs.Registry
+	counters map[string]int64
+	hists    map[string]obs.HistSnapshot
+}
+
+func newReporter(obsv *obs.Registry) *reporter {
+	return &reporter{
+		obsv:     obsv,
+		counters: map[string]int64{},
+		hists:    map[string]obs.HistSnapshot{},
+	}
+}
+
+// flush returns the increments since the previous flush plus the absolute
+// counter snapshot the deltas telescope to, both read in one critical
+// section — so a lease completion's Counters and Telemetry agree exactly.
+// The returned telemetry is nil when nothing moved.
+func (t *reporter) flush() (*telemetryMsg, map[string]int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.obsv.CounterValues("")
+	tm := &telemetryMsg{Counters: map[string]int64{}, Hists: map[string]obs.HistSnapshot{}}
+	for k, v := range cur {
+		if d := v - t.counters[k]; d != 0 {
+			tm.Counters[k] = d
+		}
+	}
+	t.counters = cur
+	for k, s := range t.obsv.HistogramValues("") {
+		if d := s.Delta(t.hists[k]); d.Count != 0 {
+			tm.Hists[k] = d
+		}
+		t.hists[k] = s
+	}
+	tm.Gauges = t.obsv.GaugeValues("")
+	if len(tm.Counters) == 0 && len(tm.Hists) == 0 && len(tm.Gauges) == 0 {
+		return nil, cur
+	}
+	return tm, cur
+}
+
+// clockSync is the worker's NTP-style offset estimator. Each beat/ack pair
+// yields the classic two-way sample — RTT = (T4−T1)−(T3−T2), offset =
+// ((T2−T1)+(T3−T4))/2 — and the estimate from the lowest-RTT exchange wins
+// (least queuing delay, tightest bound on asymmetry error).
+type clockSync struct {
+	mu      sync.Mutex
+	has     bool
+	lastRTT int64
+	bestRTT int64
+	offset  int64 // coordinator clock minus worker clock, nanos
+}
+
+// sample folds one completed exchange (all unix nanos; T1/T4 worker
+// clock, T2/T3 coordinator clock).
+func (c *clockSync) sample(t1, t2, t3, t4 int64) {
+	rtt := (t4 - t1) - (t3 - t2)
+	if rtt < 0 {
+		rtt = 0
+	}
+	off := ((t2 - t1) + (t3 - t4)) / 2
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastRTT = rtt
+	if !c.has || rtt <= c.bestRTT {
+		c.has = true
+		c.bestRTT = rtt
+		c.offset = off
+	}
+}
+
+// estimate returns the last sample's RTT and the best offset estimate.
+func (c *clockSync) estimate() (lastRTT, offset int64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastRTT, c.offset, c.has
+}
+
+// correctedSec maps a worker-clock timestamp onto the coordinator
+// registry's timeline: apply the estimated offset, then rebase onto
+// seconds since the registry's start (the scale TraceSpan and Event.T
+// share).
+func correctedSec(workerUnixNanos, offsetNanos int64, start time.Time) float64 {
+	return float64(workerUnixNanos+offsetNanos-start.UnixNano()) / 1e9
+}
+
+// foldTelemetry applies one worker's shipped deltas to the coordinator's
+// registry — per-worker labeled series plus the fleet aggregate — and to
+// the worker's federated running totals. Frames from one worker arrive on
+// its single connection goroutine, so each delta folds exactly once.
+func (co *Coordinator) foldTelemetry(wc *workerConn, tm *telemetryMsg) {
+	if tm == nil {
+		return
+	}
+	id := strconv.Itoa(wc.id)
+	for k, d := range tm.Counters {
+		co.obsv.Counter(obs.Labeled(k, "worker", id)).Add(d)
+		co.obsv.Counter(obs.Labeled(k, "worker", "fleet")).Add(d)
+	}
+	for k, v := range tm.Gauges {
+		// Non-finite gauges would poison the JSON report; skip them.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		co.obsv.Gauge(obs.Labeled(k, "worker", id)).Set(v)
+	}
+	for k, d := range tm.Hists {
+		co.obsv.Histogram(obs.Labeled(k, "worker", id)).Merge(d)
+		co.obsv.Histogram(obs.Labeled(k, "worker", "fleet")).Merge(d)
+	}
+	co.mu.Lock()
+	for k, d := range tm.Counters {
+		wc.fedTotals[k] += d
+	}
+	co.mu.Unlock()
+	// Per-worker candidates/sec on the /runs board comes from the same
+	// delta stream, so worker rows tick at heartbeat cadence instead of
+	// jumping at lease completions.
+	if h := tm.Counters["core.handlers_scored"]; h > 0 {
+		wc.live.AddHandlers(int(h))
+	}
+}

@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestClockSyncSample pins the NTP-style two-way math: RTT excludes the
+// coordinator's hold time, the offset splits the residual symmetrically,
+// and the lowest-RTT exchange's estimate wins.
+func TestClockSyncSample(t *testing.T) {
+	c := &clockSync{}
+	if _, _, ok := c.estimate(); ok {
+		t.Fatal("estimate available before any sample")
+	}
+
+	// Worker sends at 0, coordinator (clock +1000) receives at 1050 and
+	// replies at 1060, worker hears back at 110: RTT = 110 − (1060−1050) =
+	// 100, offset = ((1050−0)+(1060−110))/2 = 1000.
+	c.sample(0, 1050, 1060, 110)
+	rtt, off, ok := c.estimate()
+	if !ok || rtt != 100 || off != 1000 {
+		t.Fatalf("first sample: rtt=%d off=%d ok=%v, want 100, 1000, true", rtt, off, ok)
+	}
+
+	// A higher-RTT exchange updates lastRTT but not the offset estimate.
+	c.sample(200, 1450, 1460, 510)
+	rtt, off, _ = c.estimate()
+	if rtt != 300 || off != 1000 {
+		t.Errorf("after noisy sample: rtt=%d off=%d, want 300, 1000", rtt, off)
+	}
+
+	// A tighter exchange takes over the estimate.
+	c.sample(600, 1622, 1624, 650)
+	rtt, off, _ = c.estimate()
+	if rtt != 48 || off != 1000+(-2) {
+		// offset = ((1622−600)+(1624−650))/2 = (1022+974)/2 = 998
+		t.Errorf("after tight sample: rtt=%d off=%d, want 48, 998", rtt, off)
+	}
+
+	// Negative apparent RTT (clock jitter) clamps to zero rather than
+	// going backwards.
+	c.sample(0, 1000, 1010, 5)
+	rtt, _, _ = c.estimate()
+	if rtt != 0 {
+		t.Errorf("negative RTT not clamped: %d", rtt)
+	}
+}
+
+// TestCorrectedSec pins the worker-to-registry timeline mapping the fleet
+// trace uses.
+func TestCorrectedSec(t *testing.T) {
+	start := time.Unix(100, 0)
+	// Worker clock runs 2s behind the coordinator: offset = +2s.
+	workerNanos := time.Unix(101, 500e6).UnixNano()
+	if got := correctedSec(workerNanos, 2e9, start); got != 3.5 {
+		t.Errorf("correctedSec = %v, want 3.5", got)
+	}
+}
+
+// TestReporterFlushTelescopes pins the delta stream's core property: the
+// sum of all flushed deltas equals the absolute counters the final flush
+// reports, no matter how flushes interleave with increments — the
+// invariant that makes heartbeat and lease-completion shipping paths safe
+// to mix.
+func TestReporterFlushTelescopes(t *testing.T) {
+	obsv := obs.New()
+	rep := newReporter(obsv)
+
+	obsv.Counter("core.a").Add(5)
+	obsv.Histogram("lat").Observe(1)
+	tm, abs := rep.flush()
+	if tm == nil || tm.Counters["core.a"] != 5 || abs["core.a"] != 5 {
+		t.Fatalf("first flush: tm=%+v abs=%v", tm, abs)
+	}
+	if tm.Hists["lat"].Count != 1 {
+		t.Errorf("first flush hist delta = %+v", tm.Hists["lat"])
+	}
+
+	// Nothing moved: telemetry is nil, absolutes unchanged.
+	tm, abs = rep.flush()
+	if tm != nil {
+		t.Errorf("idle flush produced telemetry: %+v", tm)
+	}
+	if abs["core.a"] != 5 {
+		t.Errorf("idle flush absolutes = %v", abs)
+	}
+
+	obsv.Counter("core.a").Add(3)
+	obsv.Counter("core.b").Add(2)
+	obsv.Gauge("g").Set(7)
+	tm, abs = rep.flush()
+	if tm.Counters["core.a"] != 3 || tm.Counters["core.b"] != 2 {
+		t.Errorf("second flush deltas = %v", tm.Counters)
+	}
+	if abs["core.a"] != 5+3 {
+		t.Errorf("second flush absolutes = %v", abs)
+	}
+	if tm.Gauges["g"] != 7 {
+		t.Errorf("gauges are absolutes, got %v", tm.Gauges)
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
+	"os/signal"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -30,9 +33,14 @@ type WorkerConfig struct {
 	// workers typically start concurrently with the coordinator's
 	// listener. Default 10s.
 	DialTimeout time.Duration
+	// Heartbeat is the telemetry cadence: instrument deltas, the NTP-style
+	// clock exchange, and a flight-ring tail ship to the coordinator this
+	// often. 0 means the 500ms default; negative disables heartbeats
+	// (telemetry then rides lease completions only).
+	Heartbeat time.Duration
 	// Obs receives the worker's instruments; its counter values ship to
-	// the coordinator with every lease result. Default: a private
-	// registry.
+	// the coordinator with every lease result, and its deltas federate at
+	// heartbeat cadence. Default: a private registry.
 	Obs *obs.Registry
 }
 
@@ -67,6 +75,10 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
 	if dialTimeout <= 0 {
 		dialTimeout = 10 * time.Second
 	}
+	beat := cfg.Heartbeat
+	if beat == 0 {
+		beat = defaultHeartbeat
+	}
 	w, err := dialRetry(ctx, addr, dialTimeout)
 	if err != nil {
 		return err
@@ -79,15 +91,90 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
 	registry := corpus.NewRegistry(cfg.SnapshotDir, obsv)
 	defer registry.Close()
 
+	// The telemetry plane: a reporter tracking what already shipped, the
+	// NTP-style clock estimator, and the lease the worker is executing
+	// right now (for the cluster view's inflight column).
+	obsv.EnableFlight(0)
+	rep := newReporter(obsv)
+	clock := &clockSync{}
+	var currentLease atomic.Int64
+	hWireRTT := obsv.Histogram("shard.wire_rtt_seconds")
+	hCutProp := obsv.Histogram("shard.cutoff_propagation_seconds")
+
+	sendBeat := func(final bool) error {
+		tm, _ := rep.flush()
+		lastRTT, offset, has := clock.estimate()
+		return w.write(&frame{Beat: &beatMsg{
+			T1:           time.Now().UnixNano(),
+			LastRTTNanos: lastRTT,
+			OffsetNanos:  offset,
+			HasClock:     has,
+			Lease:        currentLease.Load(),
+			Telemetry:    tm,
+			Flight:       obsv.Flight().Tail(beatFlightTail),
+			Final:        final,
+		}})
+	}
+	shipFlight := func(reason string) {
+		w.write(&frame{Flight: &flightMsg{Reason: reason, Events: obsv.Flight().Tail(shipFlightTail)}})
+	}
+	// Final beat on every exit path: best-effort (the connection may
+	// already be down), carrying whatever deltas have not shipped yet.
+	// Registered after the close defers, so it runs while w is still open.
+	beatStop := make(chan struct{})
+	defer func() {
+		close(beatStop)
+		sendBeat(true)
+	}()
+	if beat > 0 {
+		go func() {
+			// First beat immediately: even a worker SIGKILLed moments after
+			// joining leaves the coordinator a flight tail to postmortem.
+			if sendBeat(false) != nil {
+				return
+			}
+			tick := time.NewTicker(beat)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if sendBeat(false) != nil {
+						return
+					}
+				case <-beatStop:
+					return
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	// On SIGQUIT, ship the deep flight tail instead of dying with a stack
+	// dump — the operator's "what is that worker doing" probe.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+	go func() {
+		for {
+			select {
+			case <-sigq:
+				shipFlight("sigquit")
+			case <-beatStop:
+				return
+			}
+		}
+	}()
+
 	var (
 		mu   sync.Mutex
 		jobs = map[string]*wjob{}
 	)
 	// The reader goroutine applies cutoff broadcasts the moment they
 	// arrive — mid-lease, from any scoring goroutine's perspective — and
-	// forwards everything else to the main loop. That immediacy is the
-	// point of the broadcast: a remote improvement tightens this worker's
-	// early-abandon cascade now, not at the next lease boundary.
+	// answers the clock exchange inline (acks must not queue behind lease
+	// execution); everything else forwards to the main loop. That immediacy
+	// is the point of the broadcast: a remote improvement tightens this
+	// worker's early-abandon cascade now, not at the next lease boundary.
 	frames := make(chan *frame, 16)
 	readErr := make(chan error, 1)
 	go func() {
@@ -98,12 +185,33 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
 				readErr <- err
 				return
 			}
+			if fr.BeatAck != nil {
+				a := fr.BeatAck
+				t4 := time.Now().UnixNano()
+				rtt := (t4 - a.T1) - (a.T3 - a.T2)
+				if rtt < 0 {
+					rtt = 0
+				}
+				hWireRTT.Observe(float64(rtt) / 1e9)
+				clock.sample(a.T1, a.T2, a.T3, t4)
+				continue
+			}
 			if fr.Cutoff != nil {
 				mu.Lock()
 				j := jobs[fr.Cutoff.JobID]
 				mu.Unlock()
 				if j != nil && j.runner != nil && j.runner.Broadcast(fr.Cutoff.Distance) {
 					j.applied.Add(1)
+					// Propagation latency is only measurable once the clock
+					// offset is estimated, and only meaningful when the
+					// broadcast actually tightened this worker's bound.
+					if _, off, ok := clock.estimate(); ok && fr.Cutoff.SentNanos > 0 {
+						d := float64(time.Now().UnixNano()+off-fr.Cutoff.SentNanos) / 1e9
+						if d < 0 {
+							d = 0
+						}
+						hCutProp.Observe(d)
+					}
 				}
 				continue
 			}
@@ -134,6 +242,7 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
 			case fr.Job != nil:
 				j, err := newWorkerJob(fr.Job, registry, obsv, procs)
 				if err != nil {
+					shipFlight("error: " + err.Error())
 					return fmt.Errorf("shard: job %s: %w", fr.Job.ID, err)
 				}
 				mu.Lock()
@@ -156,13 +265,21 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
 		if j == nil {
 			return fmt.Errorf("shard: lease %d for unknown job %s", lease.ID, lease.JobID)
 		}
+		currentLease.Store(lease.ID)
+		startNanos := time.Now().UnixNano()
 		done, err := executeLease(ctx, j, lease, func(d float64) {
 			w.write(&frame{Improve: &improveMsg{JobID: lease.JobID, Distance: d}})
 		})
+		currentLease.Store(0)
 		if err != nil {
+			shipFlight("error: " + err.Error())
 			return err
 		}
-		done.Counters = obsv.CounterValues("")
+		done.StartNanos = startNanos
+		done.EndNanos = time.Now().UnixNano()
+		// One flush serves both fields: the shipped deltas telescope to
+		// exactly the absolute counters riding the same frame.
+		done.Telemetry, done.Counters = rep.flush()
 		if err := w.write(&frame{Done: done}); err != nil {
 			return nil
 		}
